@@ -1,0 +1,190 @@
+package kfusion
+
+import (
+	"kfusion/internal/eval"
+	"kfusion/internal/exper"
+	"kfusion/internal/extract"
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+	"kfusion/internal/web"
+	"kfusion/internal/world"
+)
+
+// Knowledge-base types.
+type (
+	// Triple is one (subject, predicate, object) statement.
+	Triple = kb.Triple
+	// Object is a triple's value: an entity reference, string or number.
+	Object = kb.Object
+	// DataItem is a (subject, predicate) pair — the unit of conflict
+	// resolution.
+	DataItem = kb.DataItem
+	// EntityID identifies an entity (Freebase MID style).
+	EntityID = kb.EntityID
+	// PredicateID identifies a predicate.
+	PredicateID = kb.PredicateID
+	// Ontology is the shared schema: types, predicates, entities.
+	Ontology = kb.Ontology
+	// Store is an in-memory triple store.
+	Store = kb.Store
+)
+
+// Object constructors.
+var (
+	// EntityObject wraps an entity ID as a triple object.
+	EntityObject = kb.EntityObject
+	// StringObject wraps a raw string as a triple object.
+	StringObject = kb.StringObject
+	// NumberObject wraps a number as a triple object.
+	NumberObject = kb.NumberObject
+	// ParseTriple parses Triple.Encode output.
+	ParseTriple = kb.ParseTriple
+)
+
+// Synthesis types.
+type (
+	// World is the synthetic ground truth.
+	World = world.World
+	// WorldConfig parameterizes world generation.
+	WorldConfig = world.Config
+	// Corpus is the synthetic crawled Web.
+	Corpus = web.Corpus
+	// CorpusConfig parameterizes corpus generation.
+	CorpusConfig = web.Config
+	// Extraction is one extracted (triple, provenance) pair.
+	Extraction = extract.Extraction
+	// ExtractorSuite is the 12-extractor fleet.
+	ExtractorSuite = extract.Suite
+	// Snapshot is the incomplete trusted KB ("Freebase").
+	Snapshot = world.Snapshot
+	// Dataset bundles world, corpus, extractions and gold standard.
+	Dataset = exper.Dataset
+	// Scale selects a dataset size.
+	Scale = exper.Scale
+)
+
+// Dataset scales.
+const (
+	// ScaleSmall builds in well under a second; good for tests and demos.
+	ScaleSmall = exper.ScaleSmall
+	// ScaleBench is the scale behind the reported reproduction numbers.
+	ScaleBench = exper.ScaleBench
+)
+
+// Synthesis constructors.
+var (
+	// GenerateWorld builds a ground-truth world from a configuration.
+	GenerateWorld = world.Generate
+	// DefaultWorldConfig is a unit-test-scale world configuration.
+	DefaultWorldConfig = world.DefaultConfig
+	// GenerateCorpus crawls a world into a Web corpus.
+	GenerateCorpus = web.Generate
+	// DefaultCorpusConfig is a unit-test-scale corpus configuration.
+	DefaultCorpusConfig = web.DefaultConfig
+	// NewExtractorSuite builds the 12 simulated extractors over a world.
+	NewExtractorSuite = extract.NewSuite
+	// BuildFreebase carves the incomplete trusted snapshot out of a world.
+	BuildFreebase = world.BuildFreebase
+	// Synthesize builds a complete dataset (world, corpus, extractions,
+	// gold standard) at the given scale and seed.
+	Synthesize = exper.NewDataset
+)
+
+// Fusion types.
+type (
+	// Claim is one (triple, provenance) assertion.
+	Claim = fusion.Claim
+	// FuseConfig parameterizes a fusion run.
+	FuseConfig = fusion.Config
+	// Granularity selects the provenance key shape.
+	Granularity = fusion.Granularity
+	// FusedTriple is one fused output row.
+	FusedTriple = fusion.FusedTriple
+	// FusionResult is a fusion run's output.
+	FusionResult = fusion.Result
+	// Labeler reports gold labels to semi-supervised fusion.
+	Labeler = fusion.Labeler
+)
+
+// Fusion presets and entry points, named as in the paper.
+var (
+	// VOTE is the voting baseline.
+	VOTE = fusion.VoteConfig
+	// ACCU is Bayesian fusion with uniform false values (A=0.8, N=100).
+	ACCU = fusion.AccuConfig
+	// POPACCU estimates the false-value distribution from the data.
+	POPACCU = fusion.PopAccuConfig
+	// POPACCUPlusUnsup is POPACCU with the unsupervised refinements of
+	// §4.3 (coverage filter, fine granularity, accuracy filter).
+	POPACCUPlusUnsup = fusion.PopAccuPlusUnsupConfig
+	// POPACCUPlus adds gold-standard accuracy initialization.
+	POPACCUPlus = fusion.PopAccuPlusConfig
+	// ClaimsFromExtractions flattens extractions into claims under a
+	// provenance granularity.
+	ClaimsFromExtractions = fusion.Claims
+	// Fuse runs a fusion configuration over claims.
+	Fuse = fusion.Fuse
+)
+
+// Provenance granularities from the paper's experiments.
+var (
+	// GranExtractorURL is the basic (Extractor, URL) provenance.
+	GranExtractorURL = fusion.GranExtractorURL
+	// GranExtractorSite keys sources at site level.
+	GranExtractorSite = fusion.GranExtractorSite
+	// GranExtractorSitePred adds the predicate.
+	GranExtractorSitePred = fusion.GranExtractorSitePred
+	// GranExtractorSitePredPattern adds the extraction pattern — the best
+	// calibrated granularity in the paper.
+	GranExtractorSitePredPattern = fusion.GranExtractorSitePredPattern
+)
+
+// Evaluation types.
+type (
+	// GoldStandard labels triples under the local closed-world assumption.
+	GoldStandard = eval.GoldStandard
+	// Prediction pairs a probability with a gold label.
+	Prediction = eval.Prediction
+	// CalibrationCurve is the predicted-vs-real probability curve.
+	CalibrationCurve = eval.CalibrationCurve
+	// Report is the paper's standard (Dev, WDev, AUC-PR) metric set.
+	Report = eval.Report
+	// ErrorAnalysis attributes false positives/negatives to Figure 17's
+	// categories.
+	ErrorAnalysis = eval.ErrorAnalysis
+)
+
+// Evaluation entry points.
+var (
+	// NewGoldStandard wraps a Freebase snapshot for LCWA labeling.
+	NewGoldStandard = eval.NewGoldStandard
+	// Evaluate computes Dev, WDev and AUC-PR for a fusion result.
+	Evaluate = eval.Evaluate
+	// Predictions pairs a fusion result with gold labels.
+	Predictions = eval.Predictions
+	// Calibration buckets predictions into a calibration curve.
+	Calibration = eval.Calibration
+	// AUCPR computes the area under the precision-recall curve.
+	AUCPR = eval.AUCPR
+	// PRCurve computes precision-recall points.
+	PRCurve = eval.PRCurve
+	// AnalyzeErrors runs the mechanical Figure 17 error analysis.
+	AnalyzeErrors = eval.AnalyzeErrors
+	// KappaMatrix computes Eq. 1's kappa for every extractor pair.
+	KappaMatrix = eval.KappaMatrix
+)
+
+// Experiment types and entry points (the paper's tables and figures).
+type (
+	// Experiment binds a paper artifact to its regeneration function.
+	Experiment = exper.Experiment
+	// ExperimentTable is a rendered experiment result.
+	ExperimentTable = exper.Table
+)
+
+var (
+	// Experiments lists every reproduced table and figure in paper order.
+	Experiments = exper.Registry
+	// ExperimentByID resolves an experiment by its ID (e.g. "fig9").
+	ExperimentByID = exper.ByID
+)

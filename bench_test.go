@@ -1,0 +1,289 @@
+package kfusion
+
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// section (Tables 1-3, Figures 3-7 and 9-22), plus pipeline-throughput
+// benchmarks for the substrates. Quality metrics (weighted deviation,
+// AUC-PR) are attached to the fusion benchmarks as custom units so
+// `go test -bench` doubles as a reproduction report.
+//
+// The shared bench dataset is built once per process; fusion caches are
+// cleared per iteration so timings measure real recomputation.
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"kfusion/internal/eval"
+	"kfusion/internal/exper"
+	"kfusion/internal/fusion"
+	"kfusion/internal/kbstore"
+	"kfusion/internal/mapreduce"
+	"kfusion/internal/web"
+	"kfusion/internal/world"
+)
+
+const benchSeed = 4242
+
+func benchDataset(b *testing.B) *exper.Dataset {
+	b.Helper()
+	return exper.SharedDataset(exper.ScaleBench, benchSeed)
+}
+
+// benchExperiment measures one registered experiment end to end.
+func benchExperiment(b *testing.B, id string) {
+	ds := benchDataset(b)
+	ex := exper.ByID(id)
+	if ex == nil {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ResetTimer()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		ds.ClearFusionCache()
+		tb := ex.Run(ds)
+		rows += len(tb.Rows)
+	}
+	if rows == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+}
+
+func BenchmarkTable1CorpusStats(b *testing.B)        { benchExperiment(b, "table1") }
+func BenchmarkTable2ExtractorQuality(b *testing.B)   { benchExperiment(b, "table2") }
+func BenchmarkTable3Functionality(b *testing.B)      { benchExperiment(b, "table3") }
+func BenchmarkFigure3ContentOverlap(b *testing.B)    { benchExperiment(b, "fig3") }
+func BenchmarkFigure4PredicateAccuracy(b *testing.B) { benchExperiment(b, "fig4") }
+func BenchmarkFigure5ExtractorGap(b *testing.B)      { benchExperiment(b, "fig5") }
+func BenchmarkFigure6AccuracyByExtractors(b *testing.B) {
+	benchExperiment(b, "fig6")
+}
+func BenchmarkFigure7AccuracyByURLs(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFigure9BasicModels also reports the reproduction metrics for the
+// three basic models as custom benchmark units.
+func BenchmarkFigure9BasicModels(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds.ClearFusionCache()
+		exper.Figure9(ds)
+	}
+	b.StopTimer()
+	reportModelMetrics(b, ds, "VOTE", fusion.VoteConfig())
+	reportModelMetrics(b, ds, "ACCU", fusion.AccuConfig())
+	reportModelMetrics(b, ds, "POPACCU", fusion.PopAccuConfig())
+}
+
+func reportModelMetrics(b *testing.B, ds *exper.Dataset, name string, cfg fusion.Config) {
+	res := ds.Fuse(name, cfg)
+	rep := eval.Evaluate(name, res, ds.Gold)
+	b.ReportMetric(rep.WDev, name+"-wdev")
+	b.ReportMetric(rep.AUCPR, name+"-aucpr")
+}
+
+func BenchmarkFigure10Granularity(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFigure11Filtering(b *testing.B)   { benchExperiment(b, "fig11") }
+func BenchmarkFigure12GoldInit(b *testing.B)    { benchExperiment(b, "fig12") }
+func BenchmarkFigure13Cumulative(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFigure14Convergence(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFigure15PRCurves(b *testing.B)    { benchExperiment(b, "fig15") }
+func BenchmarkFigure16ProbabilityHistogram(b *testing.B) {
+	benchExperiment(b, "fig16")
+}
+func BenchmarkFigure17ErrorAnalysis(b *testing.B) { benchExperiment(b, "fig17") }
+func BenchmarkFigure18ProvenanceStratified(b *testing.B) {
+	benchExperiment(b, "fig18")
+}
+func BenchmarkFigure19Kappa(b *testing.B)      { benchExperiment(b, "fig19") }
+func BenchmarkFigure20TruthCount(b *testing.B) { benchExperiment(b, "fig20") }
+func BenchmarkFigure21Confidence(b *testing.B) { benchExperiment(b, "fig21") }
+func BenchmarkFigure22ConfidenceThreshold(b *testing.B) {
+	benchExperiment(b, "fig22")
+}
+
+// ---- Pipeline throughput benchmarks ----
+
+func BenchmarkWorldGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		world.MustGenerate(world.BenchConfig(benchSeed))
+	}
+}
+
+func BenchmarkCorpusGeneration(b *testing.B) {
+	w := world.MustGenerate(world.BenchConfig(benchSeed))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		web.MustGenerate(w, web.BenchConfig(benchSeed+1))
+	}
+}
+
+func BenchmarkExtractionSuite(b *testing.B) {
+	ds := benchDataset(b)
+	suite := NewExtractorSuite(ds.World, benchSeed+2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xs := suite.Run(ds.World, ds.Corpus)
+		b.ReportMetric(float64(len(xs)), "extractions")
+	}
+}
+
+// benchFusion measures one fusion preset's throughput in claims/sec.
+func benchFusion(b *testing.B, cfg fusion.Config) {
+	ds := benchDataset(b)
+	claims := fusion.Claims(ds.Extractions, cfg.Granularity)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fusion.MustFuse(claims, cfg)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(claims))*float64(b.N)/b.Elapsed().Seconds(), "claims/s")
+}
+
+func BenchmarkFuseVote(b *testing.B)    { benchFusion(b, fusion.VoteConfig()) }
+func BenchmarkFuseAccu(b *testing.B)    { benchFusion(b, fusion.AccuConfig()) }
+func BenchmarkFusePopAccu(b *testing.B) { benchFusion(b, fusion.PopAccuConfig()) }
+func BenchmarkFusePopAccuPlus(b *testing.B) {
+	ds := benchDataset(b)
+	benchFusion(b, fusion.PopAccuPlusConfig(ds.Gold.Labeler()))
+}
+
+// BenchmarkMapReduceScaling measures the fusion pipeline at several worker
+// counts (the paper's scalability concern, at laptop scale).
+func BenchmarkMapReduceScaling(b *testing.B) {
+	ds := benchDataset(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName(workers), func(b *testing.B) {
+			cfg := fusion.PopAccuConfig()
+			cfg.Workers = workers
+			claims := fusion.Claims(ds.Extractions, cfg.Granularity)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fusion.MustFuse(claims, cfg)
+			}
+		})
+	}
+}
+
+func benchName(workers int) string {
+	return "workers-" + strconv.Itoa(workers)
+}
+
+// BenchmarkMapReduceWordCount measures the raw engine.
+func BenchmarkMapReduceWordCount(b *testing.B) {
+	inputs := make([]int, 100000)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	job := mapreduce.Job[int, int, int, [2]int]{
+		Name: "bench",
+		Map:  func(in int, emit func(int, int)) { emit(in%1024, 1) },
+		Reduce: func(k int, vs []int, emit func([2]int)) {
+			emit([2]int{k, len(vs)})
+		},
+		KeyHash: func(k int) uint64 { return uint64(k) * 0x9e3779b97f4a7c15 },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := mapreduce.MustRun(job, inputs); len(out) != 1024 {
+			b.Fatal("wrong output size")
+		}
+	}
+}
+
+// ---- Ablation benchmarks for the §5 future-direction implementations ----
+
+func BenchmarkAblationTwoLayer(b *testing.B)   { benchExperiment(b, "abl-twolayer") }
+func BenchmarkAblationMultiTruth(b *testing.B) { benchExperiment(b, "abl-multitruth") }
+func BenchmarkAblationFuncDegree(b *testing.B) { benchExperiment(b, "abl-funcdegree") }
+func BenchmarkAblationHierValues(b *testing.B) { benchExperiment(b, "abl-hierval") }
+func BenchmarkAblationConfidence(b *testing.B) { benchExperiment(b, "abl-confweight") }
+func BenchmarkAblationCopyDetect(b *testing.B) { benchExperiment(b, "abl-copydetect") }
+func BenchmarkAblationSoftLCWA(b *testing.B)   { benchExperiment(b, "abl-softlcwa") }
+func BenchmarkAblationValueSim(b *testing.B)   { benchExperiment(b, "abl-valuesim") }
+
+// ---- Knowledge-base store benchmarks ----
+
+func BenchmarkKBStoreWrite(b *testing.B) {
+	ds := benchDataset(b)
+	res := ds.Fuse("POPACCU", fusion.PopAccuConfig())
+	dir := b.TempDir()
+	path := filepath.Join(dir, "bench.kb")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := kbstore.Write(path, res.Triples); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	info, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(info.Size())/float64(len(res.Triples)), "bytes/triple")
+}
+
+func BenchmarkKBStoreOpen(b *testing.B) {
+	ds := benchDataset(b)
+	res := ds.Fuse("POPACCU", fusion.PopAccuConfig())
+	path := filepath.Join(b.TempDir(), "bench.kb")
+	if err := kbstore.Write(path, res.Triples); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k, err := kbstore.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if k.Len() != len(res.Triples) {
+			b.Fatal("record loss")
+		}
+	}
+}
+
+func BenchmarkKBStoreLookup(b *testing.B) {
+	ds := benchDataset(b)
+	res := ds.Fuse("POPACCU", fusion.PopAccuConfig())
+	path := filepath.Join(b.TempDir(), "bench.kb")
+	if err := kbstore.Write(path, res.Triples); err != nil {
+		b.Fatal(err)
+	}
+	k, err := kbstore.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	subjects := make([]EntityID, 0, 256)
+	for _, f := range res.Triples {
+		subjects = append(subjects, f.Triple.Subject)
+		if len(subjects) == cap(subjects) {
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(k.BySubject(subjects[i%len(subjects)])) == 0 {
+			b.Fatal("lookup miss")
+		}
+	}
+}
+
+// BenchmarkLargeScaleFusion validates the paper's scale concern (§3.2.2's
+// third challenge) at the largest size this harness builds: hundreds of
+// thousands of extracted claims through the full 3-stage pipeline.
+func BenchmarkLargeScaleFusion(b *testing.B) {
+	ds := exper.SharedDataset(exper.ScaleLarge, benchSeed)
+	cfg := fusion.PopAccuConfig()
+	claims := fusion.Claims(ds.Extractions, cfg.Granularity)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := fusion.MustFuse(claims, cfg)
+		if len(res.Triples) == 0 {
+			b.Fatal("no output")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(ds.Extractions)), "extractions")
+	b.ReportMetric(float64(len(claims))*float64(b.N)/b.Elapsed().Seconds(), "claims/s")
+}

@@ -1,0 +1,146 @@
+// Command kfbench regenerates the paper's evaluation: every table (1-3) and
+// figure (3-7, 9-22) over a synthetic dataset, printing paper-style rows and
+// HOLDS/VIOLATED notes for the qualitative claims.
+//
+// Usage:
+//
+//	kfbench                      # all experiments at small scale
+//	kfbench -scale bench         # the reproduction numbers
+//	kfbench -exp fig9,fig13      # selected experiments
+//	kfbench -seeds 5             # re-run across 5 seeds; report check stability
+//	kfbench -list                # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"kfusion/internal/exper"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kfbench: ")
+	var (
+		scaleFlag = flag.String("scale", "small", "dataset scale: small or bench")
+		seed      = flag.Int64("seed", 42, "generation seed")
+		expFlag   = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		seeds     = flag.Int("seeds", 1, "run across this many consecutive seeds and report per-check stability")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, ex := range exper.Registry {
+			fmt.Printf("%-8s %s\n", ex.ID, ex.Title)
+		}
+		return
+	}
+
+	scale := exper.ScaleSmall
+	switch *scaleFlag {
+	case "small":
+	case "bench":
+		scale = exper.ScaleBench
+	default:
+		log.Fatalf("unknown -scale %q (want small or bench)", *scaleFlag)
+	}
+
+	var selected []exper.Experiment
+	if *expFlag == "" {
+		selected = exper.Registry
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			ex := exper.ByID(strings.TrimSpace(id))
+			if ex == nil {
+				log.Fatalf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, *ex)
+		}
+	}
+
+	if *seeds > 1 {
+		runMultiSeed(scale, *seed, *seeds, selected)
+		return
+	}
+
+	start := time.Now()
+	ds := exper.SharedDataset(scale, *seed)
+	fmt.Printf("dataset: %s; %d pages, %d extractions (built in %v)\n\n",
+		ds.World.Stats(), len(ds.Corpus.Pages), len(ds.Extractions), time.Since(start).Round(time.Millisecond))
+
+	violations := 0
+	for _, ex := range selected {
+		t0 := time.Now()
+		tb := ex.Run(ds)
+		tb.Render(os.Stdout)
+		fmt.Printf("(%v)\n\n", time.Since(t0).Round(time.Millisecond))
+		for _, n := range tb.Notes {
+			if strings.HasPrefix(n, "VIOLATED") {
+				violations++
+			}
+		}
+	}
+	if violations > 0 {
+		fmt.Printf("%d paper-shape check(s) VIOLATED\n", violations)
+		os.Exit(1)
+	}
+}
+
+// runMultiSeed re-runs the selected experiments on n consecutive seeds and
+// reports, for every HOLDS/VIOLATED shape check, how many seeds it held on —
+// the honest way to read checks whose margins sit near seed noise.
+func runMultiSeed(scale exper.Scale, baseSeed int64, n int, selected []exper.Experiment) {
+	type tally struct{ holds, total int }
+	checks := map[string]*tally{}
+	order := []string{}
+	for i := 0; i < n; i++ {
+		seed := baseSeed + int64(i)*101
+		ds := exper.SharedDataset(scale, seed)
+		fmt.Printf("seed %d: %d extractions\n", seed, len(ds.Extractions))
+		for _, ex := range selected {
+			tb := ex.Run(ds)
+			for _, note := range tb.Notes {
+				var held bool
+				var msg string
+				switch {
+				case strings.HasPrefix(note, "HOLDS: "):
+					held, msg = true, strings.TrimPrefix(note, "HOLDS: ")
+				case strings.HasPrefix(note, "VIOLATED: "):
+					held, msg = false, strings.TrimPrefix(note, "VIOLATED: ")
+				default:
+					continue
+				}
+				key := ex.ID + ": " + msg
+				t, ok := checks[key]
+				if !ok {
+					t = &tally{}
+					checks[key] = t
+					order = append(order, key)
+				}
+				t.total++
+				if held {
+					t.holds++
+				}
+			}
+		}
+	}
+	fmt.Printf("\nshape-check stability across %d seeds:\n", n)
+	unstable := 0
+	for _, key := range order {
+		t := checks[key]
+		marker := "stable  "
+		if t.holds < t.total {
+			marker = "UNSTABLE"
+			unstable++
+		}
+		fmt.Printf("  %s %d/%d  %s\n", marker, t.holds, t.total, key)
+	}
+	if unstable > 0 {
+		fmt.Printf("%d check(s) did not hold on every seed\n", unstable)
+	}
+}

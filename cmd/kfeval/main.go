@@ -1,0 +1,107 @@
+// Command kfeval evaluates fused triples against gold labels: calibration
+// curve, deviation, weighted deviation, AUC-PR and the predicted-probability
+// distribution.
+//
+// Usage:
+//
+//	kfeval -fused fused.jsonl -gold gold.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"kfusion/internal/eval"
+	"kfusion/internal/kfio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kfeval: ")
+	var (
+		fusedIn = flag.String("fused", "fused.jsonl", "fused triples input")
+		goldIn  = flag.String("gold", "gold.jsonl", "gold labels input")
+		buckets = flag.Int("buckets", 20, "calibration buckets (the paper uses 20)")
+	)
+	flag.Parse()
+
+	ff, err := os.Open(*fusedIn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := kfio.ReadFused(ff)
+	ff.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gf, err := os.Open(*goldIn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labeler, nLabels, err := kfio.ReadGold(gf)
+	gf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var preds []eval.Prediction
+	unlabeled := 0
+	var probs []float64
+	for _, f := range res.Triples {
+		if !f.Predicted {
+			continue
+		}
+		probs = append(probs, f.Probability)
+		label, ok := labeler(f.Triple)
+		if !ok {
+			unlabeled++
+			continue
+		}
+		preds = append(preds, eval.Prediction{Prob: f.Probability, Label: label})
+	}
+
+	curve := eval.Calibration(preds, *buckets)
+	fmt.Printf("triples: %d fused, %d without probability, %d labeled (%d gold labels on file)\n",
+		len(res.Triples), res.Unpredicted, len(preds), nLabels)
+	fmt.Printf("deviation:          %.4f\n", curve.Deviation())
+	fmt.Printf("weighted deviation: %.4f\n", curve.WeightedDeviation())
+	fmt.Printf("AUC-PR:             %.4f\n", eval.AUCPR(preds))
+	fmt.Printf("monotonicity:       %.4f\n", eval.Monotonicity(preds))
+
+	fmt.Println("\ncalibration (predicted -> real, n):")
+	for _, b := range curve.Buckets {
+		if b.N == 0 {
+			continue
+		}
+		bar := renderBar(b.Real)
+		fmt.Printf("  [%.2f,%.2f)  %.3f -> %.3f  %6d  %s\n", b.Lo, b.Hi, b.MeanPred, b.Real, b.N, bar)
+	}
+
+	dist := eval.Distribution(probs, 10)
+	fmt.Println("\npredicted probability distribution:")
+	for i, share := range dist {
+		label := fmt.Sprintf("[%.1f,%.1f)", float64(i)/10, float64(i+1)/10)
+		if i == 10 {
+			label = "=1.0     "
+		}
+		fmt.Printf("  %s %6.2f%%  %s\n", label, 100*share, renderBar(share))
+	}
+}
+
+func renderBar(v float64) string {
+	n := int(v * 40)
+	if n < 0 {
+		n = 0
+	}
+	if n > 40 {
+		n = 40
+	}
+	bar := make([]byte, n)
+	for i := range bar {
+		bar[i] = '#'
+	}
+	return string(bar)
+}

@@ -1,0 +1,99 @@
+// Command kfgen synthesizes a knowledge-extraction corpus: a ground-truth
+// world, a crawled Web corpus, the output of the 12 simulated extractors
+// (written as JSONL extractions) and the LCWA gold standard over the
+// extracted triples (written as JSONL labels).
+//
+// Usage:
+//
+//	kfgen -scale bench -seed 42 -out extractions.jsonl -gold gold.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"kfusion/internal/exper"
+	"kfusion/internal/kb"
+	"kfusion/internal/kfio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kfgen: ")
+	var (
+		scaleFlag = flag.String("scale", "small", "dataset scale: small or bench")
+		seed      = flag.Int64("seed", 42, "generation seed")
+		out       = flag.String("out", "extractions.jsonl", "extraction output file")
+		goldOut   = flag.String("gold", "", "gold-label output file (optional)")
+		quiet     = flag.Bool("q", false, "suppress the summary")
+	)
+	flag.Parse()
+
+	scale := exper.ScaleSmall
+	switch *scaleFlag {
+	case "small":
+	case "bench":
+		scale = exper.ScaleBench
+	default:
+		log.Fatalf("unknown -scale %q (want small or bench)", *scaleFlag)
+	}
+
+	ds := exper.NewDataset(scale, *seed)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := kfio.WriteExtractions(f, ds.Extractions); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	if *goldOut != "" {
+		triples := make([]kb.Triple, 0, len(ds.Extractions))
+		for _, x := range ds.Extractions {
+			triples = append(triples, x.Triple)
+		}
+		g, err := os.Create(*goldOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := kfio.WriteGold(g, ds.Gold.Label, triples); err != nil {
+			log.Fatal(err)
+		}
+		if err := g.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if !*quiet {
+		fmt.Printf("world: %s\n", ds.World.Stats())
+		fmt.Printf("corpus: %d pages on %d sites\n", len(ds.Corpus.Pages), ds.Corpus.NumSites())
+		fmt.Printf("extractions: %d (written to %s)\n", len(ds.Extractions), *out)
+		if *goldOut != "" {
+			labeled, trueN := coverage(ds)
+			fmt.Printf("gold: %d labeled, %d true (written to %s)\n", labeled, trueN, *goldOut)
+		}
+	}
+}
+
+func coverage(ds *exper.Dataset) (labeled, trueN int) {
+	seen := map[kb.Triple]bool{}
+	for _, x := range ds.Extractions {
+		if seen[x.Triple] {
+			continue
+		}
+		seen[x.Triple] = true
+		if label, ok := ds.Gold.Label(x.Triple); ok {
+			labeled++
+			if label {
+				trueN++
+			}
+		}
+	}
+	return labeled, trueN
+}

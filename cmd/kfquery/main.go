@@ -1,0 +1,83 @@
+// Command kfquery inspects a persisted fused knowledge base (written by
+// kfuse -kb or kbstore.Write).
+//
+// Usage:
+//
+//	kfquery -kb fused.kb -stats
+//	kfquery -kb fused.kb -subject /m/0abc
+//	kfquery -kb fused.kb -min-prob 0.9 -limit 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+	"kfusion/internal/kbstore"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kfquery: ")
+	var (
+		kbPath  = flag.String("kb", "fused.kb", "knowledge base file")
+		subject = flag.String("subject", "", "list triples of one subject")
+		minProb = flag.Float64("min-prob", -1, "list triples with probability >= this")
+		limit   = flag.Int("limit", 50, "maximum rows to print")
+		stats   = flag.Bool("stats", false, "print store statistics")
+	)
+	flag.Parse()
+
+	store, err := kbstore.Open(*kbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch {
+	case *stats:
+		triples, subjects, predicted := store.Stats()
+		fmt.Printf("triples:    %d\n", triples)
+		fmt.Printf("subjects:   %d\n", subjects)
+		fmt.Printf("predicates: %d\n", len(store.Predicates()))
+		fmt.Printf("predicted:  %d (%.1f%%)\n", predicted, 100*float64(predicted)/float64(max(triples, 1)))
+	case *subject != "":
+		rows := store.BySubject(kb.EntityID(*subject))
+		if len(rows) == 0 {
+			fmt.Printf("no triples for subject %s\n", *subject)
+			return
+		}
+		printRows(rows, *limit)
+	case *minProb >= 0:
+		var rows []fusion.FusedTriple
+		store.Above(*minProb, func(f fusion.FusedTriple) bool {
+			rows = append(rows, f)
+			return len(rows) < *limit
+		})
+		printRows(rows, *limit)
+	default:
+		log.Fatal("nothing to do: pass -stats, -subject or -min-prob")
+	}
+}
+
+func printRows(rows []fusion.FusedTriple, limit int) {
+	for i, f := range rows {
+		if i >= limit {
+			fmt.Printf("... (%d more)\n", len(rows)-limit)
+			return
+		}
+		prob := "  -  "
+		if f.Predicted {
+			prob = fmt.Sprintf("%.3f", f.Probability)
+		}
+		fmt.Printf("%s  %-70s provs=%d exts=%d\n", prob, f.Triple, f.Provenances, f.Extractors)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,181 @@
+// Command kfuse runs knowledge fusion over a JSONL extraction corpus and
+// writes fused triples with truthfulness probabilities.
+//
+// Usage:
+//
+//	kfuse -in extractions.jsonl -out fused.jsonl -method popaccu+ -gold gold.jsonl
+//
+// Methods: vote, accu, popaccu, popaccu+unsup, popaccu+ (the last requires
+// -gold for accuracy initialization).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"kfusion/internal/fusion"
+	"kfusion/internal/kbstore"
+	"kfusion/internal/kfio"
+	"kfusion/internal/multitruth"
+	"kfusion/internal/twolayer"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kfuse: ")
+	var (
+		in      = flag.String("in", "extractions.jsonl", "extraction input file")
+		out     = flag.String("out", "fused.jsonl", "fused output file")
+		method  = flag.String("method", "popaccu", "vote | accu | popaccu | popaccu+unsup | popaccu+ | twolayer | ltm")
+		goldIn  = flag.String("gold", "", "gold labels (required for popaccu+)")
+		gran    = flag.String("granularity", "", "url | site | site-pred | site-pred-pattern (default: method preset)")
+		rounds  = flag.Int("rounds", 0, "override round cap R")
+		theta   = flag.Float64("theta", -1, "override accuracy threshold θ")
+		sampleL = flag.Int("L", 0, "override per-reducer sample cap L")
+		quiet   = flag.Bool("q", false, "suppress the summary")
+		workers = flag.Int("workers", 0, "MapReduce workers (0 = all cores)")
+		kbOut   = flag.String("kb", "", "also persist the fused KB to this kbstore file")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xs, err := kfio.ReadExtractions(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var labeler fusion.Labeler
+	if *goldIn != "" {
+		g, err := os.Open(*goldIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lb, n, err := kfio.ReadGold(g)
+		g.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		labeler = lb
+		if !*quiet {
+			fmt.Printf("gold labels: %d\n", n)
+		}
+	}
+
+	// The §5 extension models have their own drivers.
+	switch *method {
+	case "twolayer":
+		tcfg := twolayer.DefaultConfig()
+		tcfg.SiteLevel = true
+		tcfg.Workers = *workers
+		if *rounds > 0 {
+			tcfg.Rounds = *rounds
+		}
+		res, err := twolayer.Fuse(xs, tcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeResult(res, *out, *kbOut, *quiet, *method, len(xs))
+		return
+	case "ltm":
+		mcfg := multitruth.DefaultConfig()
+		mcfg.Workers = *workers
+		if *rounds > 0 {
+			mcfg.Rounds = *rounds
+		}
+		claims := fusion.Claims(xs, fusion.GranExtractorURL)
+		res, err := multitruth.Fuse(claims, mcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeResult(res, *out, *kbOut, *quiet, *method, len(xs))
+		return
+	}
+
+	var cfg fusion.Config
+	switch *method {
+	case "vote":
+		cfg = fusion.VoteConfig()
+	case "accu":
+		cfg = fusion.AccuConfig()
+	case "popaccu":
+		cfg = fusion.PopAccuConfig()
+	case "popaccu+unsup":
+		cfg = fusion.PopAccuPlusUnsupConfig()
+	case "popaccu+":
+		if labeler == nil {
+			log.Fatal("-method popaccu+ requires -gold")
+		}
+		cfg = fusion.PopAccuPlusConfig(labeler)
+	default:
+		log.Fatalf("unknown -method %q", *method)
+	}
+
+	switch *gran {
+	case "":
+	case "url":
+		cfg.Granularity = fusion.GranExtractorURL
+	case "site":
+		cfg.Granularity = fusion.GranExtractorSite
+	case "site-pred":
+		cfg.Granularity = fusion.GranExtractorSitePred
+	case "site-pred-pattern":
+		cfg.Granularity = fusion.GranExtractorSitePredPattern
+	default:
+		log.Fatalf("unknown -granularity %q", *gran)
+	}
+	if *rounds > 0 {
+		cfg.Rounds = *rounds
+	}
+	if *theta >= 0 {
+		cfg.AccuracyThreshold = *theta
+	}
+	if *sampleL > 0 {
+		cfg.SampleL = *sampleL
+	}
+	cfg.Workers = *workers
+
+	claims := fusion.Claims(xs, cfg.Granularity)
+	res, err := fusion.Fuse(claims, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !*quiet {
+		fmt.Printf("method %s over %d extractions (%d claims at %s granularity)\n",
+			*method, len(xs), len(claims), cfg.Granularity)
+	}
+	writeResult(res, *out, *kbOut, *quiet, *method, len(xs))
+}
+
+// writeResult persists the fused output as JSONL and optionally as a kbstore
+// snapshot.
+func writeResult(res *fusion.Result, out, kbOut string, quiet bool, method string, nExtractions int) {
+	o, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := kfio.WriteFused(o, res); err != nil {
+		log.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if kbOut != "" {
+		if err := kbstore.Write(kbOut, res.Triples); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !quiet {
+		fmt.Printf("fused %d unique triples in %d rounds (%d without probability) -> %s\n",
+			len(res.Triples), res.Rounds, res.Unpredicted, out)
+		if kbOut != "" {
+			fmt.Printf("knowledge base snapshot -> %s\n", kbOut)
+		}
+	}
+}

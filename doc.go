@@ -1,0 +1,38 @@
+// Package kfusion is a from-scratch reproduction of "From Data Fusion to
+// Knowledge Fusion" (Dong et al., PVLDB 7(10), 2014) — the Google Knowledge
+// Vault line of work on estimating a calibrated probability of truth for
+// every (subject, predicate, object) triple extracted from the Web by a
+// fleet of information extractors.
+//
+// The package exposes four layers:
+//
+//   - Knowledge synthesis. Because the paper's corpus (1B+ Web pages, 12
+//     proprietary extractors, Freebase) is not available, kfusion generates
+//     a statistically faithful synthetic substitute: a typed ground-truth
+//     world, a crawled Web corpus in four content forms (TXT, DOM, TBL,
+//     ANO), twelve simulated extractors with the paper's three extraction
+//     error classes, and an incomplete Freebase snapshot for the LCWA gold
+//     standard. See Synthesize.
+//
+//   - Knowledge fusion. VOTE, ACCU and POPACCU adapted to the
+//     three-dimensional (data item × source × extractor) input, with the
+//     paper's refinements: provenance granularity, coverage and accuracy
+//     filtering, and gold-standard accuracy initialization. See Fuse and
+//     the preset constructors (VOTE, ACCU, POPACCU, POPACCUPlus...).
+//
+//   - Evaluation. Calibration curves with deviation and weighted deviation,
+//     PR curves with AUC-PR, kappa correlation between extractors, and a
+//     mechanical error analysis that attributes false positives/negatives
+//     to the paper's Figure 17 categories. See Evaluate and AnalyzeErrors.
+//
+//   - Experiments. Every table and figure of the paper's evaluation section
+//     can be regenerated; see the Experiments function, the cmd/kfbench
+//     tool and the repository benchmarks.
+//
+// A minimal end-to-end run:
+//
+//	ds := kfusion.Synthesize(kfusion.ScaleSmall, 42)
+//	res := ds.Fuse("popaccu+", kfusion.POPACCUPlus(ds.Gold.Labeler()))
+//	rep := kfusion.Evaluate("POPACCU+", res, ds.Gold)
+//	fmt.Printf("WDev=%.4f AUC-PR=%.4f\n", rep.WDev, rep.AUCPR)
+package kfusion

@@ -1,0 +1,93 @@
+// Moviefusion: a domain-focused walk through the substrate APIs. Builds a
+// small film-heavy world, inspects the synthetic Web pages the paper's
+// §3.1.2 describes (TXT sentences, DOM infoboxes, tables, schema.org
+// annotations), runs two extractors by hand, and fuses their output.
+//
+//	go run ./examples/moviefusion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kfusion"
+)
+
+func main() {
+	// A compact world: fewer entities, more facts per entity.
+	wcfg := kfusion.DefaultWorldConfig(7)
+	wcfg.NumEntities = 300
+	w, err := kfusion.GenerateWorld(wcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ccfg := kfusion.DefaultCorpusConfig(8)
+	ccfg.NumSites = 60
+	corpus, err := kfusion.GenerateCorpus(w, ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Peek at the raw content forms on the first film-topic page.
+	for _, page := range corpus.Pages {
+		ent := w.Ont.Entity(page.Topic)
+		if ent == nil || len(ent.Types) == 0 || ent.Types[0] != "/film/film" {
+			continue
+		}
+		fmt.Printf("page %s about %q:\n", page.URL, ent.Name)
+		for _, b := range page.Blocks {
+			switch {
+			case len(b.Sentences) > 0:
+				fmt.Printf("  TXT: %q\n", b.Sentences[0].Text)
+			case b.Root != nil:
+				fmt.Printf("  DOM: infobox with %d rows\n", len(b.Root.Children))
+			case b.Table != nil:
+				fmt.Printf("  TBL: %d rows x %d attrs (%v)\n", len(b.Table.Rows), len(b.Table.Attrs), b.Table.Attrs)
+			case len(b.Annotations) > 0:
+				fmt.Printf("  ANO: itemprop=%q value=%q\n", b.Annotations[0].ItemProp, b.Annotations[0].Value)
+			}
+		}
+		break
+	}
+
+	// Run the full 12-extractor fleet, then fuse.
+	suite := kfusion.NewExtractorSuite(w, 9)
+	xs := suite.Run(w, corpus)
+	fmt.Printf("\nextracted %d (triple, provenance) pairs\n", len(xs))
+
+	snap := kfusion.BuildFreebase(w)
+	gold := kfusion.NewGoldStandard(snap)
+
+	claims := kfusion.ClaimsFromExtractions(xs, kfusion.GranExtractorSitePredPattern)
+	res, err := kfusion.Fuse(claims, kfusion.POPACCUPlus(gold.Labeler()))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the most confident new knowledge about films that Freebase does
+	// not already have — the paper's motivation: 83% of extracted triples
+	// are not in Freebase.
+	fmt.Println("\nmost confident new film facts (not in the trusted KB):")
+	shown := 0
+	for _, f := range res.Triples {
+		if !f.Predicted || f.Probability < 0.9 || snap.Has(f.Triple) {
+			continue
+		}
+		ent := w.Ont.Entity(f.Triple.Subject)
+		if ent == nil || len(ent.Types) == 0 || ent.Types[0] != "/film/film" {
+			continue
+		}
+		verdict := "correct"
+		if !w.IsTrue(f.Triple) {
+			verdict = "WRONG (extraction artifact)"
+		}
+		fmt.Printf("  p=%.2f  %-55s -> %s\n", f.Probability, f.Triple, verdict)
+		shown++
+		if shown >= 10 {
+			break
+		}
+	}
+	rep := kfusion.Evaluate("POPACCU+", res, gold)
+	fmt.Printf("\ncalibration: WDev=%.4f AUC-PR=%.4f over %d labeled triples\n", rep.WDev, rep.AUCPR, rep.N)
+}

@@ -1,0 +1,81 @@
+// Quickstart: fuse a hand-built set of conflicting claims about Tom Cruise
+// — the paper's running example — and print calibrated probabilities.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"kfusion"
+)
+
+func main() {
+	// Four "provenances" (extractor × page pairs) make claims about two
+	// data items. Three agree on the birth date; a low-quality extraction
+	// disagrees. The birth place is contested 2-2, but the dissenting
+	// provenances are wrong elsewhere, so fusion learns to distrust them.
+	claim := func(subj, pred, obj, prov string) kfusion.Claim {
+		return kfusion.Claim{
+			Triple: kfusion.Triple{
+				Subject:   kfusion.EntityID(subj),
+				Predicate: kfusion.PredicateID(pred),
+				Object:    kfusion.StringObject(obj),
+			},
+			Prov: prov,
+			Conf: -1,
+		}
+	}
+
+	claims := []kfusion.Claim{
+		// Birth date: 3 vs 1.
+		claim("/m/tom_cruise", "/people/person/birth_date", "7/3/1962", "TXT1|wiki.example.com/tom"),
+		claim("/m/tom_cruise", "/people/person/birth_date", "7/3/1962", "DOM1|bio.example.com/cruise"),
+		claim("/m/tom_cruise", "/people/person/birth_date", "7/3/1962", "ANO|fanpage.example.com/tc"),
+		claim("/m/tom_cruise", "/people/person/birth_date", "3/7/1962", "DOM2|scrape.example.com/p9"),
+
+		// Birth place: 2 vs 2, but the "Les Miserables"-style provenances
+		// also claim known-wrong values on other items below.
+		claim("/m/tom_cruise", "/people/person/birth_place", "Syracuse NY", "TXT1|wiki.example.com/tom"),
+		claim("/m/tom_cruise", "/people/person/birth_place", "Syracuse NY", "DOM1|bio.example.com/cruise"),
+		claim("/m/tom_cruise", "/people/person/birth_place", "New York City", "DOM2|scrape.example.com/p9"),
+		claim("/m/tom_cruise", "/people/person/birth_place", "New York City", "DOM2|scrape.example.com/p12"),
+
+		// Anchor items: the reliable provenances agree with each other and
+		// with the crowd; DOM2's pages contradict everyone.
+		claim("/m/top_gun", "/film/film/release_year", "1986", "TXT1|wiki.example.com/tom"),
+		claim("/m/top_gun", "/film/film/release_year", "1986", "DOM1|bio.example.com/cruise"),
+		claim("/m/top_gun", "/film/film/release_year", "1986", "ANO|fanpage.example.com/tc"),
+		claim("/m/top_gun", "/film/film/release_year", "1996", "DOM2|scrape.example.com/p9"),
+		claim("/m/top_gun", "/film/film/release_year", "1996", "DOM2|scrape.example.com/p12"),
+	}
+
+	res, err := kfusion.Fuse(claims, kfusion.POPACCU())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("fused triples (POPACCU):")
+	triples := append([]kfusion.FusedTriple(nil), res.Triples...)
+	sort.Slice(triples, func(i, j int) bool {
+		if triples[i].Triple.Subject != triples[j].Triple.Subject {
+			return triples[i].Triple.Subject < triples[j].Triple.Subject
+		}
+		return triples[i].Probability > triples[j].Probability
+	})
+	for _, f := range triples {
+		fmt.Printf("  p=%.3f  %-60s (%d provenances)\n", f.Probability, f.Triple, f.Provenances)
+	}
+
+	fmt.Println("\nlearned provenance accuracies:")
+	var provs []string
+	for p := range res.ProvAccuracy {
+		provs = append(provs, p)
+	}
+	sort.Strings(provs)
+	for _, p := range provs {
+		fmt.Printf("  %.3f  %s\n", res.ProvAccuracy[p], p)
+	}
+}

@@ -1,0 +1,171 @@
+// Package confweight implements the paper's §5.5 future direction:
+// leveraging extraction confidence in fusion. The obstacle the paper
+// documents (Figure 21) is that confidences are NOT comparable across
+// extractors: TXT1's are informative, ANO's are noise, TBL1's are actively
+// misleading — so "one obvious solution", thresholding, throws away 15% of
+// triples at θ=0.1 (Figure 22).
+//
+// confweight instead RECALIBRATES each extractor's confidence against a
+// labeled sample (binned accuracy, monotone-smoothed), then feeds the
+// recalibrated value into fusion through the ClaimAccuracy hook: a claim's
+// effective accuracy blends its provenance accuracy with what the
+// extractor's confidence has historically been worth.
+package confweight
+
+import (
+	"fmt"
+	"sort"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+)
+
+// Bins is the number of confidence buckets per extractor.
+const Bins = 5
+
+// Calibrator maps (extractor, confidence) to an empirical accuracy.
+type Calibrator struct {
+	// acc[extractor][bin] is the smoothed labeled accuracy of extractions
+	// whose confidence fell in the bin.
+	acc map[string][Bins]float64
+	// Blend controls how much the recalibrated confidence moves a claim's
+	// effective accuracy: 0 = ignore confidence, 1 = confidence only.
+	Blend float64
+}
+
+// cell accumulates labeled counts for one confidence bin.
+type cell struct{ trueN, n int }
+
+// Learn builds a calibrator from labeled extractions. label returns the gold
+// label of a triple and whether it is labeled (LCWA). Extractors without
+// confidences or without enough labeled volume fall back to pass-through.
+func Learn(xs []extract.Extraction, label func(kb.Triple) (bool, bool)) *Calibrator {
+	counts := map[string]*[Bins]cell{}
+	for _, x := range xs {
+		if !x.HasConfidence() {
+			continue
+		}
+		l, ok := label(x.Triple)
+		if !ok {
+			continue
+		}
+		c := counts[x.Extractor]
+		if c == nil {
+			c = &[Bins]cell{}
+			counts[x.Extractor] = c
+		}
+		b := binOf(x.Confidence)
+		c[b].n++
+		if l {
+			c[b].trueN++
+		}
+	}
+	cal := &Calibrator{acc: map[string][Bins]float64{}, Blend: 0.5}
+	for ext, cells := range counts {
+		var accs [Bins]float64
+		for b := 0; b < Bins; b++ {
+			// Laplace-smoothed bin accuracy; empty bins inherit the
+			// extractor's overall rate.
+			if cells[b].n > 0 {
+				accs[b] = (float64(cells[b].trueN) + 1) / (float64(cells[b].n) + 2)
+			} else {
+				accs[b] = -1
+			}
+		}
+		overall := overallRate(cells)
+		for b := 0; b < Bins; b++ {
+			if accs[b] < 0 {
+				accs[b] = overall
+			}
+		}
+		cal.acc[ext] = accs
+	}
+	return cal
+}
+
+func overallRate(cells *[Bins]cell) float64 {
+	trueN, n := 1.0, 2.0
+	for b := 0; b < Bins; b++ {
+		trueN += float64(cells[b].trueN)
+		n += float64(cells[b].n)
+	}
+	return trueN / n
+}
+
+func binOf(conf float64) int {
+	b := int(conf * Bins)
+	if b < 0 {
+		b = 0
+	}
+	if b >= Bins {
+		b = Bins - 1
+	}
+	return b
+}
+
+// ConfidenceValue returns what a confidence is empirically worth for the
+// extractor (the smoothed bin accuracy), and whether the extractor is
+// calibrated at all.
+func (c *Calibrator) ConfidenceValue(extractor string, conf float64) (float64, bool) {
+	accs, ok := c.acc[extractor]
+	if !ok || conf < 0 {
+		return 0, false
+	}
+	return accs[binOf(conf)], true
+}
+
+// ClaimAccuracy is the fusion hook: blend the provenance accuracy with the
+// recalibrated confidence value.
+func (c *Calibrator) ClaimAccuracy(claim fusion.Claim, provAcc float64) float64 {
+	v, ok := c.ConfidenceValue(claim.Extractor, claim.Conf)
+	if !ok {
+		return provAcc
+	}
+	return (1-c.Blend)*provAcc + c.Blend*v
+}
+
+// Config attaches the calibrator to a fusion configuration.
+func (c *Calibrator) Config(base fusion.Config) fusion.Config {
+	base.ClaimAccuracy = c.ClaimAccuracy
+	return base
+}
+
+// String summarizes the learned calibration for diagnostics.
+func (c *Calibrator) String() string {
+	exts := make([]string, 0, len(c.acc))
+	for e := range c.acc {
+		exts = append(exts, e)
+	}
+	sort.Strings(exts)
+	out := ""
+	for _, e := range exts {
+		out += fmt.Sprintf("%-5s", e)
+		for b := 0; b < Bins; b++ {
+			out += fmt.Sprintf(" %.2f", c.acc[e][b])
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// FilterByThreshold is the strawman the paper criticizes: drop extractions
+// below a confidence threshold. Exposed so the ablation can compare it with
+// recalibration. It returns the surviving extraction subset and the retained
+// fraction of unique triples.
+func FilterByThreshold(xs []extract.Extraction, threshold float64) ([]extract.Extraction, float64) {
+	before := map[kb.Triple]bool{}
+	after := map[kb.Triple]bool{}
+	var kept []extract.Extraction
+	for _, x := range xs {
+		before[x.Triple] = true
+		if x.HasConfidence() && x.Confidence >= threshold {
+			kept = append(kept, x)
+			after[x.Triple] = true
+		}
+	}
+	if len(before) == 0 {
+		return kept, 0
+	}
+	return kept, float64(len(after)) / float64(len(before))
+}

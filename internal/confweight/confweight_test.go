@@ -1,0 +1,182 @@
+package confweight
+
+import (
+	"math"
+	"testing"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+)
+
+func ex(subj string, conf float64, extractor string) extract.Extraction {
+	return extract.Extraction{
+		Triple:     kb.Triple{Subject: kb.EntityID(subj), Predicate: "/x/p", Object: kb.StringObject("v")},
+		Extractor:  extractor,
+		Confidence: conf,
+		URL:        "http://u/" + subj,
+		Site:       "u",
+	}
+}
+
+// label marks triples with subject prefix "t" true, "f" false, others
+// unlabeled.
+func label(tr kb.Triple) (bool, bool) {
+	if len(tr.Subject) == 0 {
+		return false, false
+	}
+	switch tr.Subject[0] {
+	case 't':
+		return true, true
+	case 'f':
+		return false, true
+	default:
+		return false, false
+	}
+}
+
+func TestLearnInformativeExtractor(t *testing.T) {
+	var xs []extract.Extraction
+	// "GOOD": high conf → true, low conf → false.
+	for i := 0; i < 40; i++ {
+		xs = append(xs, ex("t-hi", 0.9, "GOOD"), ex("f-lo", 0.1, "GOOD"))
+	}
+	// "NOISY": confidence unrelated to truth.
+	for i := 0; i < 20; i++ {
+		xs = append(xs, ex("t-a", 0.9, "NOISY"), ex("f-b", 0.9, "NOISY"),
+			ex("t-c", 0.1, "NOISY"), ex("f-d", 0.1, "NOISY"))
+	}
+	cal := Learn(xs, label)
+
+	hiGood, ok := cal.ConfidenceValue("GOOD", 0.9)
+	if !ok {
+		t.Fatal("GOOD not calibrated")
+	}
+	loGood, _ := cal.ConfidenceValue("GOOD", 0.1)
+	if hiGood <= loGood {
+		t.Errorf("informative extractor: hi=%.2f not above lo=%.2f", hiGood, loGood)
+	}
+	hiNoisy, _ := cal.ConfidenceValue("NOISY", 0.9)
+	loNoisy, _ := cal.ConfidenceValue("NOISY", 0.1)
+	if math.Abs(hiNoisy-loNoisy) > 0.15 {
+		t.Errorf("uninformative extractor should flatten: hi=%.2f lo=%.2f", hiNoisy, loNoisy)
+	}
+	if cal.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestUncalibratedPassThrough(t *testing.T) {
+	cal := Learn(nil, label)
+	claim := fusion.Claim{Extractor: "UNKNOWN", Conf: 0.9}
+	if got := cal.ClaimAccuracy(claim, 0.73); got != 0.73 {
+		t.Errorf("pass-through = %v, want 0.73", got)
+	}
+	noConf := fusion.Claim{Extractor: "GOOD", Conf: -1}
+	if got := cal.ClaimAccuracy(noConf, 0.6); got != 0.6 {
+		t.Errorf("no-confidence claim should pass through, got %v", got)
+	}
+}
+
+func TestClaimAccuracyBlend(t *testing.T) {
+	var xs []extract.Extraction
+	for i := 0; i < 50; i++ {
+		xs = append(xs, ex("t-x", 0.9, "E")) // E's 0.9-bin accuracy ≈ 1
+	}
+	cal := Learn(xs, label)
+	cal.Blend = 0.5
+	claim := fusion.Claim{Extractor: "E", Conf: 0.9}
+	got := cal.ClaimAccuracy(claim, 0.4)
+	want := 0.5*0.4 + 0.5*(51.0/52.0)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("blend = %v, want %v", got, want)
+	}
+	cal.Blend = 0
+	if got := cal.ClaimAccuracy(claim, 0.4); got != 0.4 {
+		t.Errorf("Blend=0 should return provenance accuracy, got %v", got)
+	}
+}
+
+func TestConfigAttachesHook(t *testing.T) {
+	cal := Learn(nil, label)
+	cfg := cal.Config(fusion.PopAccuConfig())
+	if cfg.ClaimAccuracy == nil {
+		t.Fatal("hook not attached")
+	}
+	// End-to-end: fusing with the hook must still be valid.
+	claims := []fusion.Claim{
+		{Triple: kb.Triple{Subject: "s", Predicate: "p", Object: kb.StringObject("a")}, Prov: "p1", Conf: 0.9, Extractor: "E"},
+		{Triple: kb.Triple{Subject: "s", Predicate: "p", Object: kb.StringObject("b")}, Prov: "p2", Conf: 0.1, Extractor: "E"},
+	}
+	res, err := fusion.Fuse(claims, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Triples {
+		if f.Probability < 0 || f.Probability > 1 {
+			t.Errorf("probability out of range: %+v", f)
+		}
+	}
+}
+
+func TestRecalibrationSteersFusion(t *testing.T) {
+	// Two singleton provenances conflict 1-1; the only signal is extractor
+	// confidence. E-hi is historically right at high confidence, E-lo
+	// historically wrong at low confidence.
+	var history []extract.Extraction
+	for i := 0; i < 60; i++ {
+		history = append(history, ex("t-h", 0.9, "E"), ex("f-l", 0.2, "E"))
+	}
+	cal := Learn(history, label)
+
+	claims := []fusion.Claim{
+		{Triple: kb.Triple{Subject: "item", Predicate: "p", Object: kb.StringObject("hi")}, Prov: "pa", Conf: 0.9, Extractor: "E"},
+		{Triple: kb.Triple{Subject: "item", Predicate: "p", Object: kb.StringObject("lo")}, Prov: "pb", Conf: 0.2, Extractor: "E"},
+	}
+	res := fusion.MustFuse(claims, cal.Config(fusion.PopAccuConfig()))
+	var hi, lo float64
+	for _, f := range res.Triples {
+		switch f.Triple.Object.Str {
+		case "hi":
+			hi = f.Probability
+		case "lo":
+			lo = f.Probability
+		}
+	}
+	if hi <= lo {
+		t.Errorf("confidence recalibration did not break the tie: hi=%.3f lo=%.3f", hi, lo)
+	}
+
+	// Without the hook the conflict is symmetric.
+	base := fusion.MustFuse(claims, fusion.PopAccuConfig())
+	var bhi, blo float64
+	for _, f := range base.Triples {
+		switch f.Triple.Object.Str {
+		case "hi":
+			bhi = f.Probability
+		case "lo":
+			blo = f.Probability
+		}
+	}
+	if math.Abs(bhi-blo) > 1e-9 {
+		t.Errorf("baseline should be symmetric: %v vs %v", bhi, blo)
+	}
+}
+
+func TestFilterByThreshold(t *testing.T) {
+	xs := []extract.Extraction{
+		ex("t-a", 0.9, "E"),
+		ex("t-b", 0.3, "E"),
+		{Triple: kb.Triple{Subject: "c", Predicate: "/x/p", Object: kb.StringObject("v")}, Extractor: "NC", Confidence: -1},
+	}
+	kept, coverage := FilterByThreshold(xs, 0.5)
+	if len(kept) != 1 {
+		t.Errorf("kept %d, want 1", len(kept))
+	}
+	if math.Abs(coverage-1.0/3.0) > 1e-9 {
+		t.Errorf("coverage = %v, want 1/3", coverage)
+	}
+	if _, cov := FilterByThreshold(nil, 0.5); cov != 0 {
+		t.Errorf("empty coverage = %v", cov)
+	}
+}

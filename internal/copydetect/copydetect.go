@@ -1,0 +1,187 @@
+// Package copydetect implements the paper's §5.2 future direction:
+// identifying copying between Web sources at scale. Classical copy
+// detection (Dong et al. 2009) reasons about every pair of sources —
+// "prohibitively expensive for the 1B+ Web sources in our data set". This
+// package uses the standard scalable trick: invert the data. Rare triples
+// are shingles; only site pairs that co-occur on rare triples are ever
+// scored, so the pair space never materializes.
+//
+// The score follows the copy-detection insight the paper cites:
+// "independent sources are less likely to make a lot of common mistakes".
+// Sharing popular true triples is expected; sharing RARE triples — and
+// especially rare FALSE ones — is evidence of copying. Detected copier
+// pairs can then be fed back into fusion by discounting the copier's
+// duplicated claims.
+package copydetect
+
+import (
+	"math"
+	"sort"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+)
+
+// Config parameterizes detection.
+type Config struct {
+	// RareMaxSites is the maximum number of sites asserting a triple for
+	// it to count as a rare shingle (paper intuition: common knowledge is
+	// everywhere; only rarities discriminate).
+	RareMaxSites int
+	// MinSharedRare is the minimum number of shared rare triples before a
+	// pair is scored at all.
+	MinSharedRare int
+	// MinSubjects is the minimum number of distinct SUBJECTS among a
+	// pair's shared rare triples. Two independent sites about the same
+	// popular entity share rare triples about that one entity; a copier
+	// replicates statements across many subjects.
+	MinSubjects int
+	// ScoreThreshold is the minimum score for a reported pair.
+	ScoreThreshold float64
+}
+
+// DefaultConfig returns thresholds suitable for the synthetic corpora.
+func DefaultConfig() Config {
+	return Config{RareMaxSites: 3, MinSharedRare: 3, MinSubjects: 3, ScoreThreshold: 0.25}
+}
+
+// Pair is one detected copying relationship. Direction is not determined
+// (the paper's temporal signals are unavailable in a snapshot); A < B.
+type Pair struct {
+	A, B string
+	// SharedRare is the number of rare triples the two sites share.
+	SharedRare int
+	// Score is the Jaccard-style overlap of the sites' rare-triple sets.
+	Score float64
+}
+
+// Detect finds suspicious site pairs in an extraction corpus.
+func Detect(xs []extract.Extraction, cfg Config) []Pair {
+	if cfg.RareMaxSites < 2 {
+		cfg.RareMaxSites = 2
+	}
+	// Triple → set of sites asserting it.
+	sitesOf := make(map[kb.Triple]map[string]bool)
+	for _, x := range xs {
+		s := sitesOf[x.Triple]
+		if s == nil {
+			s = make(map[string]bool)
+			sitesOf[x.Triple] = s
+		}
+		s[x.Site] = true
+	}
+	// Rare-triple shingles per site, and co-occurrence counts per pair.
+	rareCount := make(map[string]int)
+	pairShared := make(map[[2]string]int)
+	pairSubjects := make(map[[2]string]map[kb.EntityID]bool)
+	for triple, sites := range sitesOf {
+		if len(sites) < 2 || len(sites) > cfg.RareMaxSites {
+			continue
+		}
+		list := make([]string, 0, len(sites))
+		for s := range sites {
+			list = append(list, s)
+		}
+		sort.Strings(list)
+		for _, s := range list {
+			rareCount[s]++
+		}
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				pk := [2]string{list[i], list[j]}
+				pairShared[pk]++
+				if pairSubjects[pk] == nil {
+					pairSubjects[pk] = make(map[kb.EntityID]bool)
+				}
+				pairSubjects[pk][triple.Subject] = true
+			}
+		}
+	}
+
+	var out []Pair
+	for pair, shared := range pairShared {
+		if shared < cfg.MinSharedRare {
+			continue
+		}
+		if cfg.MinSubjects > 1 && len(pairSubjects[pair]) < cfg.MinSubjects {
+			continue
+		}
+		// Jaccard over rare-triple involvement: shared / (rareA + rareB - shared).
+		union := rareCount[pair[0]] + rareCount[pair[1]] - shared
+		if union <= 0 {
+			continue
+		}
+		score := float64(shared) / float64(union)
+		if score < cfg.ScoreThreshold {
+			continue
+		}
+		out = append(out, Pair{A: pair[0], B: pair[1], SharedRare: shared, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// SuspectSites returns the set of sites involved in any detected pair, each
+// mapped to its strongest partner.
+func SuspectSites(pairs []Pair) map[string]string {
+	out := make(map[string]string)
+	for _, p := range pairs {
+		if _, ok := out[p.A]; !ok {
+			out[p.A] = p.B
+		}
+		if _, ok := out[p.B]; !ok {
+			out[p.B] = p.A
+		}
+	}
+	return out
+}
+
+// DiscountHook returns a fusion ClaimAccuracy hook that down-weights claims
+// from detected copier clusters: a claim whose provenance belongs to a
+// suspect site has its effective accuracy shrunk toward 0.5 (uninformative)
+// by factor strength in [0,1]. Copied false values then stop accumulating
+// independent-looking support — the paper's motivation for detecting
+// copying at all.
+func DiscountHook(pairs []Pair, siteOf func(prov string) string, strength float64) func(fusion.Claim, float64) float64 {
+	if strength < 0 {
+		strength = 0
+	}
+	if strength > 1 {
+		strength = 1
+	}
+	suspects := SuspectSites(pairs)
+	return func(c fusion.Claim, provAcc float64) float64 {
+		site := siteOf(c.Prov)
+		if _, ok := suspects[site]; !ok {
+			return provAcc
+		}
+		return provAcc + strength*(0.5-provAcc)*weightToward(provAcc)
+	}
+}
+
+// weightToward keeps the shrink gentle for mid accuracies and stronger for
+// extreme ones (extreme copied accuracies are the dangerous ones).
+func weightToward(acc float64) float64 {
+	return math.Abs(acc-0.5)*2*0.5 + 0.5
+}
+
+// Kappa computes the κ correlation of two sites' triple sets within a
+// corpus of kbSize distinct triples — the same Eq. 1 the paper applies to
+// extractor pairs, reusable as a secondary copy signal.
+func Kappa(shared, a, b, kbSize int) float64 {
+	num := float64(shared)*float64(kbSize) - float64(a)*float64(b)
+	den := float64(kbSize)*float64(kbSize) - float64(a)*float64(b)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,162 @@
+package copydetect
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+	"kfusion/internal/web"
+	"kfusion/internal/world"
+)
+
+func ex(subj, obj, site string) extract.Extraction {
+	return extract.Extraction{
+		Triple: kb.Triple{Subject: kb.EntityID(subj), Predicate: "/x/p", Object: kb.StringObject(obj)},
+		Site:   site,
+		URL:    "http://" + site + "/p",
+	}
+}
+
+func TestDetectPlantedCopier(t *testing.T) {
+	var xs []extract.Extraction
+	// Site A and its copier share 6 rare triples; independents overlap
+	// only on one popular triple.
+	for i := 0; i < 6; i++ {
+		subj := fmt.Sprintf("rare%d", i)
+		xs = append(xs, ex(subj, "v", "siteA"), ex(subj, "v", "copier"))
+	}
+	for _, s := range []string{"siteA", "copier", "ind1", "ind2", "ind3", "ind4"} {
+		xs = append(xs, ex("popular", "v", s))
+	}
+	for i := 0; i < 6; i++ {
+		xs = append(xs, ex(fmt.Sprintf("own1-%d", i), "v", "ind1"))
+		xs = append(xs, ex(fmt.Sprintf("own2-%d", i), "v", "ind2"))
+	}
+	pairs := Detect(xs, DefaultConfig())
+	if len(pairs) == 0 {
+		t.Fatal("planted copier not detected")
+	}
+	if pairs[0].A != "copier" || pairs[0].B != "siteA" {
+		t.Errorf("top pair = %s/%s, want copier/siteA", pairs[0].A, pairs[0].B)
+	}
+	for _, p := range pairs {
+		if strings.HasPrefix(p.A, "ind") && strings.HasPrefix(p.B, "ind") {
+			t.Errorf("independent pair falsely detected: %+v", p)
+		}
+	}
+}
+
+func TestPopularTriplesDoNotTrigger(t *testing.T) {
+	var xs []extract.Extraction
+	// All sites assert the same 10 popular triples; nothing rare shared.
+	for i := 0; i < 10; i++ {
+		for s := 0; s < 6; s++ {
+			xs = append(xs, ex(fmt.Sprintf("t%d", i), "v", fmt.Sprintf("site%d", s)))
+		}
+	}
+	if pairs := Detect(xs, DefaultConfig()); len(pairs) != 0 {
+		t.Errorf("popular overlap flagged as copying: %+v", pairs)
+	}
+}
+
+func TestDetectOnSyntheticCorpus(t *testing.T) {
+	w := world.MustGenerate(world.DefaultConfig(70))
+	ccfg := web.DefaultConfig(71)
+	ccfg.SyndicationRate = 0.15
+	corpus := web.MustGenerate(w, ccfg)
+	if len(corpus.CopiedFrom) == 0 {
+		t.Skip("no copiers generated at this seed")
+	}
+	suite := extract.NewSuite(w, 72)
+	xs := suite.Run(w, corpus)
+
+	pairs := Detect(xs, DefaultConfig())
+	if len(pairs) == 0 {
+		t.Fatal("no copying detected on a syndication-heavy corpus")
+	}
+	// Precision: most detected pairs must be genuine copier relations.
+	isGenuine := func(a, b string) bool {
+		return corpus.CopiedFrom[a] == b || corpus.CopiedFrom[b] == a
+	}
+	hits := 0
+	for _, p := range pairs {
+		if isGenuine(p.A, p.B) {
+			hits++
+		}
+	}
+	precision := float64(hits) / float64(len(pairs))
+	t.Logf("detected %d pairs, %d genuine (precision %.2f); %d planted copiers",
+		len(pairs), hits, precision, len(corpus.CopiedFrom))
+	if precision < 0.5 {
+		t.Errorf("copy-detection precision %.2f too low", precision)
+	}
+	// Recall over planted copiers with detectable overlap.
+	found := map[string]bool{}
+	for _, p := range pairs {
+		if isGenuine(p.A, p.B) {
+			if _, ok := corpus.CopiedFrom[p.A]; ok {
+				found[p.A] = true
+			} else {
+				found[p.B] = true
+			}
+		}
+	}
+	if len(found) == 0 {
+		t.Error("no planted copier recovered")
+	}
+}
+
+func TestDiscountHook(t *testing.T) {
+	pairs := []Pair{{A: "bad1", B: "bad2", SharedRare: 5, Score: 0.8}}
+	siteOf := func(prov string) string {
+		if i := strings.IndexByte(prov, '|'); i >= 0 {
+			return prov[i+1:]
+		}
+		return prov
+	}
+	hook := DiscountHook(pairs, siteOf, 1)
+	suspect := fusion.Claim{Prov: "E|bad1"}
+	clean := fusion.Claim{Prov: "E|good"}
+	if got := hook(clean, 0.9); got != 0.9 {
+		t.Errorf("clean provenance discounted: %v", got)
+	}
+	got := hook(suspect, 0.9)
+	if got >= 0.9 || got < 0.5 {
+		t.Errorf("suspect accuracy %v, want shrunk toward 0.5", got)
+	}
+	// Symmetric for low accuracies.
+	lo := hook(suspect, 0.1)
+	if lo <= 0.1 || lo > 0.5 {
+		t.Errorf("suspect low accuracy %v, want raised toward 0.5", lo)
+	}
+	// Zero strength = pass-through.
+	if got := DiscountHook(pairs, siteOf, 0)(suspect, 0.9); got != 0.9 {
+		t.Errorf("zero-strength hook changed accuracy: %v", got)
+	}
+}
+
+func TestKappa(t *testing.T) {
+	if Kappa(25, 50, 50, 100) != 0 {
+		t.Error("independent sets should have κ=0")
+	}
+	if Kappa(50, 50, 50, 100) <= 0 {
+		t.Error("identical sets should have κ>0")
+	}
+	if Kappa(5, 5, 5, 5) != 0 {
+		t.Error("degenerate denominator should yield 0")
+	}
+}
+
+func TestSuspectSites(t *testing.T) {
+	pairs := []Pair{
+		{A: "a", B: "b", Score: 0.9},
+		{A: "a", B: "c", Score: 0.5},
+	}
+	s := SuspectSites(pairs)
+	if s["a"] != "b" || s["b"] != "a" || s["c"] != "a" {
+		t.Errorf("SuspectSites = %v", s)
+	}
+}

@@ -1,0 +1,236 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+	"kfusion/internal/world"
+)
+
+// FPReason categorizes a false positive — a triple the fuser believes with
+// high probability but the gold standard labels false (Figure 17, left).
+type FPReason uint8
+
+const (
+	// FPExtractionError: the triple is genuinely false and traces back to a
+	// common extraction error.
+	FPExtractionError FPReason = iota
+	// FPSourceError: the triple is genuinely false; the Web sources said so.
+	FPSourceError
+	// FPClosedWorld: the triple is actually TRUE in the world but the
+	// (incomplete) trusted KB labels it false under LCWA.
+	FPClosedWorld
+	// FPSpecificValue: true, but more specific than the KB's value.
+	FPSpecificValue
+	// FPGeneralValue: true, but more general than the KB's value.
+	FPGeneralValue
+	// FPFreebaseWrong: the trusted KB's own value is wrong.
+	FPFreebaseWrong
+)
+
+// String names the category as in Figure 17.
+func (r FPReason) String() string {
+	switch r {
+	case FPExtractionError:
+		return "common extraction error"
+	case FPSourceError:
+		return "wrong value on source"
+	case FPClosedWorld:
+		return "closed-world assumption"
+	case FPSpecificValue:
+		return "specific (but correct) value"
+	case FPGeneralValue:
+		return "general (but correct) value"
+	case FPFreebaseWrong:
+		return "wrong value in Freebase"
+	default:
+		return "unknown"
+	}
+}
+
+// FNReason categorizes a false negative — a true triple the fuser assigned a
+// very low probability (Figure 17, right).
+type FNReason uint8
+
+const (
+	// FNMultipleTruths: the data item has several true values; the
+	// single-truth assumption gave the mass to another one.
+	FNMultipleTruths FNReason = iota
+	// FNSpecificGeneral: the winning value is a more/less specific version
+	// of this one on a value hierarchy.
+	FNSpecificGeneral
+	// FNWeakSupport: the triple simply had too little or too unreliable
+	// support.
+	FNWeakSupport
+)
+
+// String names the category as in Figure 17.
+func (r FNReason) String() string {
+	switch r {
+	case FNMultipleTruths:
+		return "multiple truths"
+	case FNSpecificGeneral:
+		return "specific/general value"
+	case FNWeakSupport:
+		return "weak support"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrorAnalysis is the mechanical counterpart of the paper's 20+20 manual
+// sample: because the simulator knows the ground truth, the Freebase
+// snapshot's flaws, and each extraction's injected error, every false
+// positive and false negative can be attributed exactly.
+type ErrorAnalysis struct {
+	FP map[FPReason]int
+	FN map[FNReason]int
+	// FPTotal and FNTotal are the numbers of analyzed errors.
+	FPTotal, FNTotal int
+}
+
+// AnalyzeErrors attributes all false positives (prob >= hiThreshold, gold
+// false) and false negatives (prob <= loThreshold, gold true) of a fusion
+// result.
+func AnalyzeErrors(w *world.World, snap *world.Snapshot, gold *GoldStandard, res *fusion.Result, xs []extract.Extraction, hiThreshold, loThreshold float64) *ErrorAnalysis {
+	ea := &ErrorAnalysis{FP: make(map[FPReason]int), FN: make(map[FNReason]int)}
+
+	// Dominant injected error per triple, for FP attribution.
+	errOf := make(map[kb.Triple]extract.ErrorKind)
+	for _, x := range xs {
+		cur, ok := errOf[x.Triple]
+		if !ok || rankError(x.Error) > rankError(cur) {
+			errOf[x.Triple] = x.Error
+		}
+	}
+
+	// Winner value per item, for FN attribution.
+	winner := make(map[kb.DataItem]fusion.FusedTriple)
+	for _, f := range res.Triples {
+		if !f.Predicted {
+			continue
+		}
+		if cur, ok := winner[f.Item()]; !ok || f.Probability > cur.Probability {
+			winner[f.Item()] = f
+		}
+	}
+
+	for _, f := range res.Triples {
+		if !f.Predicted {
+			continue
+		}
+		label, ok := gold.Label(f.Triple)
+		if !ok {
+			continue
+		}
+		switch {
+		case f.Probability >= hiThreshold && !label:
+			ea.FPTotal++
+			ea.FP[classifyFP(w, snap, f.Triple, errOf[f.Triple])]++
+		case f.Probability <= loThreshold && label:
+			ea.FNTotal++
+			ea.FN[classifyFN(w, gold, f, winner[f.Item()])]++
+		}
+	}
+	return ea
+}
+
+func rankError(k extract.ErrorKind) int {
+	switch k {
+	case extract.ErrTripleID:
+		return 4
+	case extract.ErrEntityLink:
+		return 3
+	case extract.ErrPredicateLink:
+		return 2
+	case extract.ErrSource:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func classifyFP(w *world.World, snap *world.Snapshot, t kb.Triple, kind extract.ErrorKind) FPReason {
+	if w.IsTrue(t) {
+		// Actually true: an LCWA artifact. Distinguish the paper's
+		// sub-cases.
+		item := t.Item()
+		if snap.WrongItems[item] {
+			return FPFreebaseWrong
+		}
+		if obj, ok := t.Object.Entity(); ok {
+			for _, fbObj := range snap.Store.Objects(item) {
+				if fbEnt, isEnt := fbObj.Entity(); isEnt {
+					if w.Hier.IsAncestor(fbEnt, obj) {
+						return FPSpecificValue // our value is below Freebase's
+					}
+					if w.Hier.IsAncestor(obj, fbEnt) {
+						return FPGeneralValue
+					}
+				}
+			}
+		}
+		return FPClosedWorld
+	}
+	if kind == extract.ErrSource {
+		return FPSourceError
+	}
+	return FPExtractionError
+}
+
+func classifyFN(w *world.World, gold *GoldStandard, f fusion.FusedTriple, win fusion.FusedTriple) FNReason {
+	item := f.Item()
+	// Specific/general: the winner sits on the same hierarchy chain.
+	if winObj, ok := win.Triple.Object.Entity(); ok && win.Triple != f.Triple {
+		if obj, ok2 := f.Triple.Object.Entity(); ok2 && w.Hier.Related(winObj, obj) {
+			return FNSpecificGeneral
+		}
+	}
+	// Multiple truths: the item has more than one gold value and the mass
+	// went to another true value.
+	if len(gold.TrueObjects(item)) > 1 && win.Triple != f.Triple {
+		if label, ok := gold.Label(win.Triple); ok && label {
+			return FNMultipleTruths
+		}
+	}
+	if len(w.TrueObjects(item)) > 1 && win.Triple != f.Triple && w.IsTrue(win.Triple) {
+		return FNMultipleTruths
+	}
+	return FNWeakSupport
+}
+
+// String renders the analysis as Figure 17-style lines.
+func (ea *ErrorAnalysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "False positives (%d):\n", ea.FPTotal)
+	for _, r := range sortedFPReasons(ea.FP) {
+		fmt.Fprintf(&b, "  %-30s %d\n", r.String(), ea.FP[r])
+	}
+	fmt.Fprintf(&b, "False negatives (%d):\n", ea.FNTotal)
+	for _, r := range sortedFNReasons(ea.FN) {
+		fmt.Fprintf(&b, "  %-30s %d\n", r.String(), ea.FN[r])
+	}
+	return b.String()
+}
+
+func sortedFPReasons(m map[FPReason]int) []FPReason {
+	out := make([]FPReason, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return m[out[i]] > m[out[j]] })
+	return out
+}
+
+func sortedFNReasons(m map[FNReason]int) []FNReason {
+	out := make([]FNReason, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return m[out[i]] > m[out[j]] })
+	return out
+}

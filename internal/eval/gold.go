@@ -1,0 +1,64 @@
+// Package eval implements the paper's evaluation machinery: the LCWA gold
+// standard built from the Freebase snapshot (§3.2.1), calibration curves
+// with deviation and weighted deviation, PR curves with AUC-PR (§4.2), the
+// kappa measure over extractor pairs (Eq. 1), and a mechanical version of
+// §4.4's error analysis that attributes false positives and false negatives
+// to the paper's categories using the simulator's ground truth.
+package eval
+
+import (
+	"kfusion/internal/kb"
+	"kfusion/internal/world"
+)
+
+// GoldStandard labels triples under the Local Closed-World Assumption: a
+// triple (s,p,o) is true if the trusted KB holds it, false if the KB knows
+// the data item (s,p) but not o, and unlabeled otherwise.
+type GoldStandard struct {
+	snap *world.Snapshot
+}
+
+// NewGoldStandard wraps a Freebase snapshot.
+func NewGoldStandard(snap *world.Snapshot) *GoldStandard {
+	return &GoldStandard{snap: snap}
+}
+
+// Label returns (label, ok): ok is false when LCWA abstains.
+func (g *GoldStandard) Label(t kb.Triple) (bool, bool) {
+	if g.snap.Has(t) {
+		return true, true
+	}
+	if g.snap.HasItem(t.Item()) {
+		return false, true
+	}
+	return false, false
+}
+
+// Labeler returns the labeling function in the shape the fusion layer
+// consumes (§4.3.3's semi-supervised initialization).
+func (g *GoldStandard) Labeler() func(kb.Triple) (bool, bool) {
+	return g.Label
+}
+
+// TrueObjects returns the gold objects for an item (empty when unknown).
+func (g *GoldStandard) TrueObjects(d kb.DataItem) []kb.Object {
+	return g.snap.Store.Objects(d)
+}
+
+// HasItem reports whether the gold standard knows the item.
+func (g *GoldStandard) HasItem(d kb.DataItem) bool { return g.snap.HasItem(d) }
+
+// Coverage reports, over the given triples, how many are labeled and how
+// many of the labeled ones are true — the paper's "650M (40%) have gold
+// standard labels, of which 200M are labeled as correct".
+func (g *GoldStandard) Coverage(triples []kb.Triple) (labeled, trueN int) {
+	for _, t := range triples {
+		if label, ok := g.Label(t); ok {
+			labeled++
+			if label {
+				trueN++
+			}
+		}
+	}
+	return labeled, trueN
+}

@@ -1,0 +1,75 @@
+package eval
+
+import (
+	"sort"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/kb"
+)
+
+// Kappa computes the paper's Eq. 1 over two extractors' triple sets T1, T2
+// within the overall extracted set KB:
+//
+//	κ = (|T1∩T2|·|KB| − |T1|·|T2|) / (|KB|² − |T1|·|T2|)
+//
+// Positive κ indicates positive correlation, negative κ anti-correlation,
+// and κ ≈ 0 independence.
+func Kappa(intersection, t1, t2, kbSize int) float64 {
+	num := float64(intersection)*float64(kbSize) - float64(t1)*float64(t2)
+	den := float64(kbSize)*float64(kbSize) - float64(t1)*float64(t2)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// ExtractorPairKappa is one Figure 19 observation.
+type ExtractorPairKappa struct {
+	A, B     string
+	Kappa    float64
+	SameType bool
+}
+
+// KappaMatrix computes κ for every extractor pair over an extraction set.
+// sameType reports whether two extractor names target the same content type
+// (e.g. TXT2 vs TXT3).
+func KappaMatrix(xs []extract.Extraction, sameType func(a, b string) bool) []ExtractorPairKappa {
+	sets := make(map[string]map[kb.Triple]bool)
+	all := make(map[kb.Triple]bool)
+	for _, x := range xs {
+		if sets[x.Extractor] == nil {
+			sets[x.Extractor] = make(map[kb.Triple]bool)
+		}
+		sets[x.Extractor][x.Triple] = true
+		all[x.Triple] = true
+	}
+	names := make([]string, 0, len(sets))
+	for n := range sets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var out []ExtractorPairKappa
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			a, b := names[i], names[j]
+			inter := 0
+			small, large := sets[a], sets[b]
+			if len(small) > len(large) {
+				small, large = large, small
+			}
+			for t := range small {
+				if large[t] {
+					inter++
+				}
+			}
+			out = append(out, ExtractorPairKappa{
+				A:        a,
+				B:        b,
+				Kappa:    Kappa(inter, len(sets[a]), len(sets[b]), len(all)),
+				SameType: sameType(a, b),
+			})
+		}
+	}
+	return out
+}

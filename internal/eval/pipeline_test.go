@@ -1,0 +1,181 @@
+package eval
+
+import (
+	"testing"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/fusion"
+	"kfusion/internal/web"
+	"kfusion/internal/world"
+)
+
+// pipeline runs the full generate → crawl → extract flow once per test
+// binary; fusion configs vary per test.
+type pipelineData struct {
+	w    *world.World
+	snap *world.Snapshot
+	gold *GoldStandard
+	xs   []extract.Extraction
+}
+
+var pipeCache *pipelineData
+
+func pipeline(t testing.TB) *pipelineData {
+	t.Helper()
+	if pipeCache != nil {
+		return pipeCache
+	}
+	w := world.MustGenerate(world.DefaultConfig(60))
+	corpus := web.MustGenerate(w, web.DefaultConfig(61))
+	suite := extract.NewSuite(w, 62)
+	pipeCache = &pipelineData{
+		w:    w,
+		snap: world.BuildFreebase(w),
+		xs:   suite.Run(w, corpus),
+	}
+	pipeCache.gold = NewGoldStandard(pipeCache.snap)
+	return pipeCache
+}
+
+func TestEndToEndBasicModels(t *testing.T) {
+	p := pipeline(t)
+	reports := map[string]Report{}
+	for name, cfg := range map[string]fusion.Config{
+		"VOTE":    fusion.VoteConfig(),
+		"ACCU":    fusion.AccuConfig(),
+		"POPACCU": fusion.PopAccuConfig(),
+	} {
+		claims := fusion.Claims(p.xs, cfg.Granularity)
+		res := fusion.MustFuse(claims, cfg)
+		rep := Evaluate(name, res, p.gold)
+		reports[name] = rep
+		t.Logf("%-8s Dev=%.4f WDev=%.4f AUC-PR=%.4f N=%d", name, rep.Dev, rep.WDev, rep.AUCPR, rep.N)
+		if rep.N < 500 {
+			t.Fatalf("%s: too few labeled predictions: %d", name, rep.N)
+		}
+		if rep.AUCPR <= 0.2 {
+			t.Errorf("%s: AUC-PR %.3f implausibly low", name, rep.AUCPR)
+		}
+	}
+	// Figure 9's qualitative findings. The WDev gap between POPACCU and
+	// VOTE is small at sub-paper scale and flips sign across seeds, so the
+	// robust assertions are: POPACCU stays within noise of VOTE on
+	// calibration while clearly beating it on ranking (AUC-PR), and ACCU
+	// beats VOTE on AUC-PR as in the paper's table.
+	if reports["POPACCU"].WDev > reports["VOTE"].WDev+0.02 {
+		t.Errorf("POPACCU WDev %.4f far above VOTE's %.4f",
+			reports["POPACCU"].WDev, reports["VOTE"].WDev)
+	}
+	if reports["POPACCU"].AUCPR <= reports["VOTE"].AUCPR {
+		t.Errorf("POPACCU AUC-PR %.4f not above VOTE's %.4f",
+			reports["POPACCU"].AUCPR, reports["VOTE"].AUCPR)
+	}
+	if reports["ACCU"].AUCPR <= reports["VOTE"].AUCPR {
+		t.Errorf("ACCU AUC-PR %.4f not above VOTE's %.4f",
+			reports["ACCU"].AUCPR, reports["VOTE"].AUCPR)
+	}
+	// And the Bayesian models should be informative: AUC-PR above the
+	// label base rate by a clear margin.
+	preds, _ := Predictions(mustFuse(p, fusion.PopAccuConfig()), p.gold)
+	base := 0.0
+	for _, pr := range preds {
+		if pr.Label {
+			base++
+		}
+	}
+	base /= float64(len(preds))
+	if reports["POPACCU"].AUCPR < base+0.1 {
+		t.Errorf("POPACCU AUC-PR %.3f barely above base rate %.3f", reports["POPACCU"].AUCPR, base)
+	}
+}
+
+func mustFuse(p *pipelineData, cfg fusion.Config) *fusion.Result {
+	return fusion.MustFuse(fusion.Claims(p.xs, cfg.Granularity), cfg)
+}
+
+func TestEndToEndRefinementsImproveCalibration(t *testing.T) {
+	p := pipeline(t)
+	baseRep := Evaluate("POPACCU", mustFuse(p, fusion.PopAccuConfig()), p.gold)
+	plusRep := Evaluate("POPACCU+", mustFuse(p, fusion.PopAccuPlusConfig(p.gold.Labeler())), p.gold)
+	t.Logf("POPACCU  Dev=%.4f WDev=%.4f AUC=%.4f", baseRep.Dev, baseRep.WDev, baseRep.AUCPR)
+	t.Logf("POPACCU+ Dev=%.4f WDev=%.4f AUC=%.4f", plusRep.Dev, plusRep.WDev, plusRep.AUCPR)
+	if plusRep.WDev >= baseRep.WDev {
+		t.Errorf("POPACCU+ WDev %.4f did not improve on POPACCU %.4f (§4.3.4)", plusRep.WDev, baseRep.WDev)
+	}
+	if plusRep.AUCPR <= baseRep.AUCPR {
+		t.Errorf("POPACCU+ AUC-PR %.4f did not improve on POPACCU %.4f", plusRep.AUCPR, baseRep.AUCPR)
+	}
+}
+
+func TestEndToEndErrorAnalysis(t *testing.T) {
+	p := pipeline(t)
+	// The unsupervised refined system keeps enough residual errors to
+	// categorize (POPACCU+ with full gold labels is nearly perfect at this
+	// scale); wider thresholds mirror the paper's "high/low confidence"
+	// sampling.
+	res := mustFuse(p, fusion.PopAccuPlusUnsupConfig())
+	ea := AnalyzeErrors(p.w, p.snap, p.gold, res, p.xs, 0.8, 0.2)
+	t.Logf("\n%s", ea)
+	if ea.FPTotal == 0 {
+		t.Fatal("no false positives analyzed")
+	}
+	if ea.FNTotal == 0 {
+		t.Fatal("no false negatives analyzed")
+	}
+	// The paper's headline: a large share of "false positives" are LCWA
+	// artifacts, not real mistakes (10 of 20 in Figure 17).
+	lcwa := ea.FP[FPClosedWorld] + ea.FP[FPSpecificValue] + ea.FP[FPGeneralValue] + ea.FP[FPFreebaseWrong]
+	if lcwa == 0 {
+		t.Error("no LCWA-artifact false positives found")
+	}
+	if ea.FP[FPExtractionError] == 0 {
+		t.Error("no extraction-error false positives found")
+	}
+	// And most false negatives trace to the single-truth assumption or
+	// value hierarchies.
+	if ea.FN[FNMultipleTruths]+ea.FN[FNSpecificGeneral] == 0 {
+		t.Error("no single-truth/hierarchy false negatives found")
+	}
+}
+
+func TestEndToEndKappa(t *testing.T) {
+	p := pipeline(t)
+	suite := extract.NewSuite(p.w, 62)
+	pairs := KappaMatrix(p.xs, func(a, b string) bool {
+		return suite.ContentTypeOf(a) == suite.ContentTypeOf(b)
+	})
+	if len(pairs) != 66 {
+		t.Fatalf("pair count = %d, want 66 (12 choose 2)", len(pairs))
+	}
+	neg := 0
+	for _, pr := range pairs {
+		if pr.Kappa < -1 || pr.Kappa > 1 {
+			t.Fatalf("κ out of range: %+v", pr)
+		}
+		if pr.Kappa < -0.001 {
+			neg++
+		}
+	}
+	// Figure 19: a substantial share of extractor pairs are anti-correlated.
+	if neg < 10 {
+		t.Errorf("only %d/66 anti-correlated pairs; Figure 19 reports ~40%%", neg)
+	}
+}
+
+func TestPredictionsSkipsUnpredictedAndUnlabeled(t *testing.T) {
+	p := pipeline(t)
+	cfg := fusion.PopAccuConfig()
+	cfg.FilterByCoverage = true
+	res := mustFuse(p, cfg)
+	preds, unlabeled := Predictions(res, p.gold)
+	if unlabeled == 0 {
+		t.Error("expected some unlabeled predictions under LCWA")
+	}
+	if res.Unpredicted == 0 {
+		t.Error("expected some unpredicted triples under coverage filtering")
+	}
+	if len(preds)+unlabeled+res.Unpredicted != len(res.Triples) {
+		t.Errorf("prediction partition mismatch: %d + %d + %d != %d",
+			len(preds), unlabeled, res.Unpredicted, len(res.Triples))
+	}
+}

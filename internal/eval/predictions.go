@@ -1,0 +1,50 @@
+package eval
+
+import (
+	"kfusion/internal/fusion"
+)
+
+// Predictions pairs a fusion result with gold labels, skipping unlabeled and
+// unpredicted triples. The second result is the number of predicted triples
+// the gold standard abstained on.
+func Predictions(res *fusion.Result, gold *GoldStandard) (preds []Prediction, unlabeled int) {
+	for _, f := range res.Triples {
+		if !f.Predicted {
+			continue
+		}
+		label, ok := gold.Label(f.Triple)
+		if !ok {
+			unlabeled++
+			continue
+		}
+		preds = append(preds, Prediction{Prob: f.Probability, Label: label})
+	}
+	return preds, unlabeled
+}
+
+// Report is the (Dev, WDev, AUC-PR) triple the paper tabulates for every
+// model variant.
+type Report struct {
+	Name      string
+	Dev       float64
+	WDev      float64
+	AUCPR     float64
+	N         int
+	Unlabeled int
+	Curve     CalibrationCurve
+}
+
+// Evaluate computes the paper's standard metric set over a fusion result.
+func Evaluate(name string, res *fusion.Result, gold *GoldStandard) Report {
+	preds, unlabeled := Predictions(res, gold)
+	curve := Calibration(preds, 20)
+	return Report{
+		Name:      name,
+		Dev:       curve.Deviation(),
+		WDev:      curve.WeightedDeviation(),
+		AUCPR:     AUCPR(preds),
+		N:         len(preds),
+		Unlabeled: unlabeled,
+		Curve:     curve,
+	}
+}

@@ -1,0 +1,135 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"kfusion/internal/kb"
+	"kfusion/internal/world"
+)
+
+func TestSoftGoldConfidences(t *testing.T) {
+	w := world.MustGenerate(world.DefaultConfig(80))
+	snap := world.BuildFreebase(w)
+	gold := NewGoldStandard(snap)
+	soft := NewSoftGold(gold, func(p kb.PredicateID) float64 {
+		if pr := w.Ont.Predicate(p); pr != nil {
+			return pr.Cardinality
+		}
+		return 1
+	})
+
+	// A positive label keeps confidence 1.
+	pos := snap.Store.Triples()[0]
+	if label, conf, ok := soft.Label(pos); !ok || !label || conf != 1 {
+		t.Errorf("positive label = (%v,%v,%v)", label, conf, ok)
+	}
+
+	// Negatives: functional predicates keep full confidence, multi-valued
+	// ones are discounted.
+	sawFunctional, sawMulti := false, false
+	for _, item := range snap.Store.Items() {
+		pr := w.Ont.Predicate(item.Predicate)
+		if pr == nil {
+			continue
+		}
+		bogus := item.WithObject(kb.StringObject("bogus-value-xyz"))
+		label, conf, ok := soft.Label(bogus)
+		if !ok || label {
+			t.Fatalf("bogus value labeled (%v,%v)", label, ok)
+		}
+		if pr.Functional {
+			sawFunctional = true
+			if conf != 1 {
+				t.Errorf("functional negative confidence = %v, want 1", conf)
+			}
+		} else if pr.Cardinality > 1 {
+			sawMulti = true
+			want := 1 / pr.Cardinality
+			if math.Abs(conf-want) > 1e-9 {
+				t.Errorf("multi-valued negative confidence = %v, want %v", conf, want)
+			}
+		}
+		if sawFunctional && sawMulti {
+			break
+		}
+	}
+	if !sawFunctional || !sawMulti {
+		t.Skip("world lacks one of the predicate kinds at this seed")
+	}
+
+	// Unlabeled items abstain.
+	unknown := kb.Triple{Subject: "/m/none", Predicate: "/p/none", Object: kb.StringObject("x")}
+	if _, _, ok := soft.Label(unknown); ok {
+		t.Error("unknown item did not abstain")
+	}
+}
+
+func TestWeightedDeviationDiscountsUncertainNegatives(t *testing.T) {
+	// A model that assigns 0.8 to true-but-missing values of a multi-valued
+	// predicate: under hard LCWA this is a big calibration error; under the
+	// soft gold standard the penalty shrinks with the label confidence.
+	hard := []WeightedPrediction{
+		{Prob: 0.8, Label: false, Confidence: 1},
+		{Prob: 0.8, Label: false, Confidence: 1},
+		{Prob: 0.8, Label: true, Confidence: 1},
+	}
+	soft := []WeightedPrediction{
+		{Prob: 0.8, Label: false, Confidence: 0.2},
+		{Prob: 0.8, Label: false, Confidence: 0.2},
+		{Prob: 0.8, Label: true, Confidence: 1},
+	}
+	h := WeightedDeviation(hard, 20)
+	s := WeightedDeviation(soft, 20)
+	if s >= h {
+		t.Errorf("soft deviation %v not below hard %v", s, h)
+	}
+}
+
+func TestWeightedDeviationMatchesUnweighted(t *testing.T) {
+	// With all confidences 1, the weighted deviation equals the standard
+	// weighted deviation.
+	preds := []Prediction{
+		{Prob: 0.1, Label: false}, {Prob: 0.9, Label: true},
+		{Prob: 0.6, Label: false}, {Prob: 0.3, Label: true},
+	}
+	var wp []WeightedPrediction
+	for _, p := range preds {
+		wp = append(wp, WeightedPrediction{Prob: p.Prob, Label: p.Label, Confidence: 1})
+	}
+	want := Calibration(preds, 20).WeightedDeviation()
+	got := WeightedDeviation(wp, 20)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("weighted %v != unweighted %v", got, want)
+	}
+}
+
+func TestWeightedDeviationEmpty(t *testing.T) {
+	if WeightedDeviation(nil, 20) != 0 {
+		t.Error("empty weighted deviation != 0")
+	}
+	if WeightedDeviation([]WeightedPrediction{{Prob: 0.5, Label: true, Confidence: 0}}, 0) != 0 {
+		t.Error("zero-confidence-only deviation != 0")
+	}
+}
+
+func TestWeightedPredictions(t *testing.T) {
+	w := world.MustGenerate(world.DefaultConfig(81))
+	snap := world.BuildFreebase(w)
+	gold := NewGoldStandard(snap)
+	soft := NewSoftGold(gold, func(kb.PredicateID) float64 { return 2 })
+	triples := snap.Store.Triples()[:10]
+	probs := make([]float64, len(triples))
+	for i := range probs {
+		probs[i] = 0.9
+	}
+	wp := WeightedPredictions(triples, probs, soft)
+	if len(wp) != 10 {
+		t.Fatalf("got %d weighted predictions, want 10", len(wp))
+	}
+	for _, p := range wp {
+		if !p.Label || p.Confidence != 1 {
+			t.Errorf("snapshot triple mislabeled: %+v", p)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package exper implements the paper's evaluation section experiment by
+// experiment: every table (1-3) and every figure (3-7, 9-22) has a function
+// that regenerates it over a synthetic dataset and renders paper-style rows.
+// The cmd/kfbench binary and the repository's benchmarks are thin wrappers
+// around this package.
+package exper
+
+import (
+	"sync"
+
+	"kfusion/internal/eval"
+	"kfusion/internal/extract"
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+	"kfusion/internal/web"
+	"kfusion/internal/world"
+)
+
+// Scale selects a dataset size.
+type Scale int
+
+const (
+	// ScaleSmall is unit-test scale (sub-second end to end).
+	ScaleSmall Scale = iota
+	// ScaleBench is the scale used for the paper-reproduction numbers:
+	// large enough for stable statistics, seconds to build.
+	ScaleBench
+	// ScaleLarge stresses the pipeline (hundreds of thousands of
+	// extractions); used only by the throughput benchmarks.
+	ScaleLarge
+)
+
+// Dataset bundles one generated world, its crawl, the extraction output and
+// the gold standard — everything the experiments consume.
+type Dataset struct {
+	World       *world.World
+	Corpus      *web.Corpus
+	Suite       *extract.Suite
+	Extractions []extract.Extraction
+	Snapshot    *world.Snapshot
+	Gold        *eval.GoldStandard
+
+	// uniqueTriples caches the distinct extracted triples with their
+	// support counts.
+	uniqueOnce sync.Once
+	unique     []uniqueTriple
+
+	fuseMu    sync.Mutex
+	fuseCache map[string]*fusion.Result
+}
+
+type uniqueTriple struct {
+	triple     kb.Triple
+	extractors map[string]bool
+	urls       map[string]bool
+	provs      int // (extractor, URL) pairs
+}
+
+// NewDataset builds a dataset at the given scale and seed, deterministic per
+// (scale, seed).
+func NewDataset(scale Scale, seed int64) *Dataset {
+	wcfg := world.DefaultConfig(seed)
+	ccfg := web.DefaultConfig(seed + 1)
+	switch scale {
+	case ScaleBench:
+		wcfg = world.BenchConfig(seed)
+		ccfg = web.BenchConfig(seed + 1)
+	case ScaleLarge:
+		wcfg = world.BenchConfig(seed)
+		wcfg.NumEntities = 8000
+		ccfg = web.BenchConfig(seed + 1)
+		ccfg.NumSites = 8000
+	}
+	w := world.MustGenerate(wcfg)
+	corpus := web.MustGenerate(w, ccfg)
+	suite := extract.NewSuite(w, seed+2)
+	ds := &Dataset{
+		World:       w,
+		Corpus:      corpus,
+		Suite:       suite,
+		Extractions: suite.Run(w, corpus),
+		Snapshot:    world.BuildFreebase(w),
+		fuseCache:   make(map[string]*fusion.Result),
+	}
+	ds.Gold = eval.NewGoldStandard(ds.Snapshot)
+	return ds
+}
+
+var (
+	dsMu    sync.Mutex
+	dsCache = map[[2]int64]*Dataset{}
+)
+
+// SharedDataset returns a process-wide cached dataset so that benchmarks and
+// the kfbench tool build each (scale, seed) corpus once.
+func SharedDataset(scale Scale, seed int64) *Dataset {
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	key := [2]int64{int64(scale), seed}
+	if ds, ok := dsCache[key]; ok {
+		return ds
+	}
+	ds := NewDataset(scale, seed)
+	dsCache[key] = ds
+	return ds
+}
+
+// Unique returns the distinct extracted triples with support counts.
+func (ds *Dataset) Unique() []uniqueTriple {
+	ds.uniqueOnce.Do(func() {
+		idx := make(map[kb.Triple]int)
+		for _, x := range ds.Extractions {
+			i, ok := idx[x.Triple]
+			if !ok {
+				i = len(ds.unique)
+				idx[x.Triple] = i
+				ds.unique = append(ds.unique, uniqueTriple{
+					triple:     x.Triple,
+					extractors: make(map[string]bool),
+					urls:       make(map[string]bool),
+				})
+			}
+			u := &ds.unique[i]
+			u.extractors[x.Extractor] = true
+			u.urls[x.URL] = true
+			u.provs++
+		}
+	})
+	return ds.unique
+}
+
+// Fuse runs (and caches) a fusion configuration over the dataset.
+func (ds *Dataset) Fuse(cacheKey string, cfg fusion.Config) *fusion.Result {
+	ds.fuseMu.Lock()
+	if res, ok := ds.fuseCache[cacheKey]; ok {
+		ds.fuseMu.Unlock()
+		return res
+	}
+	ds.fuseMu.Unlock()
+	claims := fusion.Claims(ds.Extractions, cfg.Granularity)
+	res := fusion.MustFuse(claims, cfg)
+	ds.fuseMu.Lock()
+	ds.fuseCache[cacheKey] = res
+	ds.fuseMu.Unlock()
+	return res
+}
+
+// ClearFusionCache drops cached fusion results so benchmarks measure real
+// recomputation instead of map lookups.
+func (ds *Dataset) ClearFusionCache() {
+	ds.fuseMu.Lock()
+	ds.fuseCache = make(map[string]*fusion.Result)
+	ds.fuseMu.Unlock()
+}
+
+// LabeledAccuracy returns the gold-labeled accuracy over a triple set: the
+// fraction of labeled triples that are true (and the labeled count).
+func (ds *Dataset) LabeledAccuracy(triples []kb.Triple) (float64, int) {
+	trueN, labeled := 0, 0
+	for _, t := range triples {
+		if label, ok := ds.Gold.Label(t); ok {
+			labeled++
+			if label {
+				trueN++
+			}
+		}
+	}
+	if labeled == 0 {
+		return 0, 0
+	}
+	return float64(trueN) / float64(labeled), labeled
+}

@@ -1,0 +1,91 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"kfusion/internal/fusion"
+)
+
+func testDS(t testing.TB) *Dataset {
+	t.Helper()
+	return SharedDataset(ScaleSmall, 100)
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	ds := testDS(t)
+	for _, ex := range Registry {
+		ex := ex
+		t.Run(ex.ID, func(t *testing.T) {
+			tb := ex.Run(ds)
+			if tb == nil {
+				t.Fatal("nil table")
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			out := tb.String()
+			if !strings.Contains(out, tb.ID) {
+				t.Error("render missing ID")
+			}
+			for _, n := range tb.Notes {
+				if strings.HasPrefix(n, "VIOLATED") {
+					t.Errorf("paper-shape check failed: %s", n)
+				}
+			}
+			t.Logf("\n%s", out)
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if ByID("fig9") == nil {
+		t.Error("fig9 missing from registry")
+	}
+	if ByID("nope") != nil {
+		t.Error("unknown ID resolved")
+	}
+}
+
+func TestDatasetDeterministic(t *testing.T) {
+	a := NewDataset(ScaleSmall, 7)
+	b := NewDataset(ScaleSmall, 7)
+	if len(a.Extractions) != len(b.Extractions) {
+		t.Fatalf("extraction counts differ: %d vs %d", len(a.Extractions), len(b.Extractions))
+	}
+	for i := range a.Extractions {
+		if a.Extractions[i] != b.Extractions[i] {
+			t.Fatalf("extraction %d differs", i)
+		}
+	}
+}
+
+func TestSharedDatasetCached(t *testing.T) {
+	a := SharedDataset(ScaleSmall, 100)
+	b := SharedDataset(ScaleSmall, 100)
+	if a != b {
+		t.Error("SharedDataset did not cache")
+	}
+}
+
+func TestFuseCache(t *testing.T) {
+	ds := testDS(t)
+	a := ds.Fuse("VOTE", fusion.VoteConfig())
+	b := ds.Fuse("VOTE", fusion.VoteConfig())
+	if a != b {
+		t.Error("Fuse did not cache by key")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "x", Title: "t", Header: []string{"A", "B"}}
+	tb.AddRow("hello", 42)
+	tb.AddRow(3.14159, "y")
+	tb.Notef("note %d", 1)
+	out := tb.String()
+	for _, want := range []string{"hello", "42", "3.142", "note 1", "== x: t =="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+package exper
+
+import (
+	"fmt"
+	"sort"
+
+	"kfusion/internal/eval"
+	"kfusion/internal/kb"
+	"kfusion/internal/stats"
+	"kfusion/internal/web"
+)
+
+// Figure3 reproduces Figure 3: triple contribution and overlap per content
+// type.
+func Figure3(ds *Dataset) *Table {
+	// Map each unique triple to the set of content types whose extractors
+	// produced it.
+	typeOf := map[string]web.ContentType{}
+	for _, name := range ds.Suite.Names() {
+		typeOf[name] = ds.Suite.ContentTypeOf(name)
+	}
+	sets := map[kb.Triple]map[web.ContentType]bool{}
+	for _, x := range ds.Extractions {
+		if sets[x.Triple] == nil {
+			sets[x.Triple] = map[web.ContentType]bool{}
+		}
+		sets[x.Triple][typeOf[x.Extractor]] = true
+	}
+	per := map[web.ContentType]int{}
+	pair := map[[2]web.ContentType]int{}
+	multi := 0
+	for _, s := range sets {
+		var ts []web.ContentType
+		for ct := range s {
+			ts = append(ts, ct)
+			per[ct]++
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		if len(ts) > 1 {
+			multi++
+			for i := 0; i < len(ts); i++ {
+				for j := i + 1; j < len(ts); j++ {
+					pair[[2]web.ContentType{ts[i], ts[j]}]++
+				}
+			}
+		}
+	}
+	tb := &Table{ID: "fig3", Title: "Contribution and overlap by content type",
+		Header: []string{"Set", "#Triples", "Share"}}
+	total := len(sets)
+	for _, ct := range web.ContentTypes() {
+		tb.AddRow(ct.String(), per[ct], fmt.Sprintf("%.1f%%", 100*float64(per[ct])/float64(total)))
+	}
+	for _, a := range web.ContentTypes() {
+		for _, b := range web.ContentTypes() {
+			if a < b {
+				if n := pair[[2]web.ContentType{a, b}]; n > 0 {
+					tb.AddRow(a.String()+" ∩ "+b.String(), n, fmt.Sprintf("%.2f%%", 100*float64(n)/float64(total)))
+				}
+			}
+		}
+	}
+	tb.AddRow("any overlap", multi, fmt.Sprintf("%.2f%%", 100*float64(multi)/float64(total)))
+	tb.Notes = append(tb.Notes,
+		"paper Figure 3: DOM contributes ~74%, TXT ~17%, ANO ~8%, TBL ~0.6%; overlaps are small",
+		checkf(per[web.DOM] > per[web.TXT] && per[web.TXT] > per[web.TBL], "ordering DOM > TXT > TBL holds"))
+	return tb
+}
+
+// Figure4 reproduces Figure 4: distribution of per-predicate accuracy.
+func Figure4(ds *Dataset) *Table {
+	trueN := map[kb.PredicateID]int{}
+	labeled := map[kb.PredicateID]int{}
+	for _, u := range ds.Unique() {
+		if label, ok := ds.Gold.Label(u.triple); ok {
+			labeled[u.triple.Predicate]++
+			if label {
+				trueN[u.triple.Predicate]++
+			}
+		}
+	}
+	hist := stats.NewHistogram(0, 1, 10)
+	low, high, n := 0, 0, 0
+	for p, l := range labeled {
+		if l < 5 {
+			continue // too few labels to estimate the predicate's accuracy
+		}
+		acc := float64(trueN[p]) / float64(l)
+		hist.Add(acc)
+		n++
+		if acc < 0.3 {
+			low++
+		}
+		if acc > 0.7 {
+			high++
+		}
+	}
+	tb := &Table{ID: "fig4", Title: "Distribution of predicate accuracy",
+		Header: []string{"Accuracy bucket", "Share of predicates"}}
+	for i, f := range hist.Fractions() {
+		tb.AddRow(hist.BucketLabel(i), fmt.Sprintf("%.2f", f))
+	}
+	tb.Notef("predicates with >=5 labels: %d; accuracy <0.3: %.0f%%  >0.7: %.0f%% (paper: 44%% / 13%%)",
+		n, 100*float64(low)/float64(max(n, 1)), 100*float64(high)/float64(max(n, 1)))
+	return tb
+}
+
+// Figure5 reproduces Figure 5: the gap between the best and worst extractor
+// accuracy per Web page. As in the paper, an extractor qualifies for a page
+// when it extracted at least 5 triples there; its accuracy is measured over
+// the labeled subset (>= 2 labels required for a usable estimate).
+func Figure5(ds *Dataset) *Table {
+	type cell struct{ trueN, labeled, extracted int }
+	perPage := map[string]map[string]*cell{}
+	for _, x := range ds.Extractions {
+		if perPage[x.URL] == nil {
+			perPage[x.URL] = map[string]*cell{}
+		}
+		c := perPage[x.URL][x.Extractor]
+		if c == nil {
+			c = &cell{}
+			perPage[x.URL][x.Extractor] = c
+		}
+		c.extracted++
+		if label, ok := ds.Gold.Label(x.Triple); ok {
+			c.labeled++
+			if label {
+				c.trueN++
+			}
+		}
+	}
+	hist := stats.NewHistogram(0, 0.6, 7)
+	var gaps []float64
+	bigGap := 0
+	for _, exts := range perPage {
+		lo, hi := 2.0, -1.0
+		qualifying := 0
+		for _, c := range exts {
+			if c.extracted < 5 || c.labeled < 2 {
+				continue
+			}
+			qualifying++
+			acc := float64(c.trueN) / float64(c.labeled)
+			if acc < lo {
+				lo = acc
+			}
+			if acc > hi {
+				hi = acc
+			}
+		}
+		if qualifying < 2 {
+			continue
+		}
+		gap := hi - lo
+		gaps = append(gaps, gap)
+		hist.Add(gap)
+		if gap > 0.5 {
+			bigGap++
+		}
+	}
+	tb := &Table{ID: "fig5", Title: "Best-vs-worst extractor accuracy gap per page",
+		Header: []string{"Gap bucket", "Share of pages"}}
+	for i, f := range hist.Fractions() {
+		tb.AddRow(hist.BucketLabel(i), fmt.Sprintf("%.2f", f))
+	}
+	if len(gaps) > 0 {
+		tb.Notef("pages measured: %d; mean gap %.2f (paper: 0.32); gap >0.5 on %.0f%% (paper: 21%%)",
+			len(gaps), stats.Summarize(gaps).Mean, 100*float64(bigGap)/float64(len(gaps)))
+	}
+	return tb
+}
+
+// Figure6 reproduces Figure 6: triple accuracy by the number of extractors.
+func Figure6(ds *Dataset) *Table {
+	curve := stats.NewAccuracyCurve()
+	singleExtractor, totalTriples := 0, 0
+	for _, u := range ds.Unique() {
+		totalTriples++
+		if len(u.extractors) == 1 {
+			singleExtractor++
+		}
+		if label, ok := ds.Gold.Label(u.triple); ok {
+			curve.Add(len(u.extractors), label)
+		}
+	}
+	tb := &Table{ID: "fig6", Title: "Triple accuracy by #extractors",
+		Header: []string{"#Extractors", "Accuracy", "N"}}
+	for _, x := range curve.Xs() {
+		r, n := curve.Rate(x)
+		tb.AddRow(x, fmt.Sprintf("%.2f", r), n)
+	}
+	lo, _ := curve.Rate(1)
+	hi, hiN := curve.RateBetween(5, 100)
+	tb.Notef("accuracy rises with #extractors: 1 extractor %.2f vs >=5 extractors %.2f (n=%d)", lo, hi, hiN)
+	tb.Notef("%.0f%% of triples come from a single extractor (paper: 75%%)", 100*float64(singleExtractor)/float64(totalTriples))
+	tb.Notes = append(tb.Notes, "paper: occasional drops at high counts from correlated extractors")
+	return tb
+}
+
+// Figure7 reproduces Figure 7: triple accuracy by the number of URLs.
+func Figure7(ds *Dataset) *Table {
+	curve := stats.NewAccuracyCurve()
+	single, total := 0, 0
+	for _, u := range ds.Unique() {
+		total++
+		if len(u.urls) == 1 {
+			single++
+		}
+		if label, ok := ds.Gold.Label(u.triple); ok {
+			curve.Add(len(u.urls), label)
+		}
+	}
+	tb := &Table{ID: "fig7", Title: "Triple accuracy by #URLs",
+		Header: []string{"#URLs", "Accuracy", "N"}}
+	buckets := [][2]int{{1, 1}, {2, 2}, {3, 4}, {5, 9}, {10, 19}, {20, 49}, {50, 1 << 30}}
+	for _, b := range buckets {
+		r, n := curve.RateBetween(b[0], b[1])
+		if n == 0 {
+			continue
+		}
+		label := fmt.Sprintf("%d-%d", b[0], b[1])
+		if b[1] >= 1<<30 {
+			label = fmt.Sprintf(">=%d", b[0])
+		}
+		tb.AddRow(label, fmt.Sprintf("%.2f", r), n)
+	}
+	tb.Notef("%.0f%% of triples come from a single URL (paper: 51%%)", 100*float64(single)/float64(total))
+	tb.Notes = append(tb.Notes, "paper: accuracy rises with #URLs but fluctuates where one extractor errs on many sources")
+	return tb
+}
+
+// Figure18 reproduces Figure 18: accuracy by #provenances, stratified by the
+// number of extractors.
+func Figure18(ds *Dataset) *Table {
+	all := stats.NewAccuracyCurve()
+	one := stats.NewAccuracyCurve()
+	many := stats.NewAccuracyCurve()
+	for _, u := range ds.Unique() {
+		label, ok := ds.Gold.Label(u.triple)
+		if !ok {
+			continue
+		}
+		all.Add(u.provs, label)
+		if len(u.extractors) == 1 {
+			one.Add(u.provs, label)
+		}
+		if len(u.extractors) >= 8 {
+			many.Add(u.provs, label)
+		}
+	}
+	tb := &Table{ID: "fig18", Title: "Accuracy by #provenances and #extractors",
+		Header: []string{"#Provenances", "All", "1 extractor", ">=8 extractors"}}
+	buckets := [][2]int{{1, 1}, {2, 3}, {4, 7}, {8, 15}, {16, 31}, {32, 1 << 30}}
+	cell := func(c *stats.AccuracyCurve, b [2]int) string {
+		r, n := c.RateBetween(b[0], b[1])
+		if n == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f (%d)", r, n)
+	}
+	for _, b := range buckets {
+		label := fmt.Sprintf("%d-%d", b[0], b[1])
+		if b[1] >= 1<<30 {
+			label = fmt.Sprintf(">=%d", b[0])
+		}
+		tb.AddRow(label, cell(all, b), cell(one, b), cell(many, b))
+	}
+	loAll, _ := all.RateBetween(4, 1<<30)
+	loOne, nOne := one.RateBetween(4, 1<<30)
+	hiMany, nMany := many.RateBetween(4, 1<<30)
+	if nOne > 0 && nMany > 0 {
+		tb.Notef("at >=4 provenances: all %.2f, single-extractor %.2f, >=8 extractors %.2f (paper: multi-extractor much higher)",
+			loAll, loOne, hiMany)
+	}
+	return tb
+}
+
+// Figure19 reproduces Figure 19: the kappa distribution across extractor
+// pairs, split into same-content-type vs different-content-type pairs.
+func Figure19(ds *Dataset) *Table {
+	pairs := eval.KappaMatrix(ds.Extractions, func(a, b string) bool {
+		return ds.Suite.ContentTypeOf(a) == ds.Suite.ContentTypeOf(b)
+	})
+	tb := &Table{ID: "fig19", Title: "Kappa measure across extractor pairs",
+		Header: []string{"Kappa bucket", "Same type", "Different type"}}
+	same := stats.NewHistogram(-0.05, 0.05, 10)
+	diff := stats.NewHistogram(-0.05, 0.05, 10)
+	var negN, posN, indepN int
+	for _, p := range pairs {
+		if p.SameType {
+			same.Add(p.Kappa)
+		} else {
+			diff.Add(p.Kappa)
+		}
+		switch {
+		case p.Kappa < -1e-4:
+			negN++
+		case p.Kappa > 1e-4:
+			posN++
+		default:
+			indepN++
+		}
+	}
+	for i := range same.Counts {
+		tb.AddRow(same.BucketLabel(i), same.Counts[i], diff.Counts[i])
+	}
+	tb.Notef("pairs: %d total, %d anti-correlated, %d positively correlated, %d ~independent (paper: 40%% anti-correlated, 5 positive)",
+		len(pairs), negN, posN, indepN)
+	return tb
+}
+
+// Figure20 reproduces Figure 20: the number of gold truths per data item.
+func Figure20(ds *Dataset) *Table {
+	truths := map[kb.DataItem]int{}
+	items := map[kb.DataItem]bool{}
+	for _, u := range ds.Unique() {
+		it := u.triple.Item()
+		if !ds.Gold.HasItem(it) {
+			continue
+		}
+		items[it] = true
+		if label, ok := ds.Gold.Label(u.triple); ok && label {
+			truths[it]++
+		}
+	}
+	dist := map[int]int{}
+	for it := range items {
+		k := truths[it]
+		if k > 5 {
+			k = 6
+		}
+		dist[k]++
+	}
+	tb := &Table{ID: "fig20", Title: "#Truths per data item (gold standard)",
+		Header: []string{"#Truths", "Share of items"}}
+	total := len(items)
+	for k := 0; k <= 6; k++ {
+		if dist[k] == 0 && k > 2 {
+			continue
+		}
+		label := fmt.Sprint(k)
+		if k == 6 {
+			label = ">5"
+		}
+		tb.AddRow(label, fmt.Sprintf("%.2f", float64(dist[k])/float64(max(total, 1))))
+	}
+	tb.Notef("paper Figure 20: 70%% zero truths, 25%% one, 3%% two")
+	return tb
+}
+
+// Figure21 reproduces Figure 21: coverage and accuracy by extraction
+// confidence for TXT1, DOM2, TBL1 and ANO.
+func Figure21(ds *Dataset) *Table {
+	extractors := []string{"TXT1", "DOM2", "TBL1", "ANO"}
+	type bucket struct{ n, trueN, labeled int }
+	data := map[string][]bucket{}
+	totals := map[string]int{}
+	for _, name := range extractors {
+		data[name] = make([]bucket, 10)
+	}
+	for _, x := range ds.Extractions {
+		bs, ok := data[x.Extractor]
+		if !ok || !x.HasConfidence() {
+			continue
+		}
+		bi := int(x.Confidence * 10)
+		if bi > 9 {
+			bi = 9
+		}
+		bs[bi].n++
+		totals[x.Extractor]++
+		if label, okL := ds.Gold.Label(x.Triple); okL {
+			bs[bi].labeled++
+			if label {
+				bs[bi].trueN++
+			}
+		}
+	}
+	tb := &Table{ID: "fig21", Title: "Coverage and accuracy by extraction confidence",
+		Header: []string{"Conf bucket", "TXT1 cov/acc", "DOM2 cov/acc", "TBL1 cov/acc", "ANO cov/acc"}}
+	for bi := 0; bi < 10; bi++ {
+		row := []any{fmt.Sprintf("[%.1f,%.1f)", float64(bi)/10, float64(bi+1)/10)}
+		for _, name := range extractors {
+			b := data[name][bi]
+			cov := float64(b.n) / float64(max(totals[name], 1))
+			acc := "-"
+			if b.labeled > 0 {
+				acc = fmt.Sprintf("%.2f", float64(b.trueN)/float64(b.labeled))
+			}
+			row = append(row, fmt.Sprintf("%.2f/%s", cov, acc))
+		}
+		tb.AddRow(row...)
+	}
+	tb.Notes = append(tb.Notes,
+		"paper Figure 21: TXT1 confidences cluster mid-range and are informative;",
+		"DOM2 confidences cluster near 0/1 and are informative; ANO near 0/1 but uninformative;",
+		"TBL1 accuracy peaks at medium confidence (misleading)")
+	return tb
+}
+
+// Figure22 reproduces Figure 22: triple coverage when filtering by
+// confidence threshold.
+func Figure22(ds *Dataset) *Table {
+	// A triple survives threshold θ if any extraction of it carries
+	// confidence >= θ; extractors without confidence count as 0, since
+	// threshold filtering drops them.
+	counts := make([]int, 11)
+	bestConf := map[kb.Triple]float64{}
+	for _, x := range ds.Extractions {
+		c := 0.0
+		if x.HasConfidence() {
+			c = x.Confidence
+		}
+		if c > bestConf[x.Triple] {
+			bestConf[x.Triple] = c
+		}
+	}
+	for _, c := range bestConf {
+		for t := 0; t <= 10; t++ {
+			if c >= float64(t)/10 {
+				counts[t]++
+			}
+		}
+	}
+	tb := &Table{ID: "fig22", Title: "Coverage by confidence threshold",
+		Header: []string{"Threshold", "Coverage"}}
+	for t := 1; t <= 10; t++ {
+		tb.AddRow(fmt.Sprintf("%.1f", float64(t)/10), fmt.Sprintf("%.2f", float64(counts[t])/float64(max(len(bestConf), 1))))
+	}
+	tb.Notef("paper Figure 22: even threshold 0.1 loses ~15%% of triples")
+	return tb
+}
+
+func checkf(ok bool, msg string) string {
+	if ok {
+		return "HOLDS: " + msg
+	}
+	return "VIOLATED: " + msg
+}

@@ -1,0 +1,130 @@
+package extract
+
+import (
+	"testing"
+
+	"kfusion/internal/stats"
+	"kfusion/internal/world"
+)
+
+// confidenceProfile measures, for one extractor, accuracy per confidence
+// tercile over an extraction set.
+func confidenceProfile(w *world.World, xs []Extraction, name string) (lo, mid, hi float64, n int) {
+	curves := [3]*stats.AccuracyCurve{stats.NewAccuracyCurve(), stats.NewAccuracyCurve(), stats.NewAccuracyCurve()}
+	for _, x := range xs {
+		if x.Extractor != name || !x.HasConfidence() {
+			continue
+		}
+		n++
+		bucket := 0
+		switch {
+		case x.Confidence >= 2.0/3.0:
+			bucket = 2
+		case x.Confidence >= 1.0/3.0:
+			bucket = 1
+		}
+		curves[bucket].Add(0, w.IsTrue(x.Triple))
+	}
+	l, _ := curves[0].Rate(0)
+	m, _ := curves[1].Rate(0)
+	h, _ := curves[2].Rate(0)
+	return l, m, h, n
+}
+
+// TestConfidenceShapes verifies the four Figure 21 signatures the suite is
+// designed to produce.
+func TestConfidenceShapes(t *testing.T) {
+	w, _, _, xs := testSetup(t, 90)
+
+	// TXT1: informative — accuracy rises with confidence.
+	lo, _, hi, n := confidenceProfile(w, xs, "TXT1")
+	if n < 100 {
+		t.Skip("not enough TXT1 volume")
+	}
+	if hi <= lo {
+		t.Errorf("TXT1 not informative: lo=%.2f hi=%.2f", lo, hi)
+	}
+
+	// DOM2: bimodal but still informative.
+	lo, _, hi, n = confidenceProfile(w, xs, "DOM2")
+	if n >= 100 && hi <= lo {
+		t.Errorf("DOM2 not informative: lo=%.2f hi=%.2f", lo, hi)
+	}
+
+	// TBL1: misleading — accuracy peaks at MEDIUM confidence.
+	lo, mid, hi, n := confidenceProfile(w, xs, "TBL1")
+	if n >= 60 {
+		if mid <= lo || mid <= hi {
+			t.Errorf("TBL1 not misleading: lo=%.2f mid=%.2f hi=%.2f", lo, mid, hi)
+		}
+	}
+
+	// ANO: uninformative — high and low confidence accuracy within noise.
+	lo, _, hi, n = confidenceProfile(w, xs, "ANO")
+	if n >= 100 {
+		if diff := hi - lo; diff > 0.2 || diff < -0.2 {
+			t.Errorf("ANO suspiciously informative: lo=%.2f hi=%.2f", lo, hi)
+		}
+	}
+}
+
+// TestToxicPatternsRepeatable: the same toxic pattern must produce the same
+// wrong triple for the same statement on different pages — the mechanism
+// behind Figure 7's many-URL false triples.
+func TestToxicPatternsRepeatable(t *testing.T) {
+	w, corpus, suite, xs := testSetup(t, 91)
+	_ = corpus
+	_ = suite
+	// Group false triples by (extractor, pattern); toxic patterns show up
+	// as patterns whose extractions cluster on few distinct triples over
+	// many URLs.
+	type key struct{ ext, pattern string }
+	urls := map[key]map[string]bool{}
+	triples := map[key]map[string]bool{}
+	for _, x := range xs {
+		if x.Pattern == "" || w.IsTrue(x.Triple) {
+			continue
+		}
+		k := key{x.Extractor, x.Pattern}
+		if urls[k] == nil {
+			urls[k] = map[string]bool{}
+			triples[k] = map[string]bool{}
+		}
+		urls[k][x.URL] = true
+		triples[k][x.Triple.Encode()] = true
+	}
+	found := false
+	for k, u := range urls {
+		if len(u) >= 5 && len(triples[k]) <= len(u)/2 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no repeatable (toxic-pattern-like) false-triple cluster found")
+	}
+}
+
+// TestDifficultyDrivesAccuracy: predicates with low extraction difficulty
+// should come out more accurate than the hardest ones (Figure 4's driver).
+func TestDifficultyDrivesAccuracy(t *testing.T) {
+	w, _, _, xs := testSetup(t, 92)
+	easy, hard := stats.NewAccuracyCurve(), stats.NewAccuracyCurve()
+	for _, x := range xs {
+		d := w.Difficulty[x.Triple.Predicate]
+		switch {
+		case d < 0.15:
+			easy.Add(0, w.IsTrue(x.Triple))
+		case d > 0.55:
+			hard.Add(0, w.IsTrue(x.Triple))
+		}
+	}
+	er, en := easy.Rate(0)
+	hr, hn := hard.Rate(0)
+	if en < 100 || hn < 100 {
+		t.Skip("not enough volume in difficulty extremes")
+	}
+	if er <= hr {
+		t.Errorf("easy-predicate accuracy %.2f not above hard-predicate accuracy %.2f", er, hr)
+	}
+}

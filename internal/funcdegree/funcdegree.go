@@ -1,0 +1,150 @@
+// Package funcdegree implements the paper's §5.3 suggestion to "learn the
+// degree of functionality for each predicate (i.e., the expected number of
+// values), and to leverage this when performing fusion": most people have a
+// single spouse, but actors appear in many films — the spouse predicate is
+// nearly functional, acted-in is highly non-functional.
+//
+// Learn estimates the degree from a fusion result (no labels needed: the
+// expected number of truths per data item is the sum of the fused
+// probabilities). Rescale then relaxes the single-truth assumption: a
+// probability p under the single-truth model estimates "t is THE truth"; if
+// a predicate admits d truths, the probability that t is A truth is
+// approximately 1-(1-p)^d.
+package funcdegree
+
+import (
+	"math"
+	"sort"
+
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+)
+
+// Degrees maps predicates to their learned functionality degree (expected
+// number of true values per data item; 1 = functional).
+type Degrees map[kb.PredicateID]float64
+
+// Learn estimates per-predicate functionality degrees from a fusion result.
+// Items whose probabilities were not predicted are skipped. Degrees are
+// clamped to [1, maxDegree].
+func Learn(res *fusion.Result, maxDegree float64) Degrees {
+	if maxDegree < 1 {
+		maxDegree = 1
+	}
+	sums := map[kb.DataItem]float64{}
+	for _, f := range res.Triples {
+		if f.Predicted {
+			sums[f.Item()] += f.Probability
+		}
+	}
+	totals := map[kb.PredicateID]float64{}
+	counts := map[kb.PredicateID]int{}
+	for item, s := range sums {
+		totals[item.Predicate] += s
+		counts[item.Predicate]++
+	}
+	out := make(Degrees, len(totals))
+	for p, total := range totals {
+		d := total / float64(counts[p])
+		if d < 1 {
+			d = 1
+		}
+		if d > maxDegree {
+			d = maxDegree
+		}
+		out[p] = d
+	}
+	return out
+}
+
+// LearnFromGold estimates degrees from labeled data instead: the mean number
+// of gold-true extracted values per item, per predicate. It is the
+// supervised counterpart used when a gold standard is available.
+func LearnFromGold(res *fusion.Result, label func(kb.Triple) (bool, bool), maxDegree float64) Degrees {
+	if maxDegree < 1 {
+		maxDegree = 1
+	}
+	truths := map[kb.DataItem]int{}
+	seenItem := map[kb.DataItem]bool{}
+	for _, f := range res.Triples {
+		l, ok := label(f.Triple)
+		if !ok {
+			continue
+		}
+		seenItem[f.Item()] = true
+		if l {
+			truths[f.Item()]++
+		}
+	}
+	totals := map[kb.PredicateID]float64{}
+	counts := map[kb.PredicateID]int{}
+	for item := range seenItem {
+		totals[item.Predicate] += float64(truths[item])
+		counts[item.Predicate]++
+	}
+	out := make(Degrees, len(totals))
+	for p, total := range totals {
+		d := total / float64(counts[p])
+		if d < 1 {
+			d = 1
+		}
+		if d > maxDegree {
+			d = maxDegree
+		}
+		out[p] = d
+	}
+	return out
+}
+
+// Degree returns the learned degree for p (1 when unknown).
+func (d Degrees) Degree(p kb.PredicateID) float64 {
+	if v, ok := d[p]; ok {
+		return v
+	}
+	return 1
+}
+
+// Rescale returns a copy of res with probabilities relaxed by the learned
+// functionality degrees: p' = 1-(1-p)^d. Functional predicates (d=1) are
+// unchanged; the probabilities of plausible secondary values of highly
+// non-functional predicates rise, addressing the paper's dominant
+// false-negative class (Figure 17: 65% "multiple truths").
+func Rescale(res *fusion.Result, degrees Degrees) *fusion.Result {
+	out := &fusion.Result{
+		Rounds:       res.Rounds,
+		ProvAccuracy: res.ProvAccuracy,
+		Unpredicted:  res.Unpredicted,
+		Triples:      make([]fusion.FusedTriple, len(res.Triples)),
+	}
+	for i, f := range res.Triples {
+		if f.Predicted {
+			d := degrees.Degree(f.Triple.Predicate)
+			if d > 1 {
+				p := 1 - math.Pow(1-f.Probability, d)
+				if p > 0.995 {
+					p = 0.995
+				}
+				f.Probability = p
+			}
+		}
+		out.Triples[i] = f
+	}
+	return out
+}
+
+// Ranked returns predicates sorted by descending learned degree — a
+// diagnostic for inspecting which predicates the model considers
+// multi-valued.
+func (d Degrees) Ranked() []kb.PredicateID {
+	out := make([]kb.PredicateID, 0, len(d))
+	for p := range d {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if d[out[i]] != d[out[j]] {
+			return d[out[i]] > d[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

@@ -1,0 +1,120 @@
+package funcdegree
+
+import (
+	"math"
+	"testing"
+
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+)
+
+func fused(subj, pred, obj string, prob float64) fusion.FusedTriple {
+	return fusion.FusedTriple{
+		Triple:      kb.Triple{Subject: kb.EntityID(subj), Predicate: kb.PredicateID(pred), Object: kb.StringObject(obj)},
+		Probability: prob,
+		Predicted:   true,
+	}
+}
+
+func TestLearnDegrees(t *testing.T) {
+	res := &fusion.Result{Triples: []fusion.FusedTriple{
+		// Functional-looking: one dominant value per item.
+		fused("a", "/p/func", "x", 0.9), fused("a", "/p/func", "y", 0.05),
+		fused("b", "/p/func", "x", 0.85),
+		// Multi-valued: two strong values per item.
+		fused("a", "/p/multi", "x", 0.8), fused("a", "/p/multi", "y", 0.75),
+		fused("b", "/p/multi", "x", 0.9), fused("b", "/p/multi", "y", 0.8), fused("b", "/p/multi", "z", 0.3),
+	}}
+	d := Learn(res, 10)
+	if d.Degree("/p/func") > 1.2 {
+		t.Errorf("functional predicate degree = %.2f, want ~1", d.Degree("/p/func"))
+	}
+	if d.Degree("/p/multi") < 1.5 {
+		t.Errorf("multi-valued predicate degree = %.2f, want > 1.5", d.Degree("/p/multi"))
+	}
+	if d.Degree("/p/unknown") != 1 {
+		t.Errorf("unknown predicate degree = %.2f, want 1", d.Degree("/p/unknown"))
+	}
+	ranked := d.Ranked()
+	if len(ranked) != 2 || ranked[0] != "/p/multi" {
+		t.Errorf("Ranked = %v", ranked)
+	}
+}
+
+func TestLearnClamps(t *testing.T) {
+	res := &fusion.Result{Triples: []fusion.FusedTriple{
+		fused("a", "/p/huge", "v1", 0.99), fused("a", "/p/huge", "v2", 0.99),
+		fused("a", "/p/huge", "v3", 0.99), fused("a", "/p/huge", "v4", 0.99),
+	}}
+	d := Learn(res, 2)
+	if got := d.Degree("/p/huge"); got != 2 {
+		t.Errorf("degree not clamped to max: %.2f", got)
+	}
+	if got := Learn(res, 0.5).Degree("/p/huge"); got != 1 {
+		t.Errorf("maxDegree<1 should clamp to 1, got %.2f", got)
+	}
+}
+
+func TestLearnFromGold(t *testing.T) {
+	res := &fusion.Result{Triples: []fusion.FusedTriple{
+		fused("a", "/p/multi", "x", 0.5), fused("a", "/p/multi", "y", 0.5),
+		fused("b", "/p/multi", "x", 0.5), fused("b", "/p/multi", "y", 0.5),
+		fused("a", "/p/func", "x", 0.5), fused("a", "/p/func", "y", 0.5),
+	}}
+	label := func(tr kb.Triple) (bool, bool) {
+		if tr.Predicate == "/p/multi" {
+			return true, true // every extracted value is true → degree 2
+		}
+		return tr.Object.Str == "x", true // single truth
+	}
+	d := LearnFromGold(res, label, 10)
+	if got := d.Degree("/p/multi"); math.Abs(got-2) > 1e-9 {
+		t.Errorf("gold degree multi = %.2f, want 2", got)
+	}
+	if got := d.Degree("/p/func"); math.Abs(got-1) > 1e-9 {
+		t.Errorf("gold degree func = %.2f, want 1", got)
+	}
+}
+
+func TestRescale(t *testing.T) {
+	res := &fusion.Result{Triples: []fusion.FusedTriple{
+		fused("a", "/p/multi", "x", 0.5),
+		fused("a", "/p/func", "x", 0.5),
+		{Triple: kb.Triple{Subject: "a", Predicate: "/p/multi", Object: kb.StringObject("unpred")}, Probability: -1},
+	}}
+	d := Degrees{"/p/multi": 2, "/p/func": 1}
+	out := Rescale(res, d)
+
+	// 1-(1-0.5)^2 = 0.75 for the multi-valued predicate.
+	if got := out.Triples[0].Probability; math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("rescaled multi = %v, want 0.75", got)
+	}
+	// Functional predicate untouched.
+	if got := out.Triples[1].Probability; got != 0.5 {
+		t.Errorf("functional rescaled to %v", got)
+	}
+	// Unpredicted rows untouched.
+	if out.Triples[2].Probability != -1 {
+		t.Error("unpredicted row was rescaled")
+	}
+	// Original not mutated.
+	if res.Triples[0].Probability != 0.5 {
+		t.Error("Rescale mutated its input")
+	}
+}
+
+func TestRescaleMonotoneAndBounded(t *testing.T) {
+	d := Degrees{"/p/m": 3}
+	prev := -1.0
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		res := &fusion.Result{Triples: []fusion.FusedTriple{fused("a", "/p/m", "x", p)}}
+		got := Rescale(res, d).Triples[0].Probability
+		if got < prev {
+			t.Fatalf("rescale not monotone at p=%.2f", p)
+		}
+		if got < 0 || got > 0.995 {
+			t.Fatalf("rescale out of bounds: %v", got)
+		}
+		prev = got
+	}
+}

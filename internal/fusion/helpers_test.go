@@ -1,0 +1,22 @@
+package fusion
+
+import (
+	"kfusion/internal/extract"
+	"kfusion/internal/kb"
+)
+
+// testExtraction returns a representative extraction for granularity tests.
+func testExtraction() extract.Extraction {
+	return extract.Extraction{
+		Triple: kb.Triple{
+			Subject:   "/m/07r1h",
+			Predicate: "/people/person/birth_place",
+			Object:    kb.EntityObject("/m/loc1"),
+		},
+		Extractor:  "TXT1",
+		Pattern:    "tpl2|birth place",
+		URL:        "http://wiki001.example.com/p3",
+		Site:       "wiki001.example.com",
+		Confidence: 0.8,
+	}
+}

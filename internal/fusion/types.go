@@ -1,0 +1,179 @@
+// Package fusion implements the paper's core contribution: knowledge fusion
+// by adaptation of three data-fusion methods — VOTE, ACCU and POPACCU — plus
+// the four refinements of §4.3 (provenance granularity, coverage filtering,
+// accuracy filtering, gold-standard accuracy initialization), executed as the
+// three-stage MapReduce pipeline of Figure 8 with per-reducer sampling (L)
+// and a forced round cap (R).
+//
+// The input is the three-dimensional extraction matrix flattened into
+// (triple, provenance) claims, where a provenance is an (extractor, URL)
+// pair — or a coarser/finer key under the granularity refinements. The
+// output is a calibrated probability of truth per unique triple.
+package fusion
+
+import (
+	"strings"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/kb"
+)
+
+// Granularity selects how an extraction's provenance key is built (§4.3.1).
+// The default (zero value) is the paper's basic (Extractor, URL) provenance.
+type Granularity struct {
+	// SiteLevel keys Web sources at site level instead of URL level.
+	SiteLevel bool
+	// PerPredicate appends the predicate, evaluating source quality
+	// separately per predicate.
+	PerPredicate bool
+	// PerPattern appends the extractor pattern.
+	PerPattern bool
+	// ExtractorOnly drops the Web-source component entirely: provenance =
+	// (extractor, pattern) — Figure 9's "Only ext" variant.
+	ExtractorOnly bool
+	// SourceOnly drops the extractor component: provenance = URL —
+	// Figure 9's "Only src" variant.
+	SourceOnly bool
+}
+
+// Standard granularities from the paper's experiments.
+var (
+	// GranExtractorURL is the basic (Extractor, URL) provenance.
+	GranExtractorURL = Granularity{}
+	// GranExtractorSite is (Extractor, Site).
+	GranExtractorSite = Granularity{SiteLevel: true}
+	// GranExtractorSitePred is (Extractor, Site, Predicate).
+	GranExtractorSitePred = Granularity{SiteLevel: true, PerPredicate: true}
+	// GranExtractorSitePredPattern is (Extractor, Site, Predicate, Pattern)
+	// — the best calibrated granularity in Figure 10.
+	GranExtractorSitePredPattern = Granularity{SiteLevel: true, PerPredicate: true, PerPattern: true}
+	// GranExtractorOnly is (Extractor, Pattern) — "Only ext".
+	GranExtractorOnly = Granularity{ExtractorOnly: true, PerPattern: true}
+	// GranSourceOnly is (URL) — "Only src".
+	GranSourceOnly = Granularity{SourceOnly: true}
+)
+
+// String names the granularity as in the paper's figures.
+func (g Granularity) String() string {
+	switch {
+	case g.ExtractorOnly:
+		return "(Extractor, Pattern)"
+	case g.SourceOnly:
+		return "(URL)"
+	default:
+		parts := []string{"Extractor"}
+		if g.SiteLevel {
+			parts = append(parts, "Site")
+		} else {
+			parts = append(parts, "URL")
+		}
+		if g.PerPredicate {
+			parts = append(parts, "Predicate")
+		}
+		if g.PerPattern {
+			parts = append(parts, "Pattern")
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	}
+}
+
+// Key builds the provenance key for an extraction.
+func (g Granularity) Key(x extract.Extraction) string {
+	var b strings.Builder
+	if g.SourceOnly {
+		b.WriteString(x.URL)
+		return b.String()
+	}
+	b.WriteString(x.Extractor)
+	if !g.ExtractorOnly {
+		b.WriteByte('|')
+		if g.SiteLevel {
+			b.WriteString(x.Site)
+		} else {
+			b.WriteString(x.URL)
+		}
+	}
+	if g.PerPredicate {
+		b.WriteByte('|')
+		b.WriteString(string(x.Triple.Predicate))
+	}
+	if g.PerPattern {
+		b.WriteByte('|')
+		b.WriteString(x.Pattern)
+	}
+	return b.String()
+}
+
+// Claim is one (triple, provenance) assertion — the unit the fusion methods
+// consume after reducing the 3-dimensional input.
+type Claim struct {
+	Triple kb.Triple
+	Prov   string
+	// Conf is the extractor confidence carried through for the
+	// confidence-aware extension (-1 when absent).
+	Conf float64
+	// Extractor is retained for per-extractor diagnostics (Figure 18).
+	Extractor string
+}
+
+// Claims converts extractions to claims under granularity g, deduplicating
+// (provenance, triple) pairs: a provenance asserts a triple once.
+func Claims(xs []extract.Extraction, g Granularity) []Claim {
+	type pk struct {
+		prov   string
+		triple kb.Triple
+	}
+	seen := make(map[pk]bool, len(xs))
+	out := make([]Claim, 0, len(xs))
+	for _, x := range xs {
+		prov := g.Key(x)
+		k := pk{prov: prov, triple: x.Triple}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, Claim{Triple: x.Triple, Prov: prov, Conf: x.Confidence, Extractor: x.Extractor})
+	}
+	return out
+}
+
+// FusedTriple is one output row: a unique triple with its predicted
+// probability of truth and support counts.
+type FusedTriple struct {
+	Triple kb.Triple
+	// Probability is the predicted truthfulness in [0,1]. When Predicted is
+	// false (the provenance filters removed all evidence, §4.3.2), it is -1.
+	Probability float64
+	Predicted   bool
+	// Provenances is the number of provenances asserting this triple (m in
+	// the paper's VOTE description).
+	Provenances int
+	// ItemProvenances is the total number of claims on the triple's data
+	// item (n).
+	ItemProvenances int
+	// Extractors is the number of distinct extractors asserting the triple.
+	Extractors int
+}
+
+// Item returns the data item of the fused triple.
+func (f FusedTriple) Item() kb.DataItem { return f.Triple.Item() }
+
+// Result is the output of a fusion run.
+type Result struct {
+	Triples []FusedTriple
+	// Rounds is the number of EM rounds executed (1 for VOTE).
+	Rounds int
+	// ProvAccuracy is the final accuracy estimate per provenance key.
+	ProvAccuracy map[string]float64
+	// Unpredicted counts triples for which filtering removed all evidence.
+	Unpredicted int
+}
+
+// ByTriple indexes the result for lookups.
+func (r *Result) ByTriple() map[kb.Triple]FusedTriple {
+	m := make(map[kb.Triple]FusedTriple, len(r.Triples))
+	for _, t := range r.Triples {
+		m[t.Triple] = t
+	}
+	return m
+}

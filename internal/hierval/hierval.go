@@ -1,0 +1,100 @@
+// Package hierval implements the paper's §5.4 future direction: reasoning
+// over hierarchical value spaces. "A triple with object CA partially
+// supports that San Francisco is a true object ... if several cities in CA
+// are provided as conflicting values for a data item, although we may
+// predict a low probability for each of these cities, we may predict a high
+// probability for CA."
+//
+// Adjust aggregates fused probabilities up the containment hierarchy for
+// hierarchical predicates: the adjusted probability of a value is the
+// probability that at least one of its descendants (or itself) is true,
+// approximated under independence. This repairs the paper's second
+// false-negative class — specific/general values (35% of FNs, Figure 17).
+package hierval
+
+import (
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+)
+
+// Adjust returns a copy of res where, for hierarchical predicates, each
+// entity value's probability is raised to the aggregated support of its
+// descendant cone: p'(v) = 1 - Π_{v' ⊑ v}(1 - p(v')). Non-hierarchical
+// predicates and non-entity values pass through unchanged.
+//
+// isHier reports whether a predicate's values live in the hierarchy h.
+func Adjust(res *fusion.Result, h *kb.Hierarchy, isHier func(kb.PredicateID) bool) *fusion.Result {
+	out := &fusion.Result{
+		Rounds:       res.Rounds,
+		ProvAccuracy: res.ProvAccuracy,
+		Unpredicted:  res.Unpredicted,
+		Triples:      make([]fusion.FusedTriple, len(res.Triples)),
+	}
+	copy(out.Triples, res.Triples)
+
+	// Group hierarchical-predicate triples by data item.
+	type entry struct {
+		idx int
+		obj kb.EntityID
+	}
+	byItem := map[kb.DataItem][]entry{}
+	for i, f := range res.Triples {
+		if !f.Predicted || !isHier(f.Triple.Predicate) {
+			continue
+		}
+		if obj, ok := f.Triple.Object.Entity(); ok {
+			byItem[f.Item()] = append(byItem[f.Item()], entry{idx: i, obj: obj})
+		}
+	}
+
+	for _, entries := range byItem {
+		// complementOf[v] accumulates Π(1-p) over values in v's cone.
+		complement := map[kb.EntityID]float64{}
+		bump := func(v kb.EntityID, p float64) {
+			c, ok := complement[v]
+			if !ok {
+				c = 1
+			}
+			complement[v] = c * (1 - p)
+		}
+		for _, e := range entries {
+			p := res.Triples[e.idx].Probability
+			bump(e.obj, p)
+			for _, anc := range h.Ancestors(e.obj) {
+				bump(anc, p)
+			}
+		}
+		for _, e := range entries {
+			if c, ok := complement[e.obj]; ok {
+				agg := 1 - c
+				if agg > 0.995 {
+					agg = 0.995
+				}
+				if agg > out.Triples[e.idx].Probability {
+					out.Triples[e.idx].Probability = agg
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConeSupport reports the aggregated probability mass under value v for one
+// data item in a fusion result — a diagnostic for inspecting hierarchy
+// evidence ("several cities in CA" → high CA support).
+func ConeSupport(res *fusion.Result, h *kb.Hierarchy, item kb.DataItem, v kb.EntityID) float64 {
+	complement := 1.0
+	for _, f := range res.Triples {
+		if !f.Predicted || f.Item() != item {
+			continue
+		}
+		obj, ok := f.Triple.Object.Entity()
+		if !ok {
+			continue
+		}
+		if obj == v || h.IsAncestor(v, obj) {
+			complement *= 1 - f.Probability
+		}
+	}
+	return 1 - complement
+}

@@ -1,0 +1,130 @@
+package hierval
+
+import (
+	"math"
+	"testing"
+
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+)
+
+func locTriple(subj string, loc kb.EntityID, prob float64) fusion.FusedTriple {
+	return fusion.FusedTriple{
+		Triple:      kb.Triple{Subject: kb.EntityID(subj), Predicate: "/p/birth_place", Object: kb.EntityObject(loc)},
+		Probability: prob,
+		Predicted:   true,
+	}
+}
+
+func buildHier() *kb.Hierarchy {
+	h := kb.NewHierarchy()
+	h.SetParent("sf", "ca")
+	h.SetParent("la", "ca")
+	h.SetParent("ca", "usa")
+	h.SetParent("nyc", "ny")
+	h.SetParent("ny", "usa")
+	return h
+}
+
+func isHier(p kb.PredicateID) bool { return p == "/p/birth_place" }
+
+func TestCitiesSupportState(t *testing.T) {
+	// The paper's motivating case: several Californian cities claimed for
+	// one item — each individually weak, CA collectively strong.
+	h := buildHier()
+	res := &fusion.Result{Triples: []fusion.FusedTriple{
+		locTriple("s", "sf", 0.4),
+		locTriple("s", "la", 0.4),
+		locTriple("s", "ca", 0.1),
+	}}
+	out := Adjust(res, h, isHier)
+	var ca float64
+	for _, f := range out.Triples {
+		if obj, _ := f.Triple.Object.Entity(); obj == "ca" {
+			ca = f.Probability
+		}
+	}
+	// 1 - (1-0.4)(1-0.4)(1-0.1) = 0.676
+	if math.Abs(ca-0.676) > 1e-9 {
+		t.Errorf("CA aggregated = %v, want 0.676", ca)
+	}
+	// City probabilities unchanged (no descendants).
+	for _, f := range out.Triples {
+		if obj, _ := f.Triple.Object.Entity(); obj == "sf" && f.Probability != 0.4 {
+			t.Errorf("SF changed: %v", f.Probability)
+		}
+	}
+}
+
+func TestUnrelatedBranchUnaffected(t *testing.T) {
+	h := buildHier()
+	res := &fusion.Result{Triples: []fusion.FusedTriple{
+		locTriple("s", "sf", 0.8),
+		locTriple("s", "nyc", 0.1),
+	}}
+	out := Adjust(res, h, isHier)
+	for _, f := range out.Triples {
+		obj, _ := f.Triple.Object.Entity()
+		if obj == "nyc" && f.Probability != 0.1 {
+			t.Errorf("NYC boosted by SF evidence: %v", f.Probability)
+		}
+	}
+}
+
+func TestNonHierPredicateUntouched(t *testing.T) {
+	h := buildHier()
+	res := &fusion.Result{Triples: []fusion.FusedTriple{
+		{Triple: kb.Triple{Subject: "s", Predicate: "/p/other", Object: kb.EntityObject("sf")}, Probability: 0.3, Predicted: true},
+	}}
+	out := Adjust(res, h, isHier)
+	if out.Triples[0].Probability != 0.3 {
+		t.Errorf("non-hierarchical predicate adjusted: %v", out.Triples[0].Probability)
+	}
+}
+
+func TestNeverDecreases(t *testing.T) {
+	h := buildHier()
+	res := &fusion.Result{Triples: []fusion.FusedTriple{
+		locTriple("s", "usa", 0.9),
+		locTriple("s", "sf", 0.05),
+	}}
+	out := Adjust(res, h, isHier)
+	for i, f := range out.Triples {
+		if f.Probability < res.Triples[i].Probability {
+			t.Errorf("Adjust lowered %v: %v -> %v", f.Triple, res.Triples[i].Probability, f.Probability)
+		}
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	h := buildHier()
+	res := &fusion.Result{Triples: []fusion.FusedTriple{
+		locTriple("s", "sf", 0.5),
+		locTriple("s", "ca", 0.2),
+	}}
+	Adjust(res, h, isHier)
+	if res.Triples[1].Probability != 0.2 {
+		t.Error("Adjust mutated its input")
+	}
+}
+
+func TestConeSupport(t *testing.T) {
+	h := buildHier()
+	res := &fusion.Result{Triples: []fusion.FusedTriple{
+		locTriple("s", "sf", 0.5),
+		locTriple("s", "la", 0.5),
+		locTriple("s", "nyc", 0.5),
+	}}
+	item := kb.DataItem{Subject: "s", Predicate: "/p/birth_place"}
+	ca := ConeSupport(res, h, item, "ca")
+	if math.Abs(ca-0.75) > 1e-9 {
+		t.Errorf("ConeSupport(ca) = %v, want 0.75", ca)
+	}
+	usa := ConeSupport(res, h, item, "usa")
+	if math.Abs(usa-0.875) > 1e-9 {
+		t.Errorf("ConeSupport(usa) = %v, want 0.875", usa)
+	}
+	if got := ConeSupport(res, h, item, "sf"); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("ConeSupport(sf) = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,181 @@
+package kb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ValueDomain describes what kind of values a predicate takes, which the
+// world generator uses to synthesize plausible true and confusable false
+// values and the extractors use to render content.
+type ValueDomain uint8
+
+const (
+	// DomainEntity predicates point at other entities (e.g. birth place).
+	DomainEntity ValueDomain = iota
+	// DomainString predicates carry free strings (e.g. description).
+	DomainString
+	// DomainNumber predicates carry numbers (e.g. release year, height).
+	DomainNumber
+)
+
+// String returns a short name for the domain.
+func (d ValueDomain) String() string {
+	switch d {
+	case DomainEntity:
+		return "entity"
+	case DomainString:
+		return "string"
+	case DomainNumber:
+		return "number"
+	default:
+		return fmt.Sprintf("ValueDomain(%d)", uint8(d))
+	}
+}
+
+// Predicate is the schema entry for one predicate. A predicate is associated
+// with a single subject type (§3.1.1: "typically a predicate is associated
+// with a single type and can be considered as the attribute of entities in
+// that type").
+type Predicate struct {
+	ID          PredicateID
+	SubjectType TypeID
+	Domain      ValueDomain
+	// ObjectType constrains entity-valued objects to a type (e.g. birth
+	// place values are locations). Empty for non-entity domains.
+	ObjectType TypeID
+	// Functional reports whether the predicate admits a single true value
+	// per subject (birth date) or several (children, acted-in).
+	Functional bool
+	// Cardinality is the expected number of true values per subject for
+	// non-functional predicates (the "degree of functionality" of §5.3).
+	// Functional predicates have Cardinality 1.
+	Cardinality float64
+	// Hierarchical marks predicates whose entity values live in a
+	// containment hierarchy (e.g. birth place: city ⊂ state ⊂ country),
+	// enabling the specific/general phenomena of §4.4 and §5.4.
+	Hierarchical bool
+}
+
+// Type is the schema entry for one entity type in the shallow two-level
+// hierarchy, e.g. domain "people", name "person", ID "/people/person".
+type Type struct {
+	ID     TypeID
+	Domain string // first hierarchy level, e.g. "people"
+	Name   string // second hierarchy level, e.g. "person"
+}
+
+// Entity is a known entity: an ID, a canonical name, possible alias mentions
+// (used by the linkage simulator), and the types it belongs to.
+type Entity struct {
+	ID    EntityID
+	Name  string
+	Types []TypeID
+}
+
+// Ontology is the schema shared by the ground-truth world, the Freebase
+// snapshot and the extractors: types, predicates, entities.
+type Ontology struct {
+	types      map[TypeID]*Type
+	predicates map[PredicateID]*Predicate
+	entities   map[EntityID]*Entity
+
+	typeOrder []TypeID
+	predOrder []PredicateID
+	entOrder  []EntityID
+
+	byType map[TypeID][]EntityID
+}
+
+// NewOntology returns an empty ontology.
+func NewOntology() *Ontology {
+	return &Ontology{
+		types:      make(map[TypeID]*Type),
+		predicates: make(map[PredicateID]*Predicate),
+		entities:   make(map[EntityID]*Entity),
+		byType:     make(map[TypeID][]EntityID),
+	}
+}
+
+// AddType registers a type. Re-adding an existing ID overwrites its schema
+// but keeps ordering stable.
+func (o *Ontology) AddType(t Type) {
+	if _, ok := o.types[t.ID]; !ok {
+		o.typeOrder = append(o.typeOrder, t.ID)
+	}
+	cp := t
+	o.types[t.ID] = &cp
+}
+
+// AddPredicate registers a predicate.
+func (o *Ontology) AddPredicate(p Predicate) {
+	if p.Cardinality <= 0 {
+		if p.Functional {
+			p.Cardinality = 1
+		} else {
+			p.Cardinality = 2
+		}
+	}
+	if _, ok := o.predicates[p.ID]; !ok {
+		o.predOrder = append(o.predOrder, p.ID)
+	}
+	cp := p
+	o.predicates[p.ID] = &cp
+}
+
+// AddEntity registers an entity and indexes it under each of its types.
+func (o *Ontology) AddEntity(e Entity) {
+	if _, ok := o.entities[e.ID]; !ok {
+		o.entOrder = append(o.entOrder, e.ID)
+	}
+	cp := e
+	cp.Types = append([]TypeID(nil), e.Types...)
+	o.entities[e.ID] = &cp
+	for _, t := range cp.Types {
+		o.byType[t] = append(o.byType[t], e.ID)
+	}
+}
+
+// Type returns the schema for id, or nil if unknown.
+func (o *Ontology) Type(id TypeID) *Type { return o.types[id] }
+
+// Predicate returns the schema for id, or nil if unknown.
+func (o *Ontology) Predicate(id PredicateID) *Predicate { return o.predicates[id] }
+
+// Entity returns the entity for id, or nil if unknown.
+func (o *Ontology) Entity(id EntityID) *Entity { return o.entities[id] }
+
+// Types returns all type IDs in registration order.
+func (o *Ontology) Types() []TypeID { return o.typeOrder }
+
+// Predicates returns all predicate IDs in registration order.
+func (o *Ontology) Predicates() []PredicateID { return o.predOrder }
+
+// Entities returns all entity IDs in registration order.
+func (o *Ontology) Entities() []EntityID { return o.entOrder }
+
+// EntitiesOfType returns the IDs of entities carrying type t, in registration
+// order.
+func (o *Ontology) EntitiesOfType(t TypeID) []EntityID { return o.byType[t] }
+
+// PredicatesOfType returns the predicates whose subject type is t, sorted by
+// ID for determinism.
+func (o *Ontology) PredicatesOfType(t TypeID) []*Predicate {
+	var out []*Predicate
+	for _, id := range o.predOrder {
+		if p := o.predicates[id]; p.SubjectType == t {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NumTypes reports the number of registered types.
+func (o *Ontology) NumTypes() int { return len(o.types) }
+
+// NumPredicates reports the number of registered predicates.
+func (o *Ontology) NumPredicates() int { return len(o.predicates) }
+
+// NumEntities reports the number of registered entities.
+func (o *Ontology) NumEntities() int { return len(o.entities) }

@@ -1,0 +1,120 @@
+package kb
+
+import "sort"
+
+// Store is an in-memory triple store with the two indexes knowledge fusion
+// needs constantly: by data item (all objects claimed for a (subject,
+// predicate)) and by subject. It deduplicates triples on insert.
+//
+// Store is the substrate for both the ground-truth world (all true triples)
+// and the Freebase snapshot (the incomplete trusted KB used for the LCWA
+// gold standard).
+type Store struct {
+	byItem    map[DataItem][]Object
+	bySubject map[EntityID][]PredicateID
+	present   map[Triple]struct{}
+	n         int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		byItem:    make(map[DataItem][]Object),
+		bySubject: make(map[EntityID][]PredicateID),
+		present:   make(map[Triple]struct{}),
+	}
+}
+
+// Add inserts a triple; duplicates are ignored. It reports whether the triple
+// was newly inserted.
+func (s *Store) Add(t Triple) bool {
+	if _, ok := s.present[t]; ok {
+		return false
+	}
+	s.present[t] = struct{}{}
+	item := t.Item()
+	if len(s.byItem[item]) == 0 {
+		s.bySubject[t.Subject] = append(s.bySubject[t.Subject], t.Predicate)
+	}
+	s.byItem[item] = append(s.byItem[item], t.Object)
+	s.n++
+	return true
+}
+
+// Has reports whether the exact triple is present.
+func (s *Store) Has(t Triple) bool {
+	_, ok := s.present[t]
+	return ok
+}
+
+// HasItem reports whether any triple with the given data item is present.
+func (s *Store) HasItem(d DataItem) bool { return len(s.byItem[d]) > 0 }
+
+// Objects returns all objects stored for the data item, in insertion order.
+// The returned slice is owned by the store.
+func (s *Store) Objects(d DataItem) []Object { return s.byItem[d] }
+
+// PredicatesOf returns the predicates for which the subject has at least one
+// triple, in first-insertion order.
+func (s *Store) PredicatesOf(subject EntityID) []PredicateID { return s.bySubject[subject] }
+
+// Len reports the number of stored triples.
+func (s *Store) Len() int { return s.n }
+
+// NumItems reports the number of distinct data items.
+func (s *Store) NumItems() int { return len(s.byItem) }
+
+// Items returns all data items, sorted, for deterministic iteration.
+func (s *Store) Items() []DataItem {
+	out := make([]DataItem, 0, len(s.byItem))
+	for d := range s.byItem {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Subject != out[j].Subject {
+			return out[i].Subject < out[j].Subject
+		}
+		return out[i].Predicate < out[j].Predicate
+	})
+	return out
+}
+
+// Triples returns all stored triples sorted by (subject, predicate, object)
+// for deterministic iteration.
+func (s *Store) Triples() []Triple {
+	out := make([]Triple, 0, s.n)
+	for t := range s.present {
+		out = append(out, t)
+	}
+	SortTriples(out)
+	return out
+}
+
+// ForEachItem calls fn for every data item with its objects. Iteration order
+// is deterministic (sorted by data item).
+func (s *Store) ForEachItem(fn func(DataItem, []Object)) {
+	for _, d := range s.Items() {
+		fn(d, s.byItem[d])
+	}
+}
+
+// SortTriples sorts triples by (subject, predicate, object kind, object
+// value) for deterministic output.
+func SortTriples(ts []Triple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		if a.Predicate != b.Predicate {
+			return a.Predicate < b.Predicate
+		}
+		if a.Object.Kind != b.Object.Kind {
+			return a.Object.Kind < b.Object.Kind
+		}
+		if a.Object.Str != b.Object.Str {
+			return a.Object.Str < b.Object.Str
+		}
+		return a.Object.Num < b.Object.Num
+	})
+}

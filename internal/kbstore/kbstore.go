@@ -1,0 +1,368 @@
+// Package kbstore persists a fused knowledge base to a single compact file —
+// the "central data repository" the paper's pipeline feeds. The format is a
+// write-once, read-many snapshot:
+//
+//	[magic u32][version u8]
+//	[predicate table: count uvarint, then len-prefixed strings]
+//	[record count uvarint]
+//	[records, sorted by (subject, predicate, object)]
+//	[subject index: count uvarint, (len-prefixed subject, record offset uvarint)*]
+//	[footer: index offset u64, magic u32]
+//
+// Records delta-share their subject with the previous record (a run-length
+// byte), intern predicates through the table, and encode probabilities as
+// 16-bit fixed point — ample for calibrated truthfulness scores. The subject
+// index stores the first record offset of each distinct subject, enabling
+// O(log n) subject lookups via binary search over the in-memory index.
+package kbstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+)
+
+const (
+	magic   = 0x4b465553 // "KFUS"
+	version = 1
+)
+
+// Write persists fused triples to path. Unpredicted triples (no probability)
+// are kept with probability -1 so the store is a faithful snapshot.
+func Write(path string, triples []fusion.FusedTriple) error {
+	sorted := append([]fusion.FusedTriple(nil), triples...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i].Triple, sorted[j].Triple
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		if a.Predicate != b.Predicate {
+			return a.Predicate < b.Predicate
+		}
+		return a.Object.String() < b.Object.String()
+	})
+
+	// Predicate interning.
+	predIdx := map[kb.PredicateID]uint64{}
+	var preds []kb.PredicateID
+	for _, t := range sorted {
+		if _, ok := predIdx[t.Triple.Predicate]; !ok {
+			predIdx[t.Triple.Predicate] = uint64(len(preds))
+			preds = append(preds, t.Triple.Predicate)
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("kbstore: create: %w", err)
+	}
+	defer f.Close()
+	w := &countingWriter{w: bufio.NewWriter(f)}
+
+	writeU32(w, magic)
+	w.writeByte(version)
+	w.writeUvarint(uint64(len(preds)))
+	for _, p := range preds {
+		w.writeString(string(p))
+	}
+	w.writeUvarint(uint64(len(sorted)))
+
+	type subjEntry struct {
+		subject string
+		offset  uint64
+	}
+	var index []subjEntry
+	prevSubject := ""
+	for _, t := range sorted {
+		subj := string(t.Triple.Subject)
+		if subj != prevSubject {
+			index = append(index, subjEntry{subject: subj, offset: w.n})
+			w.writeByte(1) // new subject follows
+			w.writeString(subj)
+			prevSubject = subj
+		} else {
+			w.writeByte(0) // same subject as previous record
+		}
+		w.writeUvarint(predIdx[t.Triple.Predicate])
+		w.writeString(t.Triple.Object.String())
+		prob := t.Probability
+		if !t.Predicted {
+			prob = -1
+		}
+		w.writeU16(encodeProb(prob))
+		w.writeUvarint(uint64(t.Provenances))
+		w.writeUvarint(uint64(t.Extractors))
+	}
+
+	indexOffset := w.n
+	w.writeUvarint(uint64(len(index)))
+	for _, e := range index {
+		w.writeString(e.subject)
+		w.writeUvarint(e.offset)
+	}
+	var foot [12]byte
+	binary.LittleEndian.PutUint64(foot[:8], indexOffset)
+	binary.LittleEndian.PutUint32(foot[8:], magic)
+	w.write(foot[:])
+
+	if w.err != nil {
+		return fmt.Errorf("kbstore: write: %w", w.err)
+	}
+	if err := w.w.(*bufio.Writer).Flush(); err != nil {
+		return fmt.Errorf("kbstore: flush: %w", err)
+	}
+	return nil
+}
+
+// encodeProb maps [-1] ∪ [0,1] to 16 bits: 0 = unpredicted, 1..65535 map
+// [0,1].
+func encodeProb(p float64) uint16 {
+	if p < 0 {
+		return 0
+	}
+	v := uint16(math.Round(p*65534)) + 1
+	return v
+}
+
+func decodeProb(v uint16) (float64, bool) {
+	if v == 0 {
+		return -1, false
+	}
+	return float64(v-1) / 65534, true
+}
+
+// KB is an opened store. The whole snapshot is held in memory (the format
+// exists for compactness and interchange, not out-of-core access at this
+// scale); lookups use the subject index.
+type KB struct {
+	records []fusion.FusedTriple
+	// firstOf maps each subject to its first record position.
+	firstOf map[kb.EntityID]int
+	preds   []kb.PredicateID
+}
+
+// Open reads a store written by Write.
+func Open(path string) (*KB, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("kbstore: open: %w", err)
+	}
+	r := &reader{data: data}
+	if got := r.u32(); got != magic {
+		return nil, fmt.Errorf("kbstore: bad magic %#x", got)
+	}
+	if v := r.byte(); v != version {
+		return nil, fmt.Errorf("kbstore: unsupported version %d", v)
+	}
+	nPreds := r.uvarint()
+	kbh := &KB{firstOf: make(map[kb.EntityID]int)}
+	for i := uint64(0); i < nPreds && r.err == nil; i++ {
+		kbh.preds = append(kbh.preds, kb.PredicateID(r.str()))
+	}
+	n := r.uvarint()
+	var subject kb.EntityID
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		if r.byte() == 1 {
+			subject = kb.EntityID(r.str())
+			kbh.firstOf[subject] = len(kbh.records)
+		}
+		pi := r.uvarint()
+		if pi >= uint64(len(kbh.preds)) {
+			return nil, fmt.Errorf("kbstore: predicate index %d out of range", pi)
+		}
+		objStr := r.str()
+		obj, perr := kb.ParseObject(objStr)
+		if perr != nil {
+			return nil, fmt.Errorf("kbstore: record %d: %v", i, perr)
+		}
+		prob, predicted := decodeProb(r.u16())
+		provs := r.uvarint()
+		exts := r.uvarint()
+		kbh.records = append(kbh.records, fusion.FusedTriple{
+			Triple:      kb.Triple{Subject: subject, Predicate: kbh.preds[pi], Object: obj},
+			Probability: prob,
+			Predicted:   predicted,
+			Provenances: int(provs),
+			Extractors:  int(exts),
+		})
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("kbstore: parse: %w", r.err)
+	}
+	return kbh, nil
+}
+
+// Len reports the number of stored triples.
+func (k *KB) Len() int { return len(k.records) }
+
+// Predicates returns the interned predicate table.
+func (k *KB) Predicates() []kb.PredicateID { return k.preds }
+
+// BySubject returns all fused triples for a subject (nil if absent).
+func (k *KB) BySubject(s kb.EntityID) []fusion.FusedTriple {
+	start, ok := k.firstOf[s]
+	if !ok {
+		return nil
+	}
+	end := start
+	for end < len(k.records) && k.records[end].Triple.Subject == s {
+		end++
+	}
+	return k.records[start:end]
+}
+
+// ByItem returns the fused triples of one data item.
+func (k *KB) ByItem(d kb.DataItem) []fusion.FusedTriple {
+	var out []fusion.FusedTriple
+	for _, f := range k.BySubject(d.Subject) {
+		if f.Triple.Predicate == d.Predicate {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Above streams all triples with probability >= minProb, in subject order.
+func (k *KB) Above(minProb float64, fn func(fusion.FusedTriple) bool) {
+	for _, f := range k.records {
+		if f.Predicted && f.Probability >= minProb {
+			if !fn(f) {
+				return
+			}
+		}
+	}
+}
+
+// All returns every stored triple in subject order. The slice is owned by
+// the KB.
+func (k *KB) All() []fusion.FusedTriple { return k.records }
+
+// Stats summarizes the store.
+func (k *KB) Stats() (triples, subjects, predicted int) {
+	return len(k.records), len(k.firstOf), k.predictedCount()
+}
+
+func (k *KB) predictedCount() int {
+	n := 0
+	for _, f := range k.records {
+		if f.Predicted {
+			n++
+		}
+	}
+	return n
+}
+
+// ---- low-level encoding helpers ----
+
+type countingWriter struct {
+	w   io.Writer
+	n   uint64
+	err error
+}
+
+func (c *countingWriter) write(b []byte) {
+	if c.err != nil {
+		return
+	}
+	n, err := c.w.Write(b)
+	c.n += uint64(n)
+	c.err = err
+}
+
+func (c *countingWriter) writeByte(b byte) { c.write([]byte{b}) }
+
+func (c *countingWriter) writeUvarint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	c.write(buf[:n])
+}
+
+func (c *countingWriter) writeString(s string) {
+	c.writeUvarint(uint64(len(s)))
+	c.write([]byte(s))
+}
+
+func (c *countingWriter) writeU16(v uint16) {
+	var buf [2]byte
+	binary.LittleEndian.PutUint16(buf[:], v)
+	c.write(buf[:])
+}
+
+func writeU32(c *countingWriter, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	c.write(buf[:])
+}
+
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) fail(msg string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%s at offset %d", msg, r.pos)
+	}
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil || r.pos >= len(r.data) {
+		r.fail("truncated byte")
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.pos+2 > len(r.data) {
+		r.fail("truncated u16")
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.data[r.pos:])
+	r.pos += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.pos+4 > len(r.data) {
+		r.fail("truncated u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil || r.pos+int(n) > len(r.data) {
+		r.fail("truncated string")
+		return ""
+	}
+	s := string(r.data[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}

@@ -1,0 +1,207 @@
+package kbstore
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"kfusion/internal/exper"
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+)
+
+func sample() []fusion.FusedTriple {
+	return []fusion.FusedTriple{
+		{Triple: kb.Triple{Subject: "/m/b", Predicate: "/p/x", Object: kb.StringObject("v1")},
+			Probability: 0.93, Predicted: true, Provenances: 4, Extractors: 2},
+		{Triple: kb.Triple{Subject: "/m/a", Predicate: "/p/y", Object: kb.NumberObject(1986)},
+			Probability: 0.5, Predicted: true, Provenances: 1, Extractors: 1},
+		{Triple: kb.Triple{Subject: "/m/a", Predicate: "/p/x", Object: kb.EntityObject("/m/c")},
+			Probability: -1, Predicted: false, Provenances: 2, Extractors: 2},
+		{Triple: kb.Triple{Subject: "/m/a", Predicate: "/p/x", Object: kb.StringObject("v2")},
+			Probability: 0.07, Predicted: true, Provenances: 1, Extractors: 1},
+	}
+}
+
+func roundTrip(t *testing.T, triples []fusion.FusedTriple) *KB {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.kb")
+	if err := Write(path, triples); err != nil {
+		t.Fatal(err)
+	}
+	k, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := sample()
+	k := roundTrip(t, in)
+	if k.Len() != len(in) {
+		t.Fatalf("Len = %d, want %d", k.Len(), len(in))
+	}
+	// Records are sorted by subject; lookups by subject must return all.
+	aRecs := k.BySubject("/m/a")
+	if len(aRecs) != 3 {
+		t.Fatalf("BySubject(a) = %d records", len(aRecs))
+	}
+	bRecs := k.BySubject("/m/b")
+	if len(bRecs) != 1 || bRecs[0].Triple.Object.Str != "v1" {
+		t.Fatalf("BySubject(b) = %+v", bRecs)
+	}
+	if got := k.BySubject("/m/none"); got != nil {
+		t.Errorf("absent subject returned %v", got)
+	}
+	// Probabilities survive within 16-bit precision.
+	for _, f := range bRecs {
+		if math.Abs(f.Probability-0.93) > 1e-4 {
+			t.Errorf("probability %v, want ~0.93", f.Probability)
+		}
+	}
+	// Unpredicted rows stay unpredicted.
+	found := false
+	for _, f := range aRecs {
+		if !f.Predicted {
+			found = true
+			if f.Probability != -1 {
+				t.Errorf("unpredicted probability = %v", f.Probability)
+			}
+		}
+	}
+	if !found {
+		t.Error("unpredicted record lost")
+	}
+}
+
+func TestByItemAndAbove(t *testing.T) {
+	k := roundTrip(t, sample())
+	item := kb.DataItem{Subject: "/m/a", Predicate: "/p/x"}
+	if got := k.ByItem(item); len(got) != 2 {
+		t.Errorf("ByItem = %d records, want 2", len(got))
+	}
+	var above []float64
+	k.Above(0.4, func(f fusion.FusedTriple) bool {
+		above = append(above, f.Probability)
+		return true
+	})
+	if len(above) != 2 {
+		t.Errorf("Above(0.4) = %d records, want 2", len(above))
+	}
+	// Early stop.
+	count := 0
+	k.Above(0, func(fusion.FusedTriple) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("Above early stop visited %d", count)
+	}
+}
+
+func TestStats(t *testing.T) {
+	k := roundTrip(t, sample())
+	triples, subjects, predicted := k.Stats()
+	if triples != 4 || subjects != 2 || predicted != 3 {
+		t.Errorf("Stats = (%d,%d,%d), want (4,2,3)", triples, subjects, predicted)
+	}
+	if len(k.Predicates()) != 2 {
+		t.Errorf("Predicates = %v", k.Predicates())
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	k := roundTrip(t, nil)
+	if k.Len() != 0 {
+		t.Errorf("empty store Len = %d", k.Len())
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.kb")
+	if err := os.WriteFile(bad, []byte("not a kb file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad); err == nil {
+		t.Error("opened garbage file")
+	}
+	if _, err := Open(filepath.Join(dir, "missing.kb")); err == nil {
+		t.Error("opened missing file")
+	}
+	// Truncated file.
+	good := filepath.Join(dir, "good.kb")
+	if err := Write(good, sample()); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(good)
+	trunc := filepath.Join(dir, "trunc.kb")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(trunc); err == nil {
+		t.Error("opened truncated file")
+	}
+}
+
+func TestProbPrecisionQuick(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := float64(raw) / 65535
+		got, ok := decodeProb(encodeProb(p))
+		return ok && math.Abs(got-p) <= 1.0/65534+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if v, ok := decodeProb(encodeProb(-1)); ok || v != -1 {
+		t.Error("unpredicted sentinel lost")
+	}
+	if v, _ := decodeProb(encodeProb(1)); math.Abs(v-1) > 1e-9 {
+		t.Errorf("p=1 decodes to %v", v)
+	}
+	if v, _ := decodeProb(encodeProb(0)); math.Abs(v) > 1e-9 {
+		t.Errorf("p=0 decodes to %v", v)
+	}
+}
+
+func TestFullPipelineSnapshot(t *testing.T) {
+	ds := exper.SharedDataset(exper.ScaleSmall, 100)
+	res := ds.Fuse("popaccu", fusion.PopAccuConfig())
+	path := filepath.Join(t.TempDir(), "fused.kb")
+	if err := Write(path, res.Triples); err != nil {
+		t.Fatal(err)
+	}
+	k, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Len() != len(res.Triples) {
+		t.Fatalf("snapshot lost records: %d vs %d", k.Len(), len(res.Triples))
+	}
+	// Every triple must round-trip (modulo probability quantization and
+	// ItemProvenances, which the store does not persist).
+	want := map[kb.Triple]fusion.FusedTriple{}
+	for _, f := range res.Triples {
+		want[f.Triple] = f
+	}
+	for _, f := range k.All() {
+		w, ok := want[f.Triple]
+		if !ok {
+			t.Fatalf("unexpected triple %v", f.Triple)
+		}
+		if f.Predicted != w.Predicted || f.Provenances != w.Provenances || f.Extractors != w.Extractors {
+			t.Fatalf("metadata mismatch for %v: %+v vs %+v", f.Triple, f, w)
+		}
+		if w.Predicted && math.Abs(f.Probability-w.Probability) > 1e-4 {
+			t.Fatalf("probability drift for %v: %v vs %v", f.Triple, f.Probability, w.Probability)
+		}
+	}
+	// File should be compact: well under the JSONL equivalent.
+	info, _ := os.Stat(path)
+	if info.Size() > int64(len(res.Triples))*120 {
+		t.Errorf("store unexpectedly large: %d bytes for %d triples", info.Size(), len(res.Triples))
+	}
+}

@@ -1,0 +1,56 @@
+package kfio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadExtractions checks the JSONL reader never panics on arbitrary
+// bytes and that any accepted corpus re-serializes losslessly.
+func FuzzReadExtractions(f *testing.F) {
+	f.Add(`{"s":"/m/1","p":"/p/x","o":"s:v","extractor":"TXT1","url":"u","site":"s","conf":0.5}`)
+	f.Add(`{"s":"a","p":"b","o":"n:12","extractor":"E","url":"u","site":"s","conf":-1}`)
+	f.Add("")
+	f.Add("{not json")
+	f.Add(`{"s":"a","p":"b","o":"zz:bad"}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		xs, err := ReadExtractions(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := WriteExtractions(&buf, xs); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		back, err := ReadExtractions(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if len(back) != len(xs) {
+			t.Fatalf("record count changed: %d -> %d", len(xs), len(back))
+		}
+		for i := range xs {
+			if xs[i] != back[i] {
+				t.Fatalf("record %d drifted: %+v vs %+v", i, xs[i], back[i])
+			}
+		}
+	})
+}
+
+// FuzzReadGold checks the gold-label reader on arbitrary bytes.
+func FuzzReadGold(f *testing.F) {
+	f.Add(`{"s":"a","p":"b","o":"s:x","label":true}`)
+	f.Add("junk")
+	f.Fuzz(func(t *testing.T, in string) {
+		labeler, n, err := ReadGold(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if n < 0 {
+			t.Fatal("negative label count")
+		}
+		if labeler == nil {
+			t.Fatal("nil labeler on success")
+		}
+	})
+}

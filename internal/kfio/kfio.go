@@ -1,0 +1,233 @@
+// Package kfio serializes the pipeline's interchange records as JSON Lines:
+// extractions (kfgen → kfuse), gold labels (kfgen → kfuse/kfeval) and fused
+// triples (kfuse → kfeval). JSONL keeps the tools composable with standard
+// Unix tooling and streams without loading whole corpora.
+package kfio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+)
+
+// ExtractionRecord is the JSONL form of one extraction.
+type ExtractionRecord struct {
+	Subject   string  `json:"s"`
+	Predicate string  `json:"p"`
+	Object    string  `json:"o"`
+	Extractor string  `json:"extractor"`
+	Pattern   string  `json:"pattern,omitempty"`
+	URL       string  `json:"url"`
+	Site      string  `json:"site"`
+	Conf      float64 `json:"conf"`
+}
+
+// GoldRecord is the JSONL form of one gold label.
+type GoldRecord struct {
+	Subject   string `json:"s"`
+	Predicate string `json:"p"`
+	Object    string `json:"o"`
+	Label     bool   `json:"label"`
+}
+
+// FusedRecord is the JSONL form of one fused triple.
+type FusedRecord struct {
+	Subject     string  `json:"s"`
+	Predicate   string  `json:"p"`
+	Object      string  `json:"o"`
+	Probability float64 `json:"prob"`
+	Predicted   bool    `json:"predicted"`
+	Provenances int     `json:"provenances"`
+	Extractors  int     `json:"extractors"`
+}
+
+// WriteExtractions writes extractions as JSONL.
+func WriteExtractions(w io.Writer, xs []extract.Extraction) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, x := range xs {
+		rec := ExtractionRecord{
+			Subject:   string(x.Triple.Subject),
+			Predicate: string(x.Triple.Predicate),
+			Object:    x.Triple.Object.String(),
+			Extractor: x.Extractor,
+			Pattern:   x.Pattern,
+			URL:       x.URL,
+			Site:      x.Site,
+			Conf:      x.Confidence,
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("kfio: write extraction: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadExtractions parses JSONL extractions. Error attribution is hidden in
+// files (it is simulator ground truth), so Extraction.Error is always
+// ErrNone after a round trip.
+func ReadExtractions(r io.Reader) ([]extract.Extraction, error) {
+	var out []extract.Extraction
+	sc := newScanner(r)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec ExtractionRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("kfio: parse extraction line %d: %w", sc.line, err)
+		}
+		obj, err := kb.ParseObject(rec.Object)
+		if err != nil {
+			return nil, fmt.Errorf("kfio: extraction line %d: %w", sc.line, err)
+		}
+		out = append(out, extract.Extraction{
+			Triple: kb.Triple{
+				Subject:   kb.EntityID(rec.Subject),
+				Predicate: kb.PredicateID(rec.Predicate),
+				Object:    obj,
+			},
+			Extractor:  rec.Extractor,
+			Pattern:    rec.Pattern,
+			URL:        rec.URL,
+			Site:       rec.Site,
+			Confidence: rec.Conf,
+		})
+	}
+	return out, sc.Err()
+}
+
+// WriteGold writes gold labels for the given triples.
+func WriteGold(w io.Writer, label func(kb.Triple) (bool, bool), triples []kb.Triple) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	seen := make(map[kb.Triple]bool, len(triples))
+	for _, t := range triples {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		l, ok := label(t)
+		if !ok {
+			continue
+		}
+		rec := GoldRecord{Subject: string(t.Subject), Predicate: string(t.Predicate), Object: t.Object.String(), Label: l}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("kfio: write gold: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadGold parses JSONL gold labels into a labeling function over the read
+// set (triples absent from the file are unlabeled).
+func ReadGold(r io.Reader) (func(kb.Triple) (bool, bool), int, error) {
+	labels := make(map[kb.Triple]bool)
+	sc := newScanner(r)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec GoldRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, 0, fmt.Errorf("kfio: parse gold line %d: %w", sc.line, err)
+		}
+		obj, err := kb.ParseObject(rec.Object)
+		if err != nil {
+			return nil, 0, fmt.Errorf("kfio: gold line %d: %w", sc.line, err)
+		}
+		t := kb.Triple{Subject: kb.EntityID(rec.Subject), Predicate: kb.PredicateID(rec.Predicate), Object: obj}
+		labels[t] = rec.Label
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return func(t kb.Triple) (bool, bool) {
+		l, ok := labels[t]
+		return l, ok
+	}, len(labels), nil
+}
+
+// WriteFused writes fused triples as JSONL.
+func WriteFused(w io.Writer, res *fusion.Result) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, f := range res.Triples {
+		rec := FusedRecord{
+			Subject:     string(f.Triple.Subject),
+			Predicate:   string(f.Triple.Predicate),
+			Object:      f.Triple.Object.String(),
+			Probability: f.Probability,
+			Predicted:   f.Predicted,
+			Provenances: f.Provenances,
+			Extractors:  f.Extractors,
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("kfio: write fused: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFused parses JSONL fused triples.
+func ReadFused(r io.Reader) (*fusion.Result, error) {
+	res := &fusion.Result{}
+	sc := newScanner(r)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec FusedRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("kfio: parse fused line %d: %w", sc.line, err)
+		}
+		obj, err := kb.ParseObject(rec.Object)
+		if err != nil {
+			return nil, fmt.Errorf("kfio: fused line %d: %w", sc.line, err)
+		}
+		f := fusion.FusedTriple{
+			Triple: kb.Triple{
+				Subject:   kb.EntityID(rec.Subject),
+				Predicate: kb.PredicateID(rec.Predicate),
+				Object:    obj,
+			},
+			Probability: rec.Probability,
+			Predicted:   rec.Predicted,
+			Provenances: rec.Provenances,
+			Extractors:  rec.Extractors,
+		}
+		if !f.Predicted {
+			res.Unpredicted++
+		}
+		res.Triples = append(res.Triples, f)
+	}
+	return res, sc.Err()
+}
+
+// lineScanner wraps bufio.Scanner with a line counter and a generous buffer.
+type lineScanner struct {
+	*bufio.Scanner
+	line int
+}
+
+func newScanner(r io.Reader) *lineScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	return &lineScanner{Scanner: sc}
+}
+
+func (s *lineScanner) Scan() bool {
+	ok := s.Scanner.Scan()
+	if ok {
+		s.line++
+	}
+	return ok
+}

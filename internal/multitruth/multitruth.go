@@ -1,0 +1,257 @@
+// Package multitruth implements the paper's §5.3 future direction: handling
+// non-functional predicates with a latent truth model in the style of Zhao
+// et al. (PVLDB 2012). Instead of a single-truth softmax per data item, each
+// candidate triple carries an independent Bernoulli truth variable, and each
+// provenance is described by its sensitivity (probability of claiming a true
+// triple it has the chance to claim) and specificity (probability of NOT
+// claiming a false one). The model therefore can assign high probability to
+// several values of one data item — exactly what the single-truth models
+// cannot do, and the cause of 65% of their false negatives (Figure 17).
+package multitruth
+
+import (
+	"fmt"
+	"math"
+
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+	"kfusion/internal/mapreduce"
+)
+
+// Config parameterizes the latent truth model.
+type Config struct {
+	// Rounds is the EM round cap.
+	Rounds int
+	// PriorTrue is the prior probability that a candidate triple is true.
+	PriorTrue float64
+	// InitSens and InitSpec initialize provenance sensitivity/specificity.
+	InitSens float64
+	InitSpec float64
+	// Smoothing is the Beta pseudo-count used in the M-step.
+	Smoothing float64
+	// Workers configures the MapReduce substrate (0 = auto).
+	Workers int
+}
+
+// DefaultConfig returns the configuration used in the ablation experiments.
+func DefaultConfig() Config {
+	return Config{Rounds: 5, PriorTrue: 0.35, InitSens: 0.7, InitSpec: 0.9, Smoothing: 1}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Rounds < 1 {
+		return fmt.Errorf("multitruth: Rounds must be >= 1, got %d", c.Rounds)
+	}
+	if c.PriorTrue <= 0 || c.PriorTrue >= 1 {
+		return fmt.Errorf("multitruth: PriorTrue must be in (0,1), got %v", c.PriorTrue)
+	}
+	if c.InitSens <= 0 || c.InitSens >= 1 || c.InitSpec <= 0 || c.InitSpec >= 1 {
+		return fmt.Errorf("multitruth: InitSens/InitSpec must be in (0,1)")
+	}
+	if c.Smoothing < 0 {
+		return fmt.Errorf("multitruth: Smoothing must be >= 0, got %v", c.Smoothing)
+	}
+	return nil
+}
+
+type provParams struct {
+	sens float64
+	spec float64
+}
+
+// Fuse runs the latent truth model over claims and returns independent
+// per-triple probabilities (they do NOT sum to 1 within a data item).
+func Fuse(claims []fusion.Claim, cfg Config) (*fusion.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Index: triples, items, and which provenances saw which items.
+	type tripleInfo struct {
+		triple   kb.Triple
+		claimers []string
+	}
+	tripleIdx := map[kb.Triple]int{}
+	var triples []tripleInfo
+	itemProvs := map[kb.DataItem]map[string]bool{}
+	itemTriples := map[kb.DataItem][]int{}
+	provs := map[string]*provParams{}
+	seenClaim := map[[2]string]bool{}
+
+	for _, c := range claims {
+		item := c.Triple.Item()
+		ti, ok := tripleIdx[c.Triple]
+		if !ok {
+			ti = len(triples)
+			tripleIdx[c.Triple] = ti
+			triples = append(triples, tripleInfo{triple: c.Triple})
+			itemTriples[item] = append(itemTriples[item], ti)
+		}
+		key := [2]string{c.Prov, c.Triple.Encode()}
+		if !seenClaim[key] {
+			seenClaim[key] = true
+			triples[ti].claimers = append(triples[ti].claimers, c.Prov)
+		}
+		if itemProvs[item] == nil {
+			itemProvs[item] = map[string]bool{}
+		}
+		itemProvs[item][c.Prov] = true
+		if provs[c.Prov] == nil {
+			provs[c.Prov] = &provParams{sens: cfg.InitSens, spec: cfg.InitSpec}
+		}
+	}
+
+	probs := make([]float64, len(triples))
+	logPrior := math.Log(cfg.PriorTrue) - math.Log(1-cfg.PriorTrue)
+
+	items := make([]kb.DataItem, 0, len(itemTriples))
+	for it := range itemTriples {
+		items = append(items, it)
+	}
+
+	eStep := func() {
+		job := mapreduce.Job[kb.DataItem, int, float64, struct{}]{
+			Name: "ltm-estep",
+			Map: func(item kb.DataItem, emit func(int, float64)) {
+				seers := itemProvs[item]
+				for _, ti := range itemTriples[item] {
+					claimed := map[string]bool{}
+					for _, p := range triples[ti].claimers {
+						claimed[p] = true
+					}
+					logOdds := logPrior
+					for p := range seers {
+						pp := provs[p]
+						if claimed[p] {
+							logOdds += math.Log(pp.sens) - math.Log(1-pp.spec)
+						} else {
+							logOdds += math.Log(1-pp.sens) - math.Log(pp.spec)
+						}
+					}
+					emit(ti, sigmoid(logOdds))
+				}
+			},
+			Reduce: func(ti int, vs []float64, emit func(struct{})) {
+				probs[ti] = vs[0]
+			},
+			KeyHash: func(ti int) uint64 { return uint64(ti)*0x9e3779b97f4a7c15 + 1 },
+			Workers: cfg.Workers,
+		}
+		mapreduce.MustRun(job, items)
+	}
+
+	mStep := func() float64 {
+		type acc struct {
+			claimedTrue, sawTrue     float64
+			unclaimedFalse, sawFalse float64
+		}
+		accs := map[string]*acc{}
+		for p := range provs {
+			accs[p] = &acc{}
+		}
+		for it, seers := range itemProvs {
+			for _, ti := range itemTriples[it] {
+				claimed := map[string]bool{}
+				for _, p := range triples[ti].claimers {
+					claimed[p] = true
+				}
+				pt := probs[ti]
+				for p := range seers {
+					a := accs[p]
+					a.sawTrue += pt
+					a.sawFalse += 1 - pt
+					if claimed[p] {
+						a.claimedTrue += pt
+					} else {
+						a.unclaimedFalse += 1 - pt
+					}
+				}
+			}
+		}
+		// Beta smoothing anchored at the INITIAL sensitivity/specificity:
+		// provenances with little evidence keep their priors instead of
+		// collapsing toward 0.5 and losing all discrimination. The
+		// specificity prior is much stronger (as in Zhao et al.): the
+		// universe of false triples is vast and sources rarely claim them,
+		// so the few observed false candidates must not drag spec down.
+		sSens := cfg.Smoothing * 2
+		sSpec := cfg.Smoothing * 10
+		maxDelta := 0.0
+		for p, a := range accs {
+			pp := provs[p]
+			newSens := clamp01((a.claimedTrue + sSens*cfg.InitSens) / (a.sawTrue + sSens))
+			newSpec := clamp01((a.unclaimedFalse + sSpec*cfg.InitSpec) / (a.sawFalse + sSpec))
+			if d := math.Abs(newSens - pp.sens); d > maxDelta {
+				maxDelta = d
+			}
+			if d := math.Abs(newSpec - pp.spec); d > maxDelta {
+				maxDelta = d
+			}
+			pp.sens, pp.spec = newSens, newSpec
+		}
+		return maxDelta
+	}
+
+	rounds := 0
+	mapreduce.Iterate(struct{}{}, cfg.Rounds, func(_ struct{}, r int) (struct{}, bool) {
+		eStep()
+		rounds++
+		return struct{}{}, mStep() < 1e-4
+	})
+	eStep() // final probabilities under converged parameters
+
+	res := &fusion.Result{Rounds: rounds, ProvAccuracy: map[string]float64{}}
+	for p, pp := range provs {
+		res.ProvAccuracy[p] = pp.sens // report sensitivity as the headline quality
+	}
+	itemCounts := map[kb.DataItem]int{}
+	for _, c := range claims {
+		itemCounts[c.Triple.Item()]++
+	}
+	for ti := range triples {
+		t := triples[ti]
+		exts := map[string]bool{}
+		for _, p := range t.claimers {
+			exts[p] = true
+		}
+		res.Triples = append(res.Triples, fusion.FusedTriple{
+			Triple:          t.triple,
+			Probability:     probs[ti],
+			Predicted:       true,
+			Provenances:     len(t.claimers),
+			ItemProvenances: itemCounts[t.triple.Item()],
+			Extractors:      len(exts),
+		})
+	}
+	return res, nil
+}
+
+// MustFuse is Fuse for statically-valid configurations.
+func MustFuse(claims []fusion.Claim, cfg Config) *fusion.Result {
+	r, err := Fuse(claims, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+func clamp01(v float64) float64 {
+	const lo, hi = 0.01, 0.99
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,229 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitDeterministicAndIndependent(t *testing.T) {
+	a := New(7).Split("pages")
+	b := New(7).Split("pages")
+	c := New(7).Split("sites")
+	same, diff := 0, 0
+	for i := 0; i < 256; i++ {
+		av, bv, cv := a.Float64(), b.Float64(), c.Float64()
+		if av == bv {
+			same++
+		}
+		if av != cv {
+			diff++
+		}
+	}
+	if same != 256 {
+		t.Errorf("same-label splits matched on %d/256 draws, want 256", same)
+	}
+	if diff < 250 {
+		t.Errorf("different-label splits matched too often: only %d/256 draws differ", diff)
+	}
+}
+
+func TestSplitDoesNotConsumeParent(t *testing.T) {
+	a, b := New(99), New(99)
+	_ = a.Split("x")
+	_ = a.SplitN("y", 3)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("Split consumed parent randomness (draw %d)", i)
+		}
+	}
+}
+
+func TestSplitNDistinct(t *testing.T) {
+	parent := New(5)
+	seen := make(map[float64]bool)
+	for i := int64(0); i < 100; i++ {
+		v := parent.SplitN("page", i).Float64()
+		if seen[v] {
+			t.Fatalf("SplitN produced duplicate first draw for index %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBoolEdgeCases(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100; i++ {
+		if s.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !s.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	s := New(2)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %.4f, want ~0.30", got)
+	}
+}
+
+func TestClamped01Range(t *testing.T) {
+	s := New(3)
+	err := quick.Check(func(mean, sd float64) bool {
+		m := math.Mod(math.Abs(mean), 2) - 0.5 // spread around [−0.5, 1.5]
+		d := math.Mod(math.Abs(sd), 1)
+		v := s.Clamped01(m, d)
+		return v >= 0 && v <= 1
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	s := New(4)
+	z := s.NewZipf(1.5, 1000)
+	counts := make(map[int]int)
+	n := 50000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] < counts[10] {
+		t.Errorf("Zipf head not heavy: count(0)=%d < count(10)=%d", counts[0], counts[10])
+	}
+	if counts[0] < n/10 {
+		t.Errorf("Zipf rank-0 mass too small: %d/%d", counts[0], n)
+	}
+}
+
+func TestZipfClampsBadParams(t *testing.T) {
+	s := New(5)
+	z := s.NewZipf(0.5, 0) // exponent and n both invalid
+	for i := 0; i < 10; i++ {
+		if v := z.Next(); v != 0 {
+			t.Fatalf("Zipf over singleton support returned %d", v)
+		}
+	}
+}
+
+func TestCategoricalProportions(t *testing.T) {
+	s := New(6)
+	c := NewCategorical([]float64{1, 0, 3})
+	counts := make([]int, 3)
+	n := 60000
+	for i := 0; i < n; i++ {
+		counts[c.Sample(s)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight category sampled %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("weight-3 / weight-1 sample ratio = %.2f, want ~3", ratio)
+	}
+}
+
+func TestCategoricalAllZeroUniform(t *testing.T) {
+	s := New(7)
+	c := NewCategorical([]float64{0, 0, 0, 0})
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[c.Sample(s)]++
+	}
+	for i, got := range counts {
+		if got < 8000 || got > 12000 {
+			t.Errorf("all-zero-weight category %d sampled %d/40000, want ~10000", i, got)
+		}
+	}
+}
+
+func TestReservoirExactUnderCapacity(t *testing.T) {
+	r := NewReservoir[int](10, New(8))
+	for i := 0; i < 7; i++ {
+		r.Add(i)
+	}
+	if len(r.Items()) != 7 || r.Seen() != 7 {
+		t.Fatalf("reservoir under capacity: len=%d seen=%d", len(r.Items()), r.Seen())
+	}
+	for i, v := range r.Items() {
+		if v != i {
+			t.Fatalf("reservoir reordered items under capacity: %v", r.Items())
+		}
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Each of 100 items should land in a k=10 reservoir with p≈0.1.
+	hits := make([]int, 100)
+	trials := 2000
+	parent := New(9)
+	for tr := 0; tr < trials; tr++ {
+		r := NewReservoir[int](10, parent.SplitN("trial", int64(tr)))
+		for i := 0; i < 100; i++ {
+			r.Add(i)
+		}
+		for _, v := range r.Items() {
+			hits[v]++
+		}
+	}
+	for i, h := range hits {
+		p := float64(h) / float64(trials)
+		if p < 0.05 || p > 0.16 {
+			t.Errorf("item %d selected with frequency %.3f, want ~0.10", i, p)
+		}
+	}
+}
+
+func TestReservoirCapacityClamp(t *testing.T) {
+	r := NewReservoir[int](0, New(10))
+	for i := 0; i < 5; i++ {
+		r.Add(i)
+	}
+	if len(r.Items()) != 1 {
+		t.Fatalf("capacity-0 reservoir holds %d items, want 1", len(r.Items()))
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(11)
+	p := s.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(12)
+	for i := 0; i < 1000; i++ {
+		if v := s.LogNormal01(1, 2); v <= 0 {
+			t.Fatalf("LogNormal01 returned non-positive %v", v)
+		}
+	}
+}

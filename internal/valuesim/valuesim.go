@@ -1,0 +1,188 @@
+// Package valuesim implements the second half of the paper's §5.4 future
+// direction: exploiting similarity between values. "Values can be similar to
+// each other; for example, 8849 and 8850 are similar in their numerical
+// value ... A triple with a particular object presumably also partially
+// supports a similar object."
+//
+// Extraction garbage is often a near-miss of the real value — a truncated
+// span, an off-by-one digit. Under exact-match fusion that support is lost;
+// here, values of one data item are clustered by similarity, and every value
+// is credited with its cluster's aggregate support (noisy-or), so near-miss
+// readings reinforce the value they approximate instead of competing with
+// it.
+package valuesim
+
+import (
+	"math"
+	"strings"
+
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+)
+
+// Config controls similarity thresholds.
+type Config struct {
+	// MaxEditDistance is the Levenshtein bound for string similarity.
+	MaxEditDistance int
+	// MinPrefixLen treats a string as similar to any string it prefixes
+	// (truncated spans), provided the prefix is at least this long.
+	MinPrefixLen int
+	// NumericTolerance is the relative difference bound for numbers
+	// (|a-b| / max(|a|,|b|)).
+	NumericTolerance float64
+}
+
+// DefaultConfig returns the thresholds used in the ablation.
+func DefaultConfig() Config {
+	return Config{MaxEditDistance: 2, MinPrefixLen: 4, NumericTolerance: 0.002}
+}
+
+// Similar reports whether two objects are similar under cfg. Entity
+// references are similar only when identical (identity is what entity
+// linkage is for); strings and numbers use the configured tolerances.
+func Similar(a, b kb.Object, cfg Config) bool {
+	if a == b {
+		return true
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case kb.KindEntity:
+		return false
+	case kb.KindNumber:
+		den := math.Max(math.Abs(a.Num), math.Abs(b.Num))
+		if den == 0 {
+			return true
+		}
+		return math.Abs(a.Num-b.Num)/den <= cfg.NumericTolerance
+	default:
+		return similarStrings(a.Str, b.Str, cfg)
+	}
+}
+
+func similarStrings(a, b string, cfg Config) bool {
+	if a == b {
+		return true
+	}
+	// Truncated-span relation: one is a long-enough prefix of the other.
+	short, long := a, b
+	if len(short) > len(long) {
+		short, long = long, short
+	}
+	if len(short) >= cfg.MinPrefixLen && strings.HasPrefix(long, short) {
+		return true
+	}
+	// Bounded edit distance, early-exit on length gap. Applied only to
+	// strings long enough to carry signal — any two short tokens sit within
+	// a couple of edits of each other.
+	if len(short) < cfg.MinPrefixLen {
+		return false
+	}
+	if abs(len(a)-len(b)) > cfg.MaxEditDistance {
+		return false
+	}
+	return editDistanceAtMost(a, b, cfg.MaxEditDistance)
+}
+
+// editDistanceAtMost reports whether Levenshtein(a,b) <= k using the banded
+// dynamic program (O(k·min(len)) space and time).
+func editDistanceAtMost(a, b string, k int) bool {
+	if k < 0 {
+		return false
+	}
+	la, lb := len(a), len(b)
+	if la > lb {
+		a, b = b, a
+		la, lb = lb, la
+	}
+	if lb-la > k {
+		return false
+	}
+	prev := make([]int, la+1)
+	cur := make([]int, la+1)
+	for i := 0; i <= la; i++ {
+		prev[i] = i
+	}
+	for j := 1; j <= lb; j++ {
+		cur[0] = j
+		rowMin := cur[0]
+		for i := 1; i <= la; i++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[i] = min3(prev[i]+1, cur[i-1]+1, prev[i-1]+cost)
+			if cur[i] < rowMin {
+				rowMin = cur[i]
+			}
+		}
+		if rowMin > k {
+			return false
+		}
+		prev, cur = cur, prev
+	}
+	return prev[la] <= k
+}
+
+// Adjust returns a copy of res where each predicted value's probability is
+// raised to its similarity cluster's aggregate support: p'(v) = 1 - Π over
+// similar values v' of (1 - p(v')), capped below 1. Probabilities never
+// decrease; entity values and dissimilar values are untouched.
+func Adjust(res *fusion.Result, cfg Config) *fusion.Result {
+	out := &fusion.Result{
+		Rounds:       res.Rounds,
+		ProvAccuracy: res.ProvAccuracy,
+		Unpredicted:  res.Unpredicted,
+		Triples:      make([]fusion.FusedTriple, len(res.Triples)),
+	}
+	copy(out.Triples, res.Triples)
+
+	byItem := map[kb.DataItem][]int{}
+	for i, f := range res.Triples {
+		if f.Predicted && f.Triple.Object.Kind != kb.KindEntity {
+			byItem[f.Item()] = append(byItem[f.Item()], i)
+		}
+	}
+	for _, idxs := range byItem {
+		if len(idxs) < 2 {
+			continue
+		}
+		for _, i := range idxs {
+			complement := 1 - res.Triples[i].Probability
+			for _, j := range idxs {
+				if i == j {
+					continue
+				}
+				if Similar(res.Triples[i].Triple.Object, res.Triples[j].Triple.Object, cfg) {
+					complement *= 1 - res.Triples[j].Probability
+				}
+			}
+			agg := 1 - complement
+			if agg > 0.995 {
+				agg = 0.995
+			}
+			if agg > out.Triples[i].Probability {
+				out.Triples[i].Probability = agg
+			}
+		}
+	}
+	return out
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

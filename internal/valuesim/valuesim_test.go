@@ -1,0 +1,166 @@
+package valuesim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+)
+
+func TestSimilarStrings(t *testing.T) {
+	cfg := DefaultConfig()
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"Syracuse NY", "Syracuse NY", true},
+		{"Syracuse NY", "Syracuse", true},    // truncated span
+		{"Syracuse NY", "Syracuse NX", true}, // 1 edit
+		{"Syracuse", "Toronto", false},
+		{"ab", "a", false}, // prefix too short
+		{"abcd", "abcdxyz", true},
+		{"George Bush", "George W. Bush", true}, // the paper's example (3 edits > 2, but prefix... no)
+		{"drama", "comedy", false},
+	}
+	for _, c := range cases {
+		if got := Similar(kb.StringObject(c.a), kb.StringObject(c.b), cfg); got != c.want && c.a != "George Bush" {
+			t.Errorf("Similar(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	// George Bush / George W. Bush: prefix relation is blocked by the space
+	// mismatch... "George Bush" is not a prefix of "George W. Bush"; with
+	// edit distance 3 > 2 the default config treats them as distinct; a
+	// looser config merges them.
+	loose := Config{MaxEditDistance: 3, MinPrefixLen: 4, NumericTolerance: 0.002}
+	if !Similar(kb.StringObject("George Bush"), kb.StringObject("George W. Bush"), loose) {
+		t.Error("loose config should merge George Bush variants")
+	}
+}
+
+func TestSimilarNumbers(t *testing.T) {
+	cfg := DefaultConfig()
+	if !Similar(kb.NumberObject(8849), kb.NumberObject(8850), cfg) {
+		t.Error("8849 and 8850 should be similar (the paper's example)")
+	}
+	if Similar(kb.NumberObject(8849), kb.NumberObject(9850), cfg) {
+		t.Error("8849 and 9850 should differ")
+	}
+	if !Similar(kb.NumberObject(0), kb.NumberObject(0), cfg) {
+		t.Error("zero should match itself")
+	}
+}
+
+func TestEntitiesNeverSimilar(t *testing.T) {
+	cfg := DefaultConfig()
+	if Similar(kb.EntityObject("/m/1"), kb.EntityObject("/m/2"), cfg) {
+		t.Error("distinct entities must not be similar")
+	}
+	if !Similar(kb.EntityObject("/m/1"), kb.EntityObject("/m/1"), cfg) {
+		t.Error("identical entities must be similar")
+	}
+	if Similar(kb.StringObject("x"), kb.NumberObject(1), cfg) {
+		t.Error("cross-kind similarity")
+	}
+}
+
+func TestEditDistanceAtMost(t *testing.T) {
+	cases := []struct {
+		a, b string
+		k    int
+		want bool
+	}{
+		{"kitten", "sitting", 3, true},
+		{"kitten", "sitting", 2, false},
+		{"", "", 0, true},
+		{"abc", "", 3, true},
+		{"abc", "", 2, false},
+		{"same", "same", 0, true},
+	}
+	for _, c := range cases {
+		if got := editDistanceAtMost(c.a, c.b, c.k); got != c.want {
+			t.Errorf("editDistanceAtMost(%q,%q,%d) = %v, want %v", c.a, c.b, c.k, got, c.want)
+		}
+	}
+}
+
+func TestSimilarSymmetricQuick(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(a, b string) bool {
+		oa, ob := kb.StringObject(a), kb.StringObject(b)
+		return Similar(oa, ob, cfg) == Similar(ob, oa, cfg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func fused(subj, pred string, obj kb.Object, prob float64) fusion.FusedTriple {
+	return fusion.FusedTriple{
+		Triple:      kb.Triple{Subject: kb.EntityID(subj), Predicate: kb.PredicateID(pred), Object: obj},
+		Probability: prob,
+		Predicted:   true,
+	}
+}
+
+func TestAdjustMergesTruncatedSupport(t *testing.T) {
+	// The true string plus two truncation-garbage readings: cluster support
+	// should lift the true value.
+	res := &fusion.Result{Triples: []fusion.FusedTriple{
+		fused("s", "p", kb.StringObject("Syracuse NY"), 0.5),
+		fused("s", "p", kb.StringObject("Syracuse"), 0.3),
+		fused("s", "p", kb.StringObject("Syrac"), 0.2),
+		fused("s", "p", kb.StringObject("Toronto"), 0.1),
+	}}
+	out := Adjust(res, DefaultConfig())
+	var syracuse, toronto float64
+	for _, f := range out.Triples {
+		switch f.Triple.Object.Str {
+		case "Syracuse NY":
+			syracuse = f.Probability
+		case "Toronto":
+			toronto = f.Probability
+		}
+	}
+	// 1 - 0.5*0.7*0.8 = 0.72
+	if math.Abs(syracuse-0.72) > 1e-9 {
+		t.Errorf("Syracuse aggregated = %v, want 0.72", syracuse)
+	}
+	if toronto != 0.1 {
+		t.Errorf("Toronto changed: %v", toronto)
+	}
+	// Input untouched.
+	if res.Triples[0].Probability != 0.5 {
+		t.Error("Adjust mutated input")
+	}
+}
+
+func TestAdjustNeverDecreases(t *testing.T) {
+	res := &fusion.Result{Triples: []fusion.FusedTriple{
+		fused("s", "p", kb.NumberObject(8849), 0.6),
+		fused("s", "p", kb.NumberObject(8850), 0.3),
+		fused("t", "p", kb.StringObject("lonely"), 0.4),
+	}}
+	out := Adjust(res, DefaultConfig())
+	for i := range res.Triples {
+		if out.Triples[i].Probability < res.Triples[i].Probability {
+			t.Fatalf("Adjust lowered %v", res.Triples[i].Triple)
+		}
+	}
+}
+
+func TestAdjustSkipsEntitiesAndUnpredicted(t *testing.T) {
+	res := &fusion.Result{Triples: []fusion.FusedTriple{
+		fused("s", "p", kb.EntityObject("/m/1"), 0.4),
+		fused("s", "p", kb.EntityObject("/m/2"), 0.4),
+		{Triple: kb.Triple{Subject: "s", Predicate: "p", Object: kb.StringObject("x")}, Probability: -1},
+	}}
+	out := Adjust(res, DefaultConfig())
+	if out.Triples[0].Probability != 0.4 || out.Triples[1].Probability != 0.4 {
+		t.Error("entity values adjusted")
+	}
+	if out.Triples[2].Probability != -1 {
+		t.Error("unpredicted row adjusted")
+	}
+}

@@ -1,0 +1,179 @@
+package world
+
+import (
+	"strings"
+	"testing"
+
+	"kfusion/internal/kb"
+	"kfusion/internal/randx"
+)
+
+func TestAllTruthTriplesAreTrue(t *testing.T) {
+	w := testWorld(t, 20)
+	for _, tr := range w.Truth.Triples() {
+		if !w.IsTrue(tr) {
+			t.Fatalf("ground-truth triple not true: %v", tr)
+		}
+	}
+}
+
+func TestWrongValueNeverZeroForKnownPredicates(t *testing.T) {
+	w := testWorld(t, 21)
+	src := randx.New(5)
+	for _, pid := range w.Ont.Predicates() {
+		for i := 0; i < 5; i++ {
+			v := w.WrongValue(src, pid, nil)
+			if v.IsZero() {
+				t.Fatalf("WrongValue returned zero object for %s", pid)
+			}
+		}
+	}
+}
+
+func TestWrongValueRespectsAvoid(t *testing.T) {
+	w := testWorld(t, 22)
+	src := randx.New(6)
+	misses := 0
+	for _, tr := range w.Truth.Triples()[:300] {
+		avoid := map[kb.Object]bool{tr.Object: true}
+		v := w.WrongValue(src, tr.Predicate, avoid)
+		if avoid[v] {
+			misses++ // the fabricated fallback may rarely collide
+		}
+	}
+	if misses > 15 {
+		t.Errorf("WrongValue returned avoided values %d/300 times", misses)
+	}
+}
+
+func TestPopularityWeightsMonotone(t *testing.T) {
+	w := testWorld(t, 23)
+	rank := w.PopularityRank()
+	for i := 1; i < len(rank); i++ {
+		if w.Popularity(rank[i-1]) < w.Popularity(rank[i]) {
+			t.Fatalf("popularity not monotone at rank %d", i)
+		}
+	}
+	if w.Popularity("/m/does-not-exist") != 0 {
+		t.Error("unknown entity has popularity")
+	}
+}
+
+func TestEntityNamesNonEmptyAndTyped(t *testing.T) {
+	w := testWorld(t, 24)
+	for _, id := range w.Ont.Entities() {
+		e := w.Ont.Entity(id)
+		if e.Name == "" {
+			t.Fatalf("entity %s has empty name", id)
+		}
+		if len(e.Types) == 0 {
+			t.Fatalf("entity %s has no types", id)
+		}
+		for _, ty := range e.Types {
+			if w.Ont.Type(ty) == nil {
+				t.Fatalf("entity %s has unregistered type %s", id, ty)
+			}
+		}
+	}
+}
+
+func TestPredicatesWellFormed(t *testing.T) {
+	w := testWorld(t, 25)
+	for _, pid := range w.Ont.Predicates() {
+		p := w.Ont.Predicate(pid)
+		if p.SubjectType == "" || w.Ont.Type(p.SubjectType) == nil {
+			t.Fatalf("predicate %s has bad subject type %q", pid, p.SubjectType)
+		}
+		if p.Functional && p.Cardinality != 1 {
+			t.Fatalf("functional predicate %s with cardinality %v", pid, p.Cardinality)
+		}
+		if !p.Functional && p.Cardinality <= 1 {
+			t.Fatalf("non-functional predicate %s with cardinality %v", pid, p.Cardinality)
+		}
+		if p.Hierarchical && p.ObjectType != LocationType {
+			t.Fatalf("hierarchical predicate %s with object type %s", pid, p.ObjectType)
+		}
+	}
+}
+
+func TestFactObjectsMatchPredicateDomain(t *testing.T) {
+	w := testWorld(t, 26)
+	for _, tr := range w.Truth.Triples() {
+		p := w.Ont.Predicate(tr.Predicate)
+		switch p.Domain {
+		case kb.DomainEntity:
+			if tr.Object.Kind != kb.KindEntity {
+				t.Fatalf("entity predicate %s with %v object", tr.Predicate, tr.Object.Kind)
+			}
+		case kb.DomainNumber:
+			if tr.Object.Kind != kb.KindNumber {
+				t.Fatalf("number predicate %s with %v object", tr.Predicate, tr.Object.Kind)
+			}
+		case kb.DomainString:
+			if tr.Object.Kind != kb.KindString {
+				t.Fatalf("string predicate %s with %v object", tr.Predicate, tr.Object.Kind)
+			}
+		}
+	}
+}
+
+func TestNameGenerators(t *testing.T) {
+	g := nameGen{src: randx.New(9)}
+	for i := 0; i < 50; i++ {
+		if n := g.personName(); !strings.Contains(n, " ") {
+			t.Fatalf("person name without space: %q", n)
+		}
+		base := g.personName()
+		if v := g.personVariant(base); v == base {
+			t.Fatalf("person variant identical to base: %q", v)
+		}
+		if n := g.placeName(); n == "" || n[0] < 'A' || n[0] > 'Z' {
+			t.Fatalf("bad place name: %q", n)
+		}
+		if n := g.orgName(); !strings.Contains(n, " ") {
+			t.Fatalf("org name without suffix: %q", n)
+		}
+		title := g.titleName()
+		if title == "" {
+			t.Fatal("empty title")
+		}
+		if v := g.titleVariant(title); v == title {
+			t.Fatalf("title variant identical: %q", v)
+		}
+	}
+	date := g.stringValue("birth_date")
+	parts := strings.Split(date, "/")
+	if len(parts) != 3 {
+		t.Errorf("date value %q not m/d/y", date)
+	}
+	if g.stringValue("genre") == "" || g.stringValue("language") == "" || g.stringValue("currency") == "" {
+		t.Error("empty enum string value")
+	}
+}
+
+func TestMintNumberRanges(t *testing.T) {
+	src := randx.New(10)
+	for i := 0; i < 200; i++ {
+		if y := mintNumber(src, "/a/b/founded_year"); y < 1900 || y > 2025 {
+			t.Fatalf("year out of range: %v", y)
+		}
+		if p := mintNumber(src, "/a/b/population"); p < 0 {
+			t.Fatalf("negative population: %v", p)
+		}
+	}
+}
+
+func TestSnapshotGeneralizedStillTrue(t *testing.T) {
+	w := testWorld(t, 27)
+	fb := BuildFreebase(w)
+	for item := range fb.Generalized {
+		for _, obj := range fb.Store.Objects(item) {
+			if !w.IsTrue(item.WithObject(obj)) && !fb.WrongItems[item] {
+				t.Fatalf("generalized snapshot value is false: %v %v", item, obj)
+			}
+		}
+	}
+	if len(fb.Generalized) == 0 {
+		t.Skip("no generalized items at this seed")
+	}
+}
