@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: verify build vet test bench-smoke bench-json
+
+# verify is the tier-1 gate: vet, build, full tests, and a 1-iteration
+# benchmark smoke so perf-critical paths cannot silently rot.
+verify: vet build test bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFusePopAccu$$|BenchmarkFuseReferencePopAccu$$|BenchmarkLargeScaleFusion$$' -benchtime 1x -benchmem .
+
+# bench-json regenerates the machine-readable perf record (see BENCH_1.json;
+# bump N per PR that moves performance).
+bench-json:
+	$(GO) run ./cmd/kfbench -benchjson BENCH_1.json

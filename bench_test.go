@@ -149,6 +149,23 @@ func BenchmarkFusePopAccuPlus(b *testing.B) {
 	benchFusion(b, fusion.PopAccuPlusConfig(ds.Gold.Labeler()))
 }
 
+// BenchmarkFuseReferencePopAccu measures the seed shuffle-per-round engine
+// on the same dataset, so the compiled engine's before/after gap stays
+// visible in every benchmark run.
+func BenchmarkFuseReferencePopAccu(b *testing.B) {
+	ds := benchDataset(b)
+	cfg := fusion.PopAccuConfig()
+	claims := fusion.Claims(ds.Extractions, cfg.Granularity)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fusion.FuseReference(claims, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(claims))*float64(b.N)/b.Elapsed().Seconds(), "claims/s")
+}
+
 // BenchmarkMapReduceScaling measures the fusion pipeline at several worker
 // counts (the paper's scalability concern, at laptop scale).
 func BenchmarkMapReduceScaling(b *testing.B) {

@@ -9,17 +9,27 @@
 //	kfbench -exp fig9,fig13      # selected experiments
 //	kfbench -seeds 5             # re-run across 5 seeds; report check stability
 //	kfbench -list                # list experiment IDs
+//	kfbench -benchjson FILE      # fusion throughput benchmarks as JSON
+//
+// -benchjson measures the fusion engines (compiled and seed reference) over
+// the bench and large shared datasets and writes one machine-readable JSON
+// record — the cross-PR perf trajectory lives in BENCH_<n>.json files at the
+// repository root.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"testing"
 	"time"
 
 	"kfusion/internal/exper"
+	"kfusion/internal/fusion"
 )
 
 func main() {
@@ -31,8 +41,16 @@ func main() {
 		expFlag   = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
 		list      = flag.Bool("list", false, "list experiment IDs and exit")
 		seeds     = flag.Int("seeds", 1, "run across this many consecutive seeds and report per-check stability")
+		benchJSON = flag.String("benchjson", "", "run the fusion throughput benchmarks and write JSON to this file")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		for _, ex := range exper.Registry {
@@ -143,4 +161,107 @@ func runMultiSeed(scale exper.Scale, baseSeed int64, n int, selected []exper.Exp
 	if unstable > 0 {
 		fmt.Printf("%d check(s) did not hold on every seed\n", unstable)
 	}
+}
+
+// benchRecord is one benchmark's machine-readable result.
+type benchRecord struct {
+	NsPerOp     int64   `json:"ns_op"`
+	ClaimsPerS  float64 `json:"claims_per_s"`
+	BytesPerOp  int64   `json:"b_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// benchFile is the BENCH_<n>.json schema: environment metadata plus one
+// record per benchmark. The Reference* entries run the seed
+// shuffle-per-round engine (fusion.FuseReference), so every file carries its
+// own before/after pair for the compiled engine.
+type benchFile struct {
+	GoVersion  string                 `json:"go_version"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	CPU        string                 `json:"goarch"`
+	Seed       int64                  `json:"seed"`
+	Date       string                 `json:"date"`
+	Benchmarks map[string]benchRecord `json:"benchmarks"`
+}
+
+// writeBenchJSON measures fusion throughput on the shared bench and large
+// datasets — compiled engine and seed reference engine — and writes the
+// results as JSON for the cross-PR perf trajectory.
+func writeBenchJSON(path string, seed int64) error {
+	// Fail on an unwritable path now, not after minutes of benchmarking.
+	probe, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	probe.Close()
+	out := benchFile{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPU:        runtime.GOARCH,
+		Seed:       seed,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: map[string]benchRecord{},
+	}
+
+	fmt.Fprintf(os.Stderr, "building bench dataset...\n")
+	bench := exper.SharedDataset(exper.ScaleBench, seed)
+	fmt.Fprintf(os.Stderr, "building large dataset...\n")
+	large := exper.SharedDataset(exper.ScaleLarge, seed)
+
+	type engine struct {
+		prefix string
+		fuse   func([]fusion.Claim, fusion.Config) (*fusion.Result, error)
+	}
+	engines := []engine{
+		{"", fusion.Fuse},
+		{"Reference", fusion.FuseReference},
+	}
+	run := func(name string, claims []fusion.Claim, cfg fusion.Config,
+		fuse func([]fusion.Claim, fusion.Config) (*fusion.Result, error)) {
+		fmt.Fprintf(os.Stderr, "benchmarking %s (%d claims)...\n", name, len(claims))
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fuse(claims, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out.Benchmarks[name] = benchRecord{
+			NsPerOp:     r.NsPerOp(),
+			ClaimsPerS:  float64(len(claims)) / (float64(r.NsPerOp()) / 1e9),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+	}
+
+	for _, eng := range engines {
+		for _, preset := range []struct {
+			name string
+			cfg  fusion.Config
+		}{
+			{"FuseVote", fusion.VoteConfig()},
+			{"FuseAccu", fusion.AccuConfig()},
+			{"FusePopAccu", fusion.PopAccuConfig()},
+			{"FusePopAccuPlus", fusion.PopAccuPlusConfig(bench.Gold.Labeler())},
+		} {
+			claims := fusion.Claims(bench.Extractions, preset.cfg.Granularity)
+			run(eng.prefix+preset.name, claims, preset.cfg, eng.fuse)
+		}
+		cfg := fusion.PopAccuConfig()
+		run(eng.prefix+"LargeScaleFusion", fusion.Claims(large.Extractions, cfg.Granularity), cfg, eng.fuse)
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
 }

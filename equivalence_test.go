@@ -1,0 +1,82 @@
+package kfusion
+
+// Engine-equivalence regression test: the compiled claim-graph engine must
+// reproduce the seed shuffle-per-round engine on the shared bench dataset,
+// for every method and worker count. This pins both determinism across
+// Workers and old-vs-new engine parity at realistic scale.
+
+import (
+	"math"
+	"testing"
+
+	"kfusion/internal/exper"
+	"kfusion/internal/fusion"
+)
+
+const engineEquivTol = 1e-12
+
+func TestEngineEquivalenceOnBenchDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench-scale dataset in -short mode")
+	}
+	ds := exper.SharedDataset(exper.ScaleBench, benchSeed)
+	configs := map[string]fusion.Config{
+		"VOTE":     fusion.VoteConfig(),
+		"ACCU":     fusion.AccuConfig(),
+		"POPACCU":  fusion.PopAccuConfig(),
+		"POPACCU+": fusion.PopAccuPlusConfig(ds.Gold.Labeler()),
+	}
+	for name, cfg := range configs {
+		claims := fusion.Claims(ds.Extractions, cfg.Granularity)
+		want, err := fusion.FuseReference(claims, cfg)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", name, err)
+		}
+		wantBy := want.ByTriple()
+		for _, workers := range []int{1, 4, 8} {
+			c := cfg
+			c.Workers = workers
+			got, err := fusion.Fuse(claims, c)
+			if err != nil {
+				t.Fatalf("%s/workers=%d: %v", name, workers, err)
+			}
+			if got.Rounds != want.Rounds {
+				t.Errorf("%s/workers=%d: Rounds = %d, want %d", name, workers, got.Rounds, want.Rounds)
+			}
+			if got.Unpredicted != want.Unpredicted {
+				t.Errorf("%s/workers=%d: Unpredicted = %d, want %d", name, workers, got.Unpredicted, want.Unpredicted)
+			}
+			if len(got.Triples) != len(want.Triples) {
+				t.Fatalf("%s/workers=%d: %d triples, want %d", name, workers, len(got.Triples), len(want.Triples))
+			}
+			mismatches := 0
+			for _, f := range got.Triples {
+				w, ok := wantBy[f.Triple]
+				if !ok {
+					t.Fatalf("%s/workers=%d: unexpected triple %v", name, workers, f.Triple)
+				}
+				if f.Predicted != w.Predicted || f.Provenances != w.Provenances ||
+					f.ItemProvenances != w.ItemProvenances || f.Extractors != w.Extractors ||
+					(f.Predicted && math.Abs(f.Probability-w.Probability) > engineEquivTol) {
+					if mismatches < 5 {
+						t.Errorf("%s/workers=%d: %v: %+v vs %+v", name, workers, f.Triple, f, w)
+					}
+					mismatches++
+				}
+			}
+			if mismatches > 0 {
+				t.Errorf("%s/workers=%d: %d mismatching triples", name, workers, mismatches)
+			}
+			if len(got.ProvAccuracy) != len(want.ProvAccuracy) {
+				t.Fatalf("%s/workers=%d: %d provenances, want %d", name, workers,
+					len(got.ProvAccuracy), len(want.ProvAccuracy))
+			}
+			for p, a := range got.ProvAccuracy {
+				if wa := want.ProvAccuracy[p]; math.Abs(a-wa) > engineEquivTol {
+					t.Errorf("%s/workers=%d: ProvAccuracy[%q] = %v, want %v", name, workers, p, a, wa)
+					break
+				}
+			}
+		}
+	}
+}

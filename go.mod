@@ -1,0 +1,3 @@
+module kfusion
+
+go 1.22

@@ -1,0 +1,233 @@
+package fusion
+
+import (
+	"kfusion/internal/kb"
+	"kfusion/internal/mapreduce"
+)
+
+// graph is the compiled, immutable form of a claim set: every provenance,
+// extractor, data item and candidate triple interned into a dense int32 ID,
+// with CSR adjacency connecting them. It is built once per fusion run
+// (compile) and then every EM round iterates flat slices — no maps, no
+// string hashing, no re-shuffling.
+//
+// ID spaces and invariants:
+//
+//   - Claim IDs are the indexes of the input []Claim, unchanged.
+//   - Item IDs are assigned in the (deterministic) output order of the
+//     compile shuffle; itemClaims groups claim IDs by item, preserving
+//     claim-index order within an item — the same order the per-round
+//     shuffle of the seed engine produced, so reservoir sampling sees the
+//     identical stream.
+//   - Triple IDs are grouped by item: the candidates of item i occupy
+//     [itemTripleStart[i], itemTripleStart[i+1]), in first-occurrence
+//     order. localOfClaim maps a claim to its candidate's offset within
+//     that span, so per-item counting uses a dense scratch array.
+//   - Provenance IDs are assigned in claim-index order of first use.
+type graph struct {
+	claims []Claim
+
+	// Items.
+	items          []kb.DataItem
+	itemClaimStart []int32 // len nItems+1; span into itemClaims
+	itemClaims     []int32 // claim IDs grouped by item, claim-index order
+
+	// Candidate triples (the deduplicated Stage III output set).
+	triples          []kb.Triple
+	itemTripleStart  []int32 // len nItems+1; candidate span of each item
+	itemOfTriple     []int32 // triple ID -> item ID
+	tripleOfClaim    []int32 // claim ID -> triple ID
+	localOfClaim     []int32 // claim ID -> candidate offset within its item
+	tripleClaimStart []int32 // len nTriples+1; span into tripleClaims
+	tripleClaims     []int32 // claim IDs grouped by triple, claim-index order
+	tripleExtractors []int32 // triple ID -> distinct extractor count
+
+	// Provenances.
+	provKeys       []string // prov ID -> provenance key
+	provOfClaim    []int32  // claim ID -> prov ID
+	provClaimStart []int32  // len nProvs+1; span into provClaims
+	provClaims     []int32  // claim IDs grouped by prov, claim-index order
+
+	// maxCandidates is the largest candidate count of any single item; it
+	// sizes the per-worker scoring scratch.
+	maxCandidates int
+}
+
+// itemGroup is the compile shuffle's per-item output: the item's claims and
+// its deduplicated candidate triples.
+type itemGroup struct {
+	item   kb.DataItem
+	claims []int32     // claim IDs in claim-index order
+	local  []int32     // per claim, candidate offset within cands
+	cands  []kb.Triple // distinct triples in first-occurrence order
+}
+
+// compile interns a claim set into a graph. It runs the only shuffle of the
+// whole fusion run: claims are grouped by data item on the mapreduce
+// substrate (partitioned by the cheap field-wise kb.DataItem.Hash), and the
+// per-item candidate dedup — Figure 8's Stage III grouping — happens inside
+// the reducers. Everything after that is sequential O(n) array assembly.
+// The result is deterministic for a fixed input order and independent of
+// cfg.Workers.
+func compile(claims []Claim, cfg Config) *graph {
+	n := len(claims)
+	g := &graph{claims: claims}
+
+	job := mapreduce.Job[int32, kb.DataItem, int32, itemGroup]{
+		Name: "fusion-compile",
+		Map: func(idx int32, emit func(kb.DataItem, int32)) {
+			emit(claims[idx].Triple.Item(), idx)
+		},
+		Reduce: func(item kb.DataItem, idxs []int32, emit func(itemGroup)) {
+			emit(dedupItem(claims, item, idxs))
+		},
+		KeyHash:       kb.DataItem.Hash,
+		EmitsPerInput: 1,
+		Workers:       cfg.Workers,
+		Partitions:    cfg.Partitions,
+	}
+	groups := mapreduce.MustRun(job, claimIndexes(n))
+
+	// ---- Assemble the item/triple side of the graph ----
+	nItems := len(groups)
+	nTriples := 0
+	for i := range groups {
+		nTriples += len(groups[i].cands)
+	}
+	g.items = make([]kb.DataItem, nItems)
+	g.itemClaimStart = make([]int32, nItems+1)
+	g.itemClaims = make([]int32, n)
+	g.itemTripleStart = make([]int32, nItems+1)
+	g.triples = make([]kb.Triple, 0, nTriples)
+	g.itemOfTriple = make([]int32, nTriples)
+	g.tripleOfClaim = make([]int32, n)
+	g.localOfClaim = make([]int32, n)
+	pos := int32(0)
+	for gi := range groups {
+		grp := &groups[gi]
+		g.items[gi] = grp.item
+		g.itemClaimStart[gi] = pos
+		base := int32(len(g.triples))
+		g.itemTripleStart[gi] = base
+		g.triples = append(g.triples, grp.cands...)
+		for k := range grp.cands {
+			g.itemOfTriple[base+int32(k)] = int32(gi)
+		}
+		if len(grp.cands) > g.maxCandidates {
+			g.maxCandidates = len(grp.cands)
+		}
+		for k, c := range grp.claims {
+			g.itemClaims[pos] = c
+			g.localOfClaim[c] = grp.local[k]
+			g.tripleOfClaim[c] = base + grp.local[k]
+			pos++
+		}
+	}
+	g.itemClaimStart[nItems] = pos
+	g.itemTripleStart[nItems] = int32(len(g.triples))
+
+	// ---- Intern provenances and extractors (claim-index order) ----
+	provID := make(map[string]int32, 256)
+	extID := make(map[string]int32, 32)
+	extKeys := 0
+	g.provOfClaim = make([]int32, n)
+	extOfClaim := make([]int32, n)
+	for i := range claims {
+		id, ok := provID[claims[i].Prov]
+		if !ok {
+			id = int32(len(g.provKeys))
+			provID[claims[i].Prov] = id
+			g.provKeys = append(g.provKeys, claims[i].Prov)
+		}
+		g.provOfClaim[i] = id
+		xid, ok := extID[claims[i].Extractor]
+		if !ok {
+			xid = int32(extKeys)
+			extID[claims[i].Extractor] = xid
+			extKeys++
+		}
+		extOfClaim[i] = xid
+	}
+
+	// ---- CSR adjacency by counting sort ----
+	g.provClaimStart, g.provClaims = csrByGroup(g.provOfClaim, len(g.provKeys))
+	g.tripleClaimStart, g.tripleClaims = csrByGroup(g.tripleOfClaim, nTriples)
+
+	// Distinct extractors per triple, with an epoch-stamped seen-set so the
+	// scratch is never cleared.
+	g.tripleExtractors = make([]int32, nTriples)
+	seen := make([]int32, extKeys)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for t := 0; t < nTriples; t++ {
+		for _, c := range g.tripleClaims[g.tripleClaimStart[t]:g.tripleClaimStart[t+1]] {
+			if x := extOfClaim[c]; seen[x] != int32(t) {
+				seen[x] = int32(t)
+				g.tripleExtractors[t]++
+			}
+		}
+	}
+	return g
+}
+
+// dedupItem builds one item's group: its claims plus the deduplicated
+// candidate list. Small items use a linear candidate scan; items with many
+// distinct values switch to a map.
+func dedupItem(claims []Claim, item kb.DataItem, idxs []int32) itemGroup {
+	grp := itemGroup{item: item, claims: idxs, local: make([]int32, len(idxs))}
+	var candIdx map[kb.Triple]int32 // lazily built past the scan threshold
+	for k, c := range idxs {
+		t := claims[c].Triple
+		l := int32(-1)
+		if candIdx == nil {
+			for j := range grp.cands {
+				if grp.cands[j] == t {
+					l = int32(j)
+					break
+				}
+			}
+			if l < 0 && len(grp.cands) >= 32 {
+				candIdx = make(map[kb.Triple]int32, 2*len(grp.cands))
+				for j := range grp.cands {
+					candIdx[grp.cands[j]] = int32(j)
+				}
+			}
+		}
+		if candIdx != nil {
+			if j, ok := candIdx[t]; ok {
+				l = j
+			}
+		}
+		if l < 0 {
+			l = int32(len(grp.cands))
+			grp.cands = append(grp.cands, t)
+			if candIdx != nil {
+				candIdx[t] = l
+			}
+		}
+		grp.local[k] = l
+	}
+	return grp
+}
+
+// csrByGroup builds a CSR adjacency from a dense group assignment: start has
+// one span per group, and ids lists the element indexes of each group in
+// ascending order.
+func csrByGroup(groupOf []int32, nGroups int) (start, ids []int32) {
+	start = make([]int32, nGroups+1)
+	for _, p := range groupOf {
+		start[p+1]++
+	}
+	for i := 0; i < nGroups; i++ {
+		start[i+1] += start[i]
+	}
+	ids = make([]int32, len(groupOf))
+	next := make([]int32, nGroups)
+	copy(next, start[:nGroups])
+	for i, p := range groupOf {
+		ids[next[p]] = int32(i)
+		next[p]++
+	}
+	return start, ids
+}

@@ -1,0 +1,93 @@
+package fusion
+
+import (
+	"testing"
+)
+
+// TestCompileGraphInvariants checks the structural invariants the engine
+// relies on: CSR spans tile their ID spaces, per-item claim order preserves
+// claim-index order, and every interning round-trips to the original claim.
+func TestCompileGraphInvariants(t *testing.T) {
+	claims := randomClaims(1234, 300)
+	g := compile(claims, PopAccuConfig())
+
+	n := len(claims)
+	if len(g.itemClaims) != n || len(g.provClaims) != n || len(g.tripleClaims) != n {
+		t.Fatalf("CSR leaf arrays must cover all %d claims", n)
+	}
+	if got := int(g.itemClaimStart[len(g.items)]); got != n {
+		t.Fatalf("itemClaimStart tiles %d claims, want %d", got, n)
+	}
+	if got := int(g.itemTripleStart[len(g.items)]); got != len(g.triples) {
+		t.Fatalf("itemTripleStart tiles %d triples, want %d", got, len(g.triples))
+	}
+
+	// Per-item claims keep ascending claim-index order (the reservoir
+	// stream order), and every claim's interned fields match the original.
+	for item := range g.items {
+		span := g.itemClaims[g.itemClaimStart[item]:g.itemClaimStart[item+1]]
+		for k, c := range span {
+			if k > 0 && span[k-1] >= c {
+				t.Fatalf("item %d: claim order not ascending: %v", item, span)
+			}
+			if claims[c].Triple.Item() != g.items[item] {
+				t.Fatalf("claim %d grouped under wrong item", c)
+			}
+		}
+	}
+	for i := range claims {
+		tid := g.tripleOfClaim[i]
+		if g.triples[tid] != claims[i].Triple {
+			t.Fatalf("claim %d: interned triple mismatch", i)
+		}
+		if g.provKeys[g.provOfClaim[i]] != claims[i].Prov {
+			t.Fatalf("claim %d: interned provenance mismatch", i)
+		}
+		item := g.itemOfTriple[tid]
+		base := g.itemTripleStart[item]
+		if base+g.localOfClaim[i] != tid {
+			t.Fatalf("claim %d: local candidate offset inconsistent", i)
+		}
+	}
+
+	// Triple spans group exactly the claims asserting that triple.
+	for tid := range g.triples {
+		for _, c := range g.tripleClaims[g.tripleClaimStart[tid]:g.tripleClaimStart[tid+1]] {
+			if claims[c].Triple != g.triples[tid] {
+				t.Fatalf("triple %d: foreign claim %d in span", tid, c)
+			}
+		}
+	}
+
+	// The dedup must agree with a naive recount.
+	distinct := map[string]bool{}
+	for i := range claims {
+		distinct[claims[i].Triple.Encode()] = true
+	}
+	if len(g.triples) != len(distinct) {
+		t.Fatalf("%d interned triples, want %d", len(g.triples), len(distinct))
+	}
+}
+
+// TestCompileManyValuedItem exercises the map fallback in the per-item
+// candidate dedup (items with > 32 distinct values).
+func TestCompileManyValuedItem(t *testing.T) {
+	var claims []Claim
+	for i := 0; i < 100; i++ {
+		v := string(rune('a'+i%50)) + string(rune('a'+i/50))
+		claims = append(claims, cl("s", "p", v, "prov"+v))
+	}
+	g := compile(claims, PopAccuConfig())
+	if len(g.items) != 1 {
+		t.Fatalf("%d items, want 1", len(g.items))
+	}
+	if len(g.triples) != 100 {
+		t.Fatalf("%d candidates, want 100", len(g.triples))
+	}
+	res := MustFuse(claims, VoteConfig())
+	want, err := FuseReference(claims, VoteConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, "manyvalued", res, want)
+}

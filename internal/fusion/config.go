@@ -77,7 +77,10 @@ type Config struct {
 	// 10%..100%). 0 means 1.0.
 	GoldSampleRate float64
 
-	// Workers and Partitions configure the MapReduce substrate (0 = auto).
+	// Workers bounds the parallelism of the one-time claim-graph compile
+	// (a MapReduce job) and of the per-round stage loops (0 = GOMAXPROCS).
+	// Results never depend on it. Partitions configures the compile
+	// shuffle's partition count (0 = default).
 	Workers    int
 	Partitions int
 

@@ -2,39 +2,67 @@ package fusion
 
 import (
 	"math"
+	"runtime"
+	"sync"
 
 	"kfusion/internal/kb"
 	"kfusion/internal/mapreduce"
 	"kfusion/internal/randx"
 )
 
-// provState tracks one provenance's estimated accuracy across rounds.
-type provState struct {
-	acc float64
-	// isDefault is true while the accuracy is still the unevaluated
-	// default; the coverage filter drops such provenances in later rounds.
-	isDefault bool
-}
+// The compiled engine: Fuse first interns the claim set into a graph
+// (compile.go) — the only shuffle of the run — and then executes Figure 8's
+// stages as flat loops over that graph:
+//
+//   - Stage I walks items through CSR spans, scoring candidates into dense
+//     per-worker scratch arrays and writing per-claim probabilities into a
+//     round-stamped flat slice. Provenance accuracies live in a []float64
+//     indexed by prov ID; with no ClaimAccuracy hook, each provenance's
+//     log-score term is precomputed once per round.
+//   - Stage II walks provenances through their CSR spans and re-estimates
+//     accuracies from the stamped probabilities.
+//   - Stage III reads the per-triple support counts interned at compile
+//     time and attaches the final round's probabilities.
+//
+// The per-round inner loop allocates nothing; rounds reuse the same graph
+// and buffers. Results are deterministic for a fixed input order and
+// independent of Workers: items (and provenances) are scored independently,
+// and every floating-point reduction runs in a fixed CSR order.
 
-// probEntry is Stage I's output: a scored claim.
-type probEntry struct {
-	idx  int32
-	prob float64
-}
-
-// engine holds the immutable claim set and the evolving per-provenance state
-// for one fusion run.
+// engine holds the compiled graph plus the evolving per-round state.
 type engine struct {
-	cfg    Config
-	claims []Claim
-	provs  map[string]*provState
-	// itemTotal counts all claims per data item (pre-filtering), reported
-	// as FusedTriple.ItemProvenances.
-	itemTotal map[kb.DataItem]int
+	cfg Config
+	g   *graph
+
+	provAcc     []float64 // prov ID -> current accuracy estimate (raw)
+	provDefault []bool    // prov ID -> still at the unevaluated default
+	provTerm    []float64 // prov ID -> per-round log score term (no hook)
+
+	claimProb  []float64 // claim ID -> probability of its triple this round
+	claimStamp []int32   // claim ID -> round+1 when last scored
+
+	workers     int
+	scratches   []scoreScratch
+	workerDelta []float64
+}
+
+// scoreScratch is one worker's dense per-item scoring state, sized by the
+// largest candidate list.
+type scoreScratch struct {
+	counts []int32   // per candidate: claims supporting it this round
+	aux    []float64 // per candidate: log-popularity / fallback accuracy sum
+	scores []float64 // per candidate: accumulated vote score
+	probs  []float64 // per candidate: resulting probability
+	selCov []int32   // coverage-filtered claim list
+	selAcc []int32   // accuracy-filtered claim list
 }
 
 // Fuse runs the configured method over the claims and returns per-triple
-// probabilities. It is deterministic for a fixed (claims, cfg).
+// probabilities. It is deterministic for a fixed (claims, cfg) and
+// independent of cfg.Workers. The claim set is compiled once into an
+// interned graph; every EM round then runs allocation-free over flat
+// slices. FuseReference preserves the original shuffle-per-round pipeline
+// for cross-checking.
 func Fuse(claims []Claim, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -42,45 +70,8 @@ func Fuse(claims []Claim, cfg Config) (*Result, error) {
 	if cfg.Epsilon <= 0 {
 		cfg.Epsilon = 1e-4
 	}
-	e := &engine{
-		cfg:       cfg,
-		claims:    claims,
-		provs:     make(map[string]*provState),
-		itemTotal: make(map[kb.DataItem]int),
-	}
-	for _, c := range claims {
-		e.itemTotal[c.Triple.Item()]++
-		if _, ok := e.provs[c.Prov]; !ok {
-			e.provs[c.Prov] = &provState{acc: cfg.DefaultAccuracy, isDefault: true}
-		}
-	}
-	if cfg.GoldLabeler != nil {
-		e.initFromGold()
-	}
-
-	var lastProbs []probEntry
-	rounds := 0
-	if cfg.Method == Vote {
-		lastProbs = e.stageI(0)
-		rounds = 1
-		e.reportRound(0, lastProbs)
-	} else {
-		maxRounds := cfg.Rounds
-		_, rounds = mapreduce.Iterate(struct{}{}, maxRounds, func(_ struct{}, round int) (struct{}, bool) {
-			lastProbs = e.stageI(round)
-			e.reportRound(round, lastProbs)
-			delta := e.stageII(lastProbs)
-			return struct{}{}, delta < cfg.Epsilon
-		})
-	}
-
-	res := e.stageIII(lastProbs)
-	res.Rounds = rounds
-	res.ProvAccuracy = make(map[string]float64, len(e.provs))
-	for p, st := range e.provs {
-		res.ProvAccuracy[p] = st.acc
-	}
-	return res, nil
+	e := newEngine(compile(claims, cfg), cfg)
+	return e.run(), nil
 }
 
 // MustFuse is Fuse for statically-valid configurations.
@@ -92,6 +83,78 @@ func MustFuse(claims []Claim, cfg Config) *Result {
 	return r
 }
 
+func newEngine(g *graph, cfg Config) *engine {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		// Tiny inputs run single-threaded; per-item work is independent,
+		// so this cannot change the output, only the goroutine overhead.
+		// An explicit Workers is always honored, so multi-worker tests
+		// exercise real parallelism even on small claim sets.
+		if len(g.claims) < 2048 {
+			workers = 1
+		}
+	}
+	nProvs := len(g.provKeys)
+	e := &engine{
+		cfg:         cfg,
+		g:           g,
+		provAcc:     make([]float64, nProvs),
+		provDefault: make([]bool, nProvs),
+		provTerm:    make([]float64, nProvs),
+		claimProb:   make([]float64, len(g.claims)),
+		claimStamp:  make([]int32, len(g.claims)),
+		workers:     workers,
+		scratches:   make([]scoreScratch, workers),
+		workerDelta: make([]float64, workers),
+	}
+	for p := range e.provAcc {
+		e.provAcc[p] = cfg.DefaultAccuracy
+		e.provDefault[p] = true
+	}
+	for w := range e.scratches {
+		e.scratches[w] = scoreScratch{
+			counts: make([]int32, g.maxCandidates),
+			aux:    make([]float64, g.maxCandidates),
+			scores: make([]float64, g.maxCandidates),
+			probs:  make([]float64, g.maxCandidates),
+		}
+	}
+	return e
+}
+
+func (e *engine) run() *Result {
+	if e.cfg.GoldLabeler != nil {
+		e.initFromGold()
+	}
+	rounds := 0
+	lastStamp := int32(1)
+	if e.cfg.Method == Vote {
+		e.stageI(0)
+		rounds = 1
+		e.reportRound(0)
+	} else {
+		for rounds < e.cfg.Rounds {
+			r := rounds
+			e.stageI(r)
+			lastStamp = int32(r + 1)
+			e.reportRound(r)
+			delta := e.stageII(r)
+			rounds++
+			if delta < e.cfg.Epsilon {
+				break
+			}
+		}
+	}
+	res := e.stageIII(lastStamp)
+	res.Rounds = rounds
+	res.ProvAccuracy = make(map[string]float64, len(e.g.provKeys))
+	for p, key := range e.g.provKeys {
+		res.ProvAccuracy[key] = e.provAcc[p]
+	}
+	return res
+}
+
 // initFromGold implements §4.3.3: initialize each provenance's accuracy as
 // the fraction of its gold-labeled claims that are true, at the configured
 // label sampling rate. Provenances with no labeled claims keep the default.
@@ -100,9 +163,11 @@ func (e *engine) initFromGold() {
 	if rate == 0 {
 		rate = 1
 	}
-	trueN := make(map[string]int)
-	labeled := make(map[string]int)
-	for _, c := range e.claims {
+	nProvs := len(e.g.provKeys)
+	trueN := make([]int32, nProvs)
+	labeled := make([]int32, nProvs)
+	for i := range e.g.claims {
+		c := &e.g.claims[i]
 		label, ok := e.cfg.GoldLabeler(c.Triple)
 		if !ok {
 			continue
@@ -114,281 +179,318 @@ func (e *engine) initFromGold() {
 				continue
 			}
 		}
-		labeled[c.Prov]++
+		p := e.g.provOfClaim[i]
+		labeled[p]++
 		if label {
-			trueN[c.Prov]++
+			trueN[p]++
 		}
 	}
-	for prov, n := range labeled {
-		st := e.provs[prov]
-		st.acc = clampAcc(float64(trueN[prov]) / float64(n))
-		st.isDefault = false
+	for p := 0; p < nProvs; p++ {
+		if labeled[p] == 0 {
+			continue
+		}
+		e.provAcc[p] = clampAcc(float64(trueN[p]) / float64(labeled[p]))
+		e.provDefault[p] = false
 	}
 }
 
-// stageI groups claims by data item and computes triple probabilities with
-// the current provenance accuracies (Figure 8, Stage I).
-func (e *engine) stageI(round int) []probEntry {
-	job := mapreduce.Job[int32, kb.DataItem, int32, probEntry]{
-		Name: "fusion-stageI",
-		Map: func(idx int32, emit func(kb.DataItem, int32)) {
-			emit(e.claims[idx].Triple.Item(), idx)
-		},
-		Reduce: func(item kb.DataItem, idxs []int32, emit func(probEntry)) {
-			e.scoreItem(item, idxs, round, emit)
-		},
-		KeyHash:    func(d kb.DataItem) uint64 { return mapreduce.StringHash(d.String()) },
-		Workers:    e.cfg.Workers,
-		Partitions: e.cfg.Partitions,
+// parallelRange splits [0,n) across the engine's workers and waits. Shard
+// boundaries never influence results — f must only touch state owned by the
+// indexes it is given (plus its own worker scratch).
+func (e *engine) parallelRange(n int, f func(worker, lo, hi int)) {
+	w := e.workers
+	if w > n {
+		w = n
 	}
-	return mapreduce.MustRun(job, claimIndexes(len(e.claims)))
+	if w <= 1 {
+		f(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		lo, hi := n*k/w, n*(k+1)/w
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			f(k, lo, hi)
+		}(k, lo, hi)
+	}
+	wg.Wait()
+}
+
+// stageI scores every data item with the current provenance accuracies
+// (Figure 8, Stage I) — a parallel flat loop over the compiled item spans.
+func (e *engine) stageI(round int) {
+	// Without a ClaimAccuracy hook, a claim's log score term depends only
+	// on its provenance, so the log is taken once per provenance per round
+	// instead of once per claim per candidate.
+	if e.cfg.ClaimAccuracy == nil {
+		switch e.cfg.Method {
+		case Accu:
+			nf := float64(e.cfg.NFalse)
+			for p, raw := range e.provAcc {
+				a := clampAcc(raw)
+				e.provTerm[p] = math.Log(nf * a / (1 - a))
+			}
+		case PopAccu:
+			for p, raw := range e.provAcc {
+				a := clampAcc(raw)
+				e.provTerm[p] = math.Log(a / (1 - a))
+			}
+		}
+	}
+	e.parallelRange(len(e.g.items), func(w, lo, hi int) {
+		sc := &e.scratches[w]
+		for item := lo; item < hi; item++ {
+			e.scoreItem(sc, int32(item), round)
+		}
+	})
 }
 
 // scoreItem computes the probability of each candidate triple of one data
-// item and emits one probEntry per surviving claim.
-func (e *engine) scoreItem(item kb.DataItem, idxs []int32, round int, emit func(probEntry)) {
-	idxs = e.sampleClaims(item.String(), idxs)
+// item and stamps the surviving claims with their probabilities.
+func (e *engine) scoreItem(sc *scoreScratch, item int32, round int) {
+	g := e.g
+	claims := g.itemClaims[g.itemClaimStart[item]:g.itemClaimStart[item+1]]
+	if len(claims) > e.cfg.SampleL {
+		claims = e.sampleClaims(g.items[item], claims)
+	}
+	candBase := g.itemTripleStart[item]
+	nCand := int(g.itemTripleStart[item+1] - candBase)
+	counts := sc.counts[:nCand]
+	stamp := int32(round + 1)
 
 	// Coverage filter (§4.3.2): in round 0, only score items where some
 	// triple has >= 2 provenances; later, drop provenances still at the
 	// default accuracy.
 	if e.cfg.FilterByCoverage {
 		if round == 0 {
-			counts := make(map[kb.Triple]int)
-			maxN := 0
-			for _, i := range idxs {
-				counts[e.claims[i].Triple]++
-				if counts[e.claims[i].Triple] > maxN {
-					maxN = counts[e.claims[i].Triple]
+			for l := range counts {
+				counts[l] = 0
+			}
+			maxN := int32(0)
+			for _, c := range claims {
+				l := g.localOfClaim[c]
+				counts[l]++
+				if counts[l] > maxN {
+					maxN = counts[l]
 				}
 			}
 			if maxN < 2 {
 				return
 			}
 		} else {
-			kept := idxs[:0:len(idxs)]
-			for _, i := range idxs {
-				if !e.provs[e.claims[i].Prov].isDefault {
-					kept = append(kept, i)
+			kept := sc.selCov[:0]
+			for _, c := range claims {
+				if !e.provDefault[g.provOfClaim[c]] {
+					kept = append(kept, c)
 				}
 			}
-			idxs = kept
-			if len(idxs) == 0 {
+			sc.selCov = kept[:0:cap(kept)]
+			if len(kept) == 0 {
 				return
 			}
+			claims = kept
 		}
 	}
 
 	// Accuracy filter (θ): drop low-accuracy provenances; if the item loses
 	// everything, fall back to the mean provenance accuracy per triple.
-	scored := idxs
+	scored := claims
 	if θ := e.cfg.AccuracyThreshold; θ > 0 {
-		kept := make([]int32, 0, len(idxs))
-		for _, i := range idxs {
-			if e.provs[e.claims[i].Prov].acc >= θ {
-				kept = append(kept, i)
+		kept := sc.selAcc[:0]
+		for _, c := range claims {
+			if e.provAcc[g.provOfClaim[c]] >= θ {
+				kept = append(kept, c)
 			}
 		}
+		sc.selAcc = kept[:0:cap(kept)]
 		if len(kept) == 0 {
-			// Fallback: p(T) = mean accuracy of T's provenances.
-			byTriple := make(map[kb.Triple][]int32)
-			for _, i := range idxs {
-				byTriple[e.claims[i].Triple] = append(byTriple[e.claims[i].Triple], i)
+			accSum := sc.aux[:nCand]
+			for l := range counts {
+				counts[l] = 0
+				accSum[l] = 0
 			}
-			for _, group := range byTriple {
-				sum := 0.0
-				for _, i := range group {
-					sum += e.provs[e.claims[i].Prov].acc
-				}
-				p := sum / float64(len(group))
-				for _, i := range group {
-					emit(probEntry{idx: i, prob: p})
-				}
+			for _, c := range claims {
+				l := g.localOfClaim[c]
+				counts[l]++
+				accSum[l] += e.provAcc[g.provOfClaim[c]]
+			}
+			for _, c := range claims {
+				l := g.localOfClaim[c]
+				e.claimProb[c] = accSum[l] / float64(counts[l])
+				e.claimStamp[c] = stamp
 			}
 			return
 		}
 		scored = kept
 	}
 
-	probs := e.itemProbabilities(scored)
-	for _, i := range scored {
-		emit(probEntry{idx: i, prob: probs[e.claims[i].Triple]})
+	for l := range counts {
+		counts[l] = 0
 	}
-}
-
-// itemProbabilities runs the configured method over one item's claims.
-func (e *engine) itemProbabilities(idxs []int32) map[kb.Triple]float64 {
-	counts := make(map[kb.Triple]int)
-	order := make([]kb.Triple, 0, 4)
-	for _, i := range idxs {
-		t := e.claims[i].Triple
-		if counts[t] == 0 {
-			order = append(order, t)
-		}
-		counts[t]++
+	for _, c := range scored {
+		counts[g.localOfClaim[c]]++
 	}
-	n := len(idxs)
-	out := make(map[kb.Triple]float64, len(order))
+	n := len(scored)
+	probs := sc.probs[:nCand]
 
 	switch e.cfg.Method {
 	case Vote:
-		for _, t := range order {
-			out[t] = float64(counts[t]) / float64(n)
-		}
-	case Accu:
-		scores := make([]float64, len(order))
-		for vi, t := range order {
-			s := 0.0
-			for _, i := range idxs {
-				if e.claims[i].Triple != t {
-					continue
-				}
-				a := e.claimAccuracy(i)
-				s += math.Log(float64(e.cfg.NFalse) * a / (1 - a))
+		for l := 0; l < nCand; l++ {
+			if counts[l] > 0 {
+				probs[l] = float64(counts[l]) / float64(n)
 			}
-			scores[vi] = s
 		}
-		// The denominator includes the N - |V| unobserved false values,
-		// each with vote score 0 — this is what keeps single-claim items
-		// below probability 1.
-		unknown := float64(e.cfg.NFalse - len(order))
-		if unknown < 0 {
-			unknown = 0
-		}
-		softmaxInto(out, order, scores, unknown)
-	case PopAccu:
-		// POPACCU replaces ACCU's uniform false-value distribution with the
-		// popularity observed in the data: q(v) = n(v)/n. A claim on a
-		// popular value earns a smaller boost than a claim on a rare one,
-		// which is what makes POPACCU robust to copied (popular) false
-		// values — they "may be considered as popular false values" [14].
-		probs := make([]float64, len(order))
-		scores := make([]float64, len(order))
-		for vi, t := range order {
-			q := float64(counts[t]) / float64(n)
-			s := 0.0
-			for _, i := range idxs {
-				if e.claims[i].Triple != t {
-					continue
-				}
-				a := e.claimAccuracy(i)
-				s += math.Log(a / ((1 - a) * q))
+	case Accu, PopAccu:
+		scores := sc.scores[:nCand]
+		var logq []float64
+		nPresent := 0
+		for l := 0; l < nCand; l++ {
+			scores[l] = 0
+			if counts[l] > 0 {
+				nPresent++
 			}
-			scores[vi] = s
 		}
-		// One unit of unknown-value mass: a single-claim item with the
-		// default accuracy 0.8 lands exactly at probability 0.8 — the
-		// mechanism behind Figure 9's calibration valleys.
-		softmaxSlice(probs, scores, 1)
-		for vi, t := range order {
-			out[t] = probs[vi]
+		if e.cfg.Method == PopAccu {
+			// q(v) = n(v)/n — the observed popularity that replaces ACCU's
+			// uniform false-value distribution and discounts popular
+			// (possibly copied) false values.
+			logq = sc.aux[:nCand]
+			for l := 0; l < nCand; l++ {
+				if counts[l] > 0 {
+					logq[l] = math.Log(float64(counts[l]) / float64(n))
+				}
+			}
+		}
+		hook := e.cfg.ClaimAccuracy
+		for _, c := range scored {
+			l := g.localOfClaim[c]
+			var term float64
+			if hook == nil {
+				term = e.provTerm[g.provOfClaim[c]]
+			} else {
+				a := clampAcc(hook(g.claims[c], e.provAcc[g.provOfClaim[c]]))
+				if e.cfg.Method == Accu {
+					term = math.Log(float64(e.cfg.NFalse) * a / (1 - a))
+				} else {
+					term = math.Log(a / (1 - a))
+				}
+			}
+			if logq != nil {
+				term -= logq[l]
+			}
+			scores[l] += term
+		}
+		// Softmax over the present candidates plus the unknown-value mass:
+		// ACCU reserves the N - |V| unobserved false values, POPACCU one
+		// unit — the mechanism behind Figure 9's calibration valleys.
+		unknown := 1.0
+		if e.cfg.Method == Accu {
+			unknown = float64(e.cfg.NFalse - nPresent)
+			if unknown < 0 {
+				unknown = 0
+			}
+		}
+		m := 0.0 // the implicit unknown-value score is 0
+		for l := 0; l < nCand; l++ {
+			if counts[l] > 0 && scores[l] > m {
+				m = scores[l]
+			}
+		}
+		denom := unknown * math.Exp(-m)
+		for l := 0; l < nCand; l++ {
+			if counts[l] > 0 {
+				denom += math.Exp(scores[l] - m)
+			}
+		}
+		for l := 0; l < nCand; l++ {
+			if counts[l] > 0 {
+				probs[l] = math.Exp(scores[l]-m) / denom
+			}
 		}
 	}
-	return out
-}
 
-// softmaxInto computes P(v) = exp(s_v) / (Σ exp(s) + unknownMass·exp(0)),
-// shifted for stability.
-func softmaxInto(out map[kb.Triple]float64, order []kb.Triple, scores []float64, unknownMass float64) {
-	probs := make([]float64, len(scores))
-	softmaxSlice(probs, scores, unknownMass)
-	for vi, t := range order {
-		out[t] = probs[vi]
-	}
-}
-
-func softmaxSlice(probs, scores []float64, unknownMass float64) {
-	m := 0.0 // the implicit unknown-value score is 0
-	for _, s := range scores {
-		if s > m {
-			m = s
-		}
-	}
-	denom := unknownMass * math.Exp(-m)
-	for _, s := range scores {
-		denom += math.Exp(s - m)
-	}
-	for i, s := range scores {
-		probs[i] = math.Exp(s-m) / denom
+	for _, c := range scored {
+		e.claimProb[c] = probs[g.localOfClaim[c]]
+		e.claimStamp[c] = stamp
 	}
 }
 
 // stageII re-estimates provenance accuracies as the mean probability of
-// their claims (Figure 8, Stage II) and returns the largest accuracy change.
-func (e *engine) stageII(entries []probEntry) float64 {
-	type provAcc struct {
-		prov string
-		acc  float64
+// their scored claims (Figure 8, Stage II) and returns the largest accuracy
+// change — a parallel flat loop over the compiled provenance spans.
+func (e *engine) stageII(round int) float64 {
+	g := e.g
+	stamp := int32(round + 1)
+	for w := range e.workerDelta {
+		e.workerDelta[w] = 0
 	}
-	job := mapreduce.Job[probEntry, string, float64, provAcc]{
-		Name: "fusion-stageII",
-		Map: func(pe probEntry, emit func(string, float64)) {
-			emit(e.claims[pe.idx].Prov, pe.prob)
-		},
-		Reduce: func(prov string, probs []float64, emit func(provAcc)) {
-			probs = e.sampleProbs(prov, probs)
+	e.parallelRange(len(g.provKeys), func(w, lo, hi int) {
+		maxDelta := 0.0
+		for p := lo; p < hi; p++ {
 			sum := 0.0
-			for _, p := range probs {
-				sum += p
+			cnt := 0
+			for _, c := range g.provClaims[g.provClaimStart[p]:g.provClaimStart[p+1]] {
+				if e.claimStamp[c] == stamp {
+					sum += e.claimProb[c]
+					cnt++
+				}
 			}
-			emit(provAcc{prov: prov, acc: sum / float64(len(probs))})
-		},
-		KeyHash:    mapreduce.StringHash,
-		Workers:    e.cfg.Workers,
-		Partitions: e.cfg.Partitions,
-	}
-	updates := mapreduce.MustRun(job, entries)
+			if cnt == 0 {
+				continue // never scored: keeps the default accuracy
+			}
+			var acc float64
+			if cnt > e.cfg.SampleL {
+				acc = e.sampleProbsMean(int32(p), stamp)
+			} else {
+				acc = sum / float64(cnt)
+			}
+			if d := math.Abs(e.provAcc[p] - acc); d > maxDelta {
+				maxDelta = d
+			}
+			e.provAcc[p] = acc
+			e.provDefault[p] = false
+		}
+		e.workerDelta[w] = maxDelta
+	})
 	maxDelta := 0.0
-	for _, u := range updates {
-		st := e.provs[u.prov]
-		if d := math.Abs(st.acc - u.acc); d > maxDelta {
+	for _, d := range e.workerDelta {
+		if d > maxDelta {
 			maxDelta = d
 		}
-		st.acc = u.acc
-		st.isDefault = false
 	}
 	return maxDelta
 }
 
-// stageIII deduplicates claims into unique fused triples (Figure 8, Stage
-// III).
-func (e *engine) stageIII(entries []probEntry) *Result {
-	probByIdx := make(map[int32]float64, len(entries))
-	for _, pe := range entries {
-		probByIdx[pe.idx] = pe.prob
-	}
-	type fused = FusedTriple
-	job := mapreduce.Job[int32, kb.Triple, int32, fused]{
-		Name: "fusion-stageIII",
-		Map: func(idx int32, emit func(kb.Triple, int32)) {
-			emit(e.claims[idx].Triple, idx)
-		},
-		Reduce: func(t kb.Triple, idxs []int32, emit func(fused)) {
-			f := fused{
-				Triple:          t,
+// stageIII attaches the final probabilities to the deduplicated triple set
+// interned at compile time (Figure 8, Stage III).
+func (e *engine) stageIII(lastStamp int32) *Result {
+	g := e.g
+	out := make([]FusedTriple, len(g.triples))
+	e.parallelRange(len(g.triples), func(_, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			item := g.itemOfTriple[t]
+			f := FusedTriple{
+				Triple:          g.triples[t],
 				Probability:     -1,
-				Provenances:     len(idxs),
-				ItemProvenances: e.itemTotal[t.Item()],
+				Provenances:     int(g.tripleClaimStart[t+1] - g.tripleClaimStart[t]),
+				ItemProvenances: int(g.itemClaimStart[item+1] - g.itemClaimStart[item]),
+				Extractors:      int(g.tripleExtractors[t]),
 			}
-			exts := make(map[string]bool)
-			for _, i := range idxs {
-				exts[e.claims[i].Extractor] = true
-				if p, ok := probByIdx[i]; ok {
-					f.Probability = p
+			for _, c := range g.tripleClaims[g.tripleClaimStart[t]:g.tripleClaimStart[t+1]] {
+				if e.claimStamp[c] == lastStamp {
+					f.Probability = e.claimProb[c]
 					f.Predicted = true
+					break
 				}
 			}
-			f.Extractors = len(exts)
-			emit(f)
-		},
-		KeyHash:    func(t kb.Triple) uint64 { return mapreduce.StringHash(t.Encode()) },
-		Workers:    e.cfg.Workers,
-		Partitions: e.cfg.Partitions,
-	}
-	triples := mapreduce.MustRun(job, claimIndexes(len(e.claims)))
-	res := &Result{Triples: triples}
-	for _, t := range triples {
-		if !t.Predicted {
+			out[t] = f
+		}
+	})
+	res := &Result{Triples: out}
+	for i := range out {
+		if !out[i].Predicted {
 			res.Unpredicted++
 		}
 	}
@@ -396,51 +498,53 @@ func (e *engine) stageIII(entries []probEntry) *Result {
 }
 
 // reportRound surfaces per-round probabilities to the OnRound callback.
-func (e *engine) reportRound(round int, entries []probEntry) {
+func (e *engine) reportRound(round int) {
 	if e.cfg.OnRound == nil {
 		return
 	}
-	probs := make(map[kb.Triple]float64)
-	for _, pe := range entries {
-		probs[e.claims[pe.idx].Triple] = pe.prob
+	g := e.g
+	stamp := int32(round + 1)
+	// Sized up front from the compiled triple set so the map never rehashes.
+	probs := make(map[kb.Triple]float64, len(g.triples))
+	for t := range g.triples {
+		for _, c := range g.tripleClaims[g.tripleClaimStart[t]:g.tripleClaimStart[t+1]] {
+			if e.claimStamp[c] == stamp {
+				probs[g.triples[t]] = e.claimProb[c]
+				break
+			}
+		}
 	}
 	e.cfg.OnRound(round, probs)
 }
 
-// sampleClaims caps a reducer's claim list at SampleL with a deterministic
-// reservoir (the paper's L sampling).
-func (e *engine) sampleClaims(key string, idxs []int32) []int32 {
-	if len(idxs) <= e.cfg.SampleL {
-		return idxs
-	}
-	src := randx.New(e.cfg.SampleSeed ^ int64(mapreduce.StringHash(key)))
+// sampleClaims caps an item's claim list at SampleL with a deterministic
+// reservoir (the paper's L sampling). The stream order and seed match the
+// seed engine's, so the sampled subset is identical.
+func (e *engine) sampleClaims(item kb.DataItem, claims []int32) []int32 {
+	src := randx.New(e.cfg.SampleSeed ^ int64(mapreduce.StringHash(item.String())))
 	r := randx.NewReservoir[int32](e.cfg.SampleL, src)
-	for _, i := range idxs {
-		r.Add(i)
-	}
-	return append([]int32(nil), r.Items()...)
-}
-
-func (e *engine) sampleProbs(key string, probs []float64) []float64 {
-	if len(probs) <= e.cfg.SampleL {
-		return probs
-	}
-	src := randx.New(e.cfg.SampleSeed ^ int64(mapreduce.StringHash(key)))
-	r := randx.NewReservoir[float64](e.cfg.SampleL, src)
-	for _, p := range probs {
-		r.Add(p)
+	for _, c := range claims {
+		r.Add(c)
 	}
 	return r.Items()
 }
 
-// claimAccuracy returns the effective accuracy for one claim: the
-// provenance accuracy, optionally modulated by the ClaimAccuracy hook.
-func (e *engine) claimAccuracy(i int32) float64 {
-	a := e.provs[e.claims[i].Prov].acc
-	if e.cfg.ClaimAccuracy != nil {
-		a = e.cfg.ClaimAccuracy(e.claims[i], a)
+// sampleProbsMean is stage II's L sampling: a deterministic reservoir over
+// one provenance's scored probabilities, in compiled claim order.
+func (e *engine) sampleProbsMean(p, stamp int32) float64 {
+	g := e.g
+	src := randx.New(e.cfg.SampleSeed ^ int64(mapreduce.StringHash(g.provKeys[p])))
+	r := randx.NewReservoir[float64](e.cfg.SampleL, src)
+	for _, c := range g.provClaims[g.provClaimStart[p]:g.provClaimStart[p+1]] {
+		if e.claimStamp[c] == stamp {
+			r.Add(e.claimProb[c])
+		}
 	}
-	return clampAcc(a)
+	sum := 0.0
+	for _, v := range r.Items() {
+		sum += v
+	}
+	return sum / float64(len(r.Items()))
 }
 
 func claimIndexes(n int) []int32 {

@@ -9,6 +9,30 @@
 // (triple, provenance) claims, where a provenance is an (extractor, URL)
 // pair — or a coarser/finer key under the granularity refinements. The
 // output is a calibrated probability of truth per unique triple.
+//
+// # Compile-once architecture
+//
+// The paper's scalability answer (§3.2.2, Figure 8) is a MapReduce pipeline
+// tuned so iterations are cheap. Fuse realizes that here by splitting a run
+// into a one-time compilation and allocation-free rounds:
+//
+//   - compile (compile.go) interns provenances, extractors, data items and
+//     candidate triples into dense int32 IDs and builds CSR adjacency
+//     (item → claim spans, provenance → claim spans, triple → claim spans,
+//     claim → prov/candidate IDs). This is the run's only shuffle; it rides
+//     the mapreduce substrate, partitioned by the field-wise kb.DataItem.Hash
+//     — no key strings are built. Figure 8's Stage III dedup (grouping
+//     claims into unique triples) happens inside the compile reducers.
+//   - Stage I scores items by walking flat CSR spans with provenance
+//     accuracies in a []float64 indexed by prov ID; per-item candidate
+//     state lives in dense per-worker scratch arrays.
+//   - Stage II re-estimates each provenance's accuracy over its claim span.
+//   - Stage III attaches final probabilities to the precomputed triple set.
+//
+// Rounds allocate nothing and never rehash or reshuffle; results are
+// deterministic and independent of Config.Workers. FuseReference preserves
+// the original shuffle-per-round engine as the golden oracle the compiled
+// engine is regression-tested against (see equivalence_test.go).
 package fusion
 
 import (

@@ -1,6 +1,8 @@
 package kb
 
 import (
+	"math"
+	"strconv"
 	"testing"
 	"testing/quick"
 )
@@ -242,5 +244,65 @@ func TestObjectStringParseQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestFieldwiseHashStableAndEqual(t *testing.T) {
+	d := DataItem{Subject: "/m/07r1h", Predicate: "/people/person/birth_date"}
+	if d.Hash() != d.Hash() {
+		t.Error("DataItem.Hash not stable")
+	}
+	tr := Triple{Subject: d.Subject, Predicate: d.Predicate, Object: NumberObject(1986)}
+	if tr.Hash() != tr.Hash() {
+		t.Error("Triple.Hash not stable")
+	}
+	same := Triple{Subject: "/m/07r1h", Predicate: "/people/person/birth_date", Object: NumberObject(1986)}
+	if tr.Hash() != same.Hash() {
+		t.Error("equal triples hash differently")
+	}
+}
+
+func TestFieldwiseHashFieldBoundaries(t *testing.T) {
+	// Concatenation across the subject/predicate boundary must not collide.
+	a := DataItem{Subject: "ab", Predicate: "c"}
+	b := DataItem{Subject: "a", Predicate: "bc"}
+	if a.Hash() == b.Hash() {
+		t.Error("DataItem.Hash collides across field boundary")
+	}
+	// Object kind and numeric value must both matter.
+	base := Triple{Subject: "s", Predicate: "p"}
+	s := base
+	s.Object = StringObject("1986")
+	n := base
+	n.Object = NumberObject(1986)
+	if s.Hash() == n.Hash() {
+		t.Error("Triple.Hash ignores object kind")
+	}
+	n2 := base
+	n2.Object = NumberObject(1987)
+	if n.Hash() == n2.Hash() {
+		t.Error("Triple.Hash ignores numeric value")
+	}
+	// 0.0 and -0.0 compare equal as float64, so the objects are == and
+	// must hash equal (a partitioning hash may never split one map key).
+	pz, nz := NumberObject(0.0), NumberObject(math.Copysign(0, -1))
+	if pz != nz {
+		t.Fatal("0.0 and -0.0 objects should compare equal")
+	}
+	if pz.Hash() != nz.Hash() {
+		t.Error("Object.Hash splits 0.0 and -0.0")
+	}
+}
+
+func TestFieldwiseHashSpreads(t *testing.T) {
+	// A weak sanity check that hashes of near-identical items differ: 1000
+	// consecutive subjects should produce 1000 distinct hashes.
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		d := DataItem{Subject: EntityID("/m/e" + strconv.Itoa(i)), Predicate: "/p"}
+		seen[d.Hash()] = true
+	}
+	if len(seen) != 1000 {
+		t.Errorf("DataItem.Hash: %d distinct hashes for 1000 items", len(seen))
 	}
 }

@@ -11,6 +11,7 @@ package kb
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -163,6 +164,62 @@ type DataItem struct {
 
 // String renders the data item as "subject#predicate".
 func (d DataItem) String() string { return string(d.Subject) + "#" + string(d.Predicate) }
+
+// fnvHash64 is FNV-1a over multi-field values: each call folds one string
+// into the running hash and then a field terminator, so field boundaries
+// cannot collide ("ab"+"c" vs "a"+"bc").
+func fnvHash64(h uint64, s string) uint64 {
+	const prime64 = 1099511628211
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= 0xff
+	h *= prime64
+	return h
+}
+
+const fnvOffset64 = 14695981039346656037
+
+// Hash returns a deterministic field-wise hash of the data item. It is the
+// partitioning hash the fusion pipeline uses instead of hashing the String()
+// form, so no intermediate string is allocated.
+func (d DataItem) Hash() uint64 {
+	h := fnvHash64(fnvOffset64, string(d.Subject))
+	return fnvHash64(h, string(d.Predicate))
+}
+
+// Hash returns a deterministic field-wise hash of the object. Objects that
+// compare equal with == hash equal; -0 is folded onto +0 because the two
+// compare equal as float64s.
+func (o Object) Hash() uint64 {
+	h := fnvHash64(fnvOffset64, o.Str)
+	const prime64 = 1099511628211
+	h ^= uint64(o.Kind)
+	h *= prime64
+	num := o.Num
+	if num == 0 {
+		num = 0 // normalize -0
+	}
+	bits := math.Float64bits(num)
+	for i := 0; i < 64; i += 8 {
+		h ^= (bits >> i) & 0xff
+		h *= prime64
+	}
+	return h
+}
+
+// Hash returns a deterministic field-wise hash of the triple, equal for equal
+// triples. Like DataItem.Hash it avoids building the Encode() string.
+func (t Triple) Hash() uint64 {
+	h := fnvHash64(fnvOffset64, string(t.Subject))
+	h = fnvHash64(h, string(t.Predicate))
+	const prime64 = 1099511628211
+	h *= prime64
+	h ^= t.Object.Hash()
+	h *= prime64
+	return h
+}
 
 // WithObject completes the data item into a triple with the given object.
 func (d DataItem) WithObject(o Object) Triple {

@@ -252,3 +252,42 @@ func TestLargeInputManyPartitions(t *testing.T) {
 		t.Errorf("total count = %d, want 5000", total)
 	}
 }
+
+func TestEmitsPerInputHintDoesNotChangeResults(t *testing.T) {
+	inputs := make([]int, 5000)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	job := Job[int, int, int, [2]int]{
+		Name: "hinted",
+		Map: func(in int, emit func(int, int)) {
+			emit(in%97, 1)
+			emit(in%89, 2)
+		},
+		Reduce: func(k int, vs []int, emit func([2]int)) {
+			sum := 0
+			for _, v := range vs {
+				sum += v
+			}
+			emit([2]int{k, sum})
+		},
+		KeyHash: func(k int) uint64 { return uint64(k) * 0x9e3779b97f4a7c15 },
+	}
+	plain, err := Run(job, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.EmitsPerInput = 2
+	hinted, err := Run(job, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(hinted) {
+		t.Fatalf("hinted output size %d, want %d", len(hinted), len(plain))
+	}
+	for i := range plain {
+		if plain[i] != hinted[i] {
+			t.Fatalf("output %d differs: %v vs %v", i, hinted[i], plain[i])
+		}
+	}
+}

@@ -77,7 +77,11 @@ func Fuse(claims []fusion.Claim, cfg Config) (*fusion.Result, error) {
 	itemProvs := map[kb.DataItem]map[string]bool{}
 	itemTriples := map[kb.DataItem][]int{}
 	provs := map[string]*provParams{}
-	seenClaim := map[[2]string]bool{}
+	type claimKey struct {
+		prov   string
+		triple kb.Triple
+	}
+	seenClaim := map[claimKey]bool{}
 
 	for _, c := range claims {
 		item := c.Triple.Item()
@@ -88,7 +92,7 @@ func Fuse(claims []fusion.Claim, cfg Config) (*fusion.Result, error) {
 			triples = append(triples, tripleInfo{triple: c.Triple})
 			itemTriples[item] = append(itemTriples[item], ti)
 		}
-		key := [2]string{c.Prov, c.Triple.Encode()}
+		key := claimKey{prov: c.Prov, triple: c.Triple}
 		if !seenClaim[key] {
 			seenClaim[key] = true
 			triples[ti].claimers = append(triples[ti].claimers, c.Prov)
