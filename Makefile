@@ -16,9 +16,9 @@ test:
 	$(GO) test ./...
 
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFusePopAccu$$|BenchmarkFuseReferencePopAccu$$|BenchmarkLargeScaleFusion$$' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkFusePopAccu$$|BenchmarkFuseReferencePopAccu$$|BenchmarkLargeScaleFusion$$|BenchmarkConfigSweep' -benchtime 1x -benchmem .
 
-# bench-json regenerates the machine-readable perf record (see BENCH_1.json;
+# bench-json regenerates the machine-readable perf record (see BENCH_<n>.json;
 # bump N per PR that moves performance).
 bench-json:
-	$(GO) run ./cmd/kfbench -benchjson BENCH_1.json
+	$(GO) run ./cmd/kfbench -benchjson BENCH_2.json

@@ -94,6 +94,9 @@ var (
 type (
 	// Claim is one (triple, provenance) assertion.
 	Claim = fusion.Claim
+	// CompiledClaims is a compiled, reusable claim graph: Compile once, then
+	// Fuse any number of configurations over it.
+	CompiledClaims = fusion.Compiled
 	// FuseConfig parameterizes a fusion run.
 	FuseConfig = fusion.Config
 	// Granularity selects the provenance key shape.
@@ -122,8 +125,15 @@ var (
 	// ClaimsFromExtractions flattens extractions into claims under a
 	// provenance granularity.
 	ClaimsFromExtractions = fusion.Claims
-	// Fuse runs a fusion configuration over claims.
+	// Fuse runs a fusion configuration over claims (compile-then-fuse).
 	Fuse = fusion.Fuse
+	// Compile interns claims into a reusable CompiledClaims graph so one
+	// compilation serves many fusion configurations.
+	Compile = fusion.Compile
+	// CompileWorkers is Compile with explicit parallelism bounds.
+	CompileWorkers = fusion.CompileWorkers
+	// MustCompile is Compile for callers without error plumbing.
+	MustCompile = fusion.MustCompile
 )
 
 // Provenance granularities from the paper's experiments.

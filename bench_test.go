@@ -166,6 +166,43 @@ func BenchmarkFuseReferencePopAccu(b *testing.B) {
 	b.ReportMetric(float64(len(claims))*float64(b.N)/b.Elapsed().Seconds(), "claims/s")
 }
 
+// BenchmarkConfigSweep measures the multi-config workload that dominates the
+// experiment layer (Tables 1-3, the ablation suite, θ/coverage sweeps): the
+// same extracted claim set fused under 4 configurations. "recompile" pays
+// the claims conversion + claim-graph compile per config — what Dataset.Fuse
+// did before compiled-graph reuse — while "reuse" compiles once and fuses
+// every config over the shared fusion.Compiled. claims/s counts
+// claims × configs so the two numbers are directly comparable.
+func BenchmarkConfigSweep(b *testing.B) {
+	ds := benchDataset(b)
+	sweep := exper.ConfigSweep()
+	nClaims := len(fusion.Claims(ds.Extractions, fusion.Granularity{}))
+	reportSweep := func(b *testing.B) {
+		b.ReportMetric(float64(nClaims*len(sweep))*float64(b.N)/b.Elapsed().Seconds(), "claims/s")
+	}
+	b.Run("recompile", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, p := range sweep {
+				fusion.MustFuse(fusion.Claims(ds.Extractions, p.Cfg.Granularity), p.Cfg)
+			}
+		}
+		b.StopTimer()
+		reportSweep(b)
+	})
+	b.Run("reuse", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			compiled := fusion.MustCompile(fusion.Claims(ds.Extractions, fusion.Granularity{}))
+			for _, p := range sweep {
+				compiled.MustFuse(p.Cfg)
+			}
+		}
+		b.StopTimer()
+		reportSweep(b)
+	})
+}
+
 // BenchmarkMapReduceScaling measures the fusion pipeline at several worker
 // counts (the paper's scalability concern, at laptop scale).
 func BenchmarkMapReduceScaling(b *testing.B) {

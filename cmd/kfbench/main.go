@@ -12,9 +12,11 @@
 //	kfbench -benchjson FILE      # fusion throughput benchmarks as JSON
 //
 // -benchjson measures the fusion engines (compiled and seed reference) over
-// the bench and large shared datasets and writes one machine-readable JSON
-// record — the cross-PR perf trajectory lives in BENCH_<n>.json files at the
-// repository root.
+// the bench and large shared datasets, plus the multi-config sweep with and
+// without compiled-claim-graph reuse (ConfigSweepReuse vs
+// ConfigSweepRecompile), and writes one machine-readable JSON record — the
+// cross-PR perf trajectory lives in BENCH_<n>.json files at the repository
+// root.
 package main
 
 import (
@@ -253,6 +255,41 @@ func writeBenchJSON(path string, seed int64) error {
 		cfg := fusion.PopAccuConfig()
 		run(eng.prefix+"LargeScaleFusion", fusion.Claims(large.Extractions, cfg.Granularity), cfg, eng.fuse)
 	}
+
+	// ---- Multi-config sweep: one compiled claim graph serving every sweep
+	// config vs the per-config claims+compile the experiment layer used to
+	// do. claims/s counts claims × configs, so the Reuse/Recompile ratio is
+	// the amortization win of fusion.Compile.
+	sweep := exper.ConfigSweep()
+	nSweepClaims := len(fusion.Claims(bench.Extractions, fusion.Granularity{}))
+	recordSweep := func(name string, op func()) {
+		fmt.Fprintf(os.Stderr, "benchmarking %s (%d claims x %d configs)...\n",
+			name, nSweepClaims, len(sweep))
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				op()
+			}
+		})
+		out.Benchmarks[name] = benchRecord{
+			NsPerOp:     r.NsPerOp(),
+			ClaimsPerS:  float64(nSweepClaims*len(sweep)) / (float64(r.NsPerOp()) / 1e9),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+	}
+	recordSweep("ConfigSweepRecompile", func() {
+		for _, p := range sweep {
+			fusion.MustFuse(fusion.Claims(bench.Extractions, p.Cfg.Granularity), p.Cfg)
+		}
+	})
+	recordSweep("ConfigSweepReuse", func() {
+		compiled := fusion.MustCompile(fusion.Claims(bench.Extractions, fusion.Granularity{}))
+		for _, p := range sweep {
+			compiled.MustFuse(p.Cfg)
+		}
+	})
 
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -88,8 +88,11 @@ func main() {
 		if *rounds > 0 {
 			mcfg.Rounds = *rounds
 		}
-		claims := fusion.Claims(xs, fusion.GranExtractorURL)
-		res, err := multitruth.Fuse(claims, mcfg)
+		compiled, err := fusion.CompileWorkers(fusion.Claims(xs, fusion.GranExtractorURL), *workers, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := multitruth.FuseCompiled(compiled, mcfg)
 		if err != nil {
 			log.Fatal(err)
 		}

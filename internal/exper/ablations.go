@@ -81,9 +81,9 @@ func AblationTwoLayer(ds *Dataset) *Table {
 // AblationMultiTruth: does the latent truth model recover multiple truths on
 // non-functional predicates (§5.3)?
 func AblationMultiTruth(ds *Dataset) *Table {
-	claims := fusion.Claims(ds.Extractions, fusion.GranExtractorURL)
+	// Both models ride the dataset's one compiled claim graph.
 	single := ds.Fuse("POPACCU", fusion.PopAccuConfig())
-	ltm := multitruth.MustFuse(claims, multitruth.DefaultConfig())
+	ltm := multitruth.MustFuseCompiled(ds.Compiled(fusion.GranExtractorURL), multitruth.DefaultConfig())
 
 	// Multi-truth recovery: items with >= 2 gold-true extracted triples
 	// where the model assigns >= 0.5 to at least two of them.

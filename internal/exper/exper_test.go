@@ -2,9 +2,12 @@ package exper
 
 import (
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
 )
 
 func testDS(t testing.TB) *Dataset {
@@ -74,6 +77,148 @@ func TestFuseCache(t *testing.T) {
 	b := ds.Fuse("VOTE", fusion.VoteConfig())
 	if a != b {
 		t.Error("Fuse did not cache by key")
+	}
+}
+
+// TestFuseConcurrentSingleflight pins the fix for the double-checked-lock
+// race: concurrent callers of one cacheKey must share a single fusion run
+// and a single result pointer, never overwrite each other.
+func TestFuseConcurrentSingleflight(t *testing.T) {
+	ds := NewDataset(ScaleSmall, 31)
+	var runs int32
+	cfg := fusion.VoteConfig()
+	cfg.OnRound = func(round int, _ map[kb.Triple]float64) {
+		if round == 0 {
+			atomic.AddInt32(&runs, 1)
+		}
+	}
+	const callers = 16
+	results := make([]*fusion.Result, callers)
+	var wg sync.WaitGroup
+	for k := 0; k < callers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			results[k] = ds.Fuse("vote-concurrent", cfg)
+		}(k)
+	}
+	wg.Wait()
+	for k := 1; k < callers; k++ {
+		if results[k] != results[0] {
+			t.Fatal("concurrent callers saw different result pointers")
+		}
+	}
+	if got := atomic.LoadInt32(&runs); got != 1 {
+		t.Fatalf("fusion ran %d times for one cacheKey, want 1", got)
+	}
+}
+
+// TestFusePanicRepanics pins the panic path of the per-key once: a build
+// that panics must re-panic for every caller of that key, never consume the
+// once and hand out silent nils.
+func TestFusePanicRepanics(t *testing.T) {
+	ds := testDS(t)
+	bad := fusion.AccuConfig()
+	bad.AccuracyThreshold = 1.5 // Validate rejects it -> MustFuse panics
+	for i := 0; i < 2; i++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("call %d: invalid config did not panic", i)
+				}
+			}()
+			ds.Fuse("bad-config", bad)
+		}()
+	}
+}
+
+// TestSharedDatasetConcurrent pins the per-key once: simultaneous requests
+// for one new (scale, seed) must share a single build.
+func TestSharedDatasetConcurrent(t *testing.T) {
+	const callers = 8
+	results := make([]*Dataset, callers)
+	var wg sync.WaitGroup
+	for k := 0; k < callers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			results[k] = SharedDataset(ScaleSmall, 987631)
+		}(k)
+	}
+	wg.Wait()
+	for k := 0; k < callers; k++ {
+		if results[k] == nil || results[k] != results[0] {
+			t.Fatal("concurrent SharedDataset callers saw different datasets")
+		}
+	}
+}
+
+// TestCompiledGraphReused pins the compiled-claim-graph cache: one graph per
+// granularity, shared across presets, surviving ClearFusionCache, and
+// producing results bit-identical to a fresh compile-and-fuse.
+func TestCompiledGraphReused(t *testing.T) {
+	ds := testDS(t)
+	a := ds.Compiled(fusion.Granularity{})
+	if b := ds.Compiled(fusion.Granularity{}); b != a {
+		t.Error("Compiled not cached per granularity")
+	}
+	if c := ds.Compiled(fusion.GranExtractorSite); c == a {
+		t.Error("distinct granularities share a compiled graph")
+	}
+
+	res := ds.Fuse("popaccu-reuse-check", fusion.PopAccuConfig())
+	fresh := fusion.MustFuse(fusion.Claims(ds.Extractions, fusion.Granularity{}), fusion.PopAccuConfig())
+	if len(res.Triples) != len(fresh.Triples) {
+		t.Fatalf("%d triples via compiled reuse, want %d", len(res.Triples), len(fresh.Triples))
+	}
+	for i := range res.Triples {
+		if res.Triples[i] != fresh.Triples[i] {
+			t.Fatalf("triple %d differs from fresh compile: %+v vs %+v",
+				i, res.Triples[i], fresh.Triples[i])
+		}
+	}
+
+	ds.ClearFusionCache()
+	if ds.Compiled(fusion.Granularity{}) != a {
+		t.Error("ClearFusionCache dropped the compiled graph")
+	}
+	if res2 := ds.Fuse("popaccu-reuse-check", fusion.PopAccuConfig()); res2 == res {
+		t.Error("ClearFusionCache kept the result cache")
+	}
+}
+
+// TestUniqueCounts cross-checks the exported UniqueTriple support counts
+// against an independent recount of the raw extractions.
+func TestUniqueCounts(t *testing.T) {
+	ds := testDS(t)
+	type support struct {
+		exts, urls map[string]bool
+		provs      int
+	}
+	want := map[kb.Triple]*support{}
+	for _, x := range ds.Extractions {
+		s := want[x.Triple]
+		if s == nil {
+			s = &support{exts: map[string]bool{}, urls: map[string]bool{}}
+			want[x.Triple] = s
+		}
+		s.exts[x.Extractor] = true
+		s.urls[x.URL] = true
+		s.provs++
+	}
+	uniq := ds.Unique()
+	if len(uniq) != len(want) {
+		t.Fatalf("%d unique triples, want %d", len(uniq), len(want))
+	}
+	for _, u := range uniq {
+		s := want[u.Triple]
+		if s == nil {
+			t.Fatalf("unexpected triple %v", u.Triple)
+		}
+		if u.Extractors != len(s.exts) || u.URLs != len(s.urls) || u.Provenances != s.provs {
+			t.Fatalf("%v: counts (%d ext, %d urls, %d provs), want (%d, %d, %d)",
+				u.Triple, u.Extractors, u.URLs, u.Provenances, len(s.exts), len(s.urls), s.provs)
+		}
 	}
 }
 

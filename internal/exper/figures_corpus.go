@@ -72,10 +72,10 @@ func Figure4(ds *Dataset) *Table {
 	trueN := map[kb.PredicateID]int{}
 	labeled := map[kb.PredicateID]int{}
 	for _, u := range ds.Unique() {
-		if label, ok := ds.Gold.Label(u.triple); ok {
-			labeled[u.triple.Predicate]++
+		if label, ok := ds.Gold.Label(u.Triple); ok {
+			labeled[u.Triple.Predicate]++
 			if label {
-				trueN[u.triple.Predicate]++
+				trueN[u.Triple.Predicate]++
 			}
 		}
 	}
@@ -176,11 +176,11 @@ func Figure6(ds *Dataset) *Table {
 	singleExtractor, totalTriples := 0, 0
 	for _, u := range ds.Unique() {
 		totalTriples++
-		if len(u.extractors) == 1 {
+		if u.Extractors == 1 {
 			singleExtractor++
 		}
-		if label, ok := ds.Gold.Label(u.triple); ok {
-			curve.Add(len(u.extractors), label)
+		if label, ok := ds.Gold.Label(u.Triple); ok {
+			curve.Add(u.Extractors, label)
 		}
 	}
 	tb := &Table{ID: "fig6", Title: "Triple accuracy by #extractors",
@@ -203,11 +203,11 @@ func Figure7(ds *Dataset) *Table {
 	single, total := 0, 0
 	for _, u := range ds.Unique() {
 		total++
-		if len(u.urls) == 1 {
+		if u.URLs == 1 {
 			single++
 		}
-		if label, ok := ds.Gold.Label(u.triple); ok {
-			curve.Add(len(u.urls), label)
+		if label, ok := ds.Gold.Label(u.Triple); ok {
+			curve.Add(u.URLs, label)
 		}
 	}
 	tb := &Table{ID: "fig7", Title: "Triple accuracy by #URLs",
@@ -236,16 +236,16 @@ func Figure18(ds *Dataset) *Table {
 	one := stats.NewAccuracyCurve()
 	many := stats.NewAccuracyCurve()
 	for _, u := range ds.Unique() {
-		label, ok := ds.Gold.Label(u.triple)
+		label, ok := ds.Gold.Label(u.Triple)
 		if !ok {
 			continue
 		}
-		all.Add(u.provs, label)
-		if len(u.extractors) == 1 {
-			one.Add(u.provs, label)
+		all.Add(u.Provenances, label)
+		if u.Extractors == 1 {
+			one.Add(u.Provenances, label)
 		}
-		if len(u.extractors) >= 8 {
-			many.Add(u.provs, label)
+		if u.Extractors >= 8 {
+			many.Add(u.Provenances, label)
 		}
 	}
 	tb := &Table{ID: "fig18", Title: "Accuracy by #provenances and #extractors",
@@ -314,12 +314,12 @@ func Figure20(ds *Dataset) *Table {
 	truths := map[kb.DataItem]int{}
 	items := map[kb.DataItem]bool{}
 	for _, u := range ds.Unique() {
-		it := u.triple.Item()
+		it := u.Triple.Item()
 		if !ds.Gold.HasItem(it) {
 			continue
 		}
 		items[it] = true
-		if label, ok := ds.Gold.Label(u.triple); ok && label {
+		if label, ok := ds.Gold.Label(u.Triple); ok && label {
 			truths[it]++
 		}
 	}

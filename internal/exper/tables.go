@@ -25,7 +25,7 @@ func Table1(ds *Dataset) *Table {
 	predsPerEntity := map[kb.EntityID]map[kb.PredicateID]bool{}
 
 	for _, u := range uniq {
-		t := u.triple
+		t := u.Triple
 		subjects[t.Subject] = true
 		predicates[t.Predicate] = true
 		objects[t.Object] = true
@@ -171,15 +171,15 @@ func Table3(ds *Dataset) *Table {
 	fn := &agg{preds: map[kb.PredicateID]bool{}, items: map[kb.DataItem]bool{}}
 	nf := &agg{preds: map[kb.PredicateID]bool{}, items: map[kb.DataItem]bool{}}
 	for _, u := range uniq {
-		p := ds.World.Ont.Predicate(u.triple.Predicate)
+		p := ds.World.Ont.Predicate(u.Triple.Predicate)
 		a := nf
 		if p != nil && p.Functional {
 			a = fn
 		}
-		a.preds[u.triple.Predicate] = true
-		a.items[u.triple.Item()] = true
+		a.preds[u.Triple.Predicate] = true
+		a.items[u.Triple.Item()] = true
 		a.triples++
-		if label, ok := ds.Gold.Label(u.triple); ok {
+		if label, ok := ds.Gold.Label(u.Triple); ok {
 			a.labeled++
 			if label {
 				a.trueN++

@@ -1,15 +1,17 @@
 package fusion
 
 import (
+	"runtime"
+
 	"kfusion/internal/kb"
 	"kfusion/internal/mapreduce"
 )
 
 // graph is the compiled, immutable form of a claim set: every provenance,
 // extractor, data item and candidate triple interned into a dense int32 ID,
-// with CSR adjacency connecting them. It is built once per fusion run
-// (compile) and then every EM round iterates flat slices — no maps, no
-// string hashing, no re-shuffling.
+// with CSR adjacency connecting them. It is built once per compilation
+// (compile) and then every EM round of every fusion run over it iterates
+// flat slices — no maps, no string hashing, no re-shuffling.
 //
 // ID spaces and invariants:
 //
@@ -24,6 +26,10 @@ import (
 //     order. localOfClaim maps a claim to its candidate's offset within
 //     that span, so per-item counting uses a dense scratch array.
 //   - Provenance IDs are assigned in claim-index order of first use.
+//
+// The graph holds no configuration-dependent state: provenance accuracies,
+// per-claim probabilities and scoring scratch all live in the per-run engine
+// (engine.go), which is why one graph can serve any number of configs.
 type graph struct {
 	claims []Claim
 
@@ -53,6 +59,112 @@ type graph struct {
 	maxCandidates int
 }
 
+// Compiled is a compiled claim set: a reusable, immutable handle over the
+// interned claim graph. Compilation is the expensive part of a fusion run —
+// the only shuffle plus all interning — and it depends solely on the claims,
+// never on a Config, so one Compiled can serve any number of fusion
+// configurations:
+//
+//	c, _ := fusion.Compile(claims)
+//	vote, _ := c.Fuse(fusion.VoteConfig())
+//	accu, _ := c.Fuse(fusion.AccuConfig())
+//	pop, _ := c.Fuse(fusion.PopAccuConfig())
+//
+// Each Fuse call builds its own engine state (provenance accuracies,
+// per-claim probabilities, scratch buffers), so results are bit-identical to
+// a fresh fusion.Fuse of the same claims and concurrent Fuse calls on one
+// Compiled are safe. The caller must not mutate the claim slice after
+// Compile.
+//
+// A Compiled is bound to its claims' provenance granularity:
+// Config.Granularity acts when extractions are flattened into claims
+// (Claims), never afterwards, so fusing configs that differ only in
+// Granularity over one Compiled returns identical results. A granularity
+// sweep needs one Compile per granularity's claim set — exper.Dataset does
+// exactly that, caching one compiled graph per granularity.
+type Compiled struct {
+	g *graph
+}
+
+// Compile interns a claim set into a reusable Compiled graph using all
+// available cores. It is deterministic for a fixed input order: the same
+// claims always produce the same graph (and therefore the same Fuse
+// results), regardless of available parallelism. Compilation currently
+// cannot fail — the error is reserved for future claim validation, keeping
+// the signature stable for callers that already plumb it.
+func Compile(claims []Claim) (*Compiled, error) {
+	return CompileWorkers(claims, 0, 0)
+}
+
+// CompileWorkers is Compile with explicit resource bounds: workers caps the
+// shuffle, interning and counting goroutines (0 = GOMAXPROCS) and
+// partitions sets the compile shuffle's partition count (0 = default). The
+// graph — and every result fused from it — is identical for any workers
+// value; partitions only permutes the item/triple ID order, exactly as it
+// does in fusion.Fuse.
+func CompileWorkers(claims []Claim, workers, partitions int) (*Compiled, error) {
+	return &Compiled{g: compile(claims, workers, partitions)}, nil
+}
+
+// MustCompile is Compile for callers without error plumbing.
+func MustCompile(claims []Claim) *Compiled {
+	c, err := Compile(claims)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ---- Read-only graph accessors ----
+//
+// These expose the interned ID spaces to other fusion models (e.g.
+// internal/multitruth) so they can ride one compilation instead of building
+// their own string-keyed indexes. All returned slices are views into the
+// compiled graph and must not be modified.
+
+// NumClaims reports the number of input claims.
+func (c *Compiled) NumClaims() int { return len(c.g.claims) }
+
+// NumItems reports the number of distinct data items.
+func (c *Compiled) NumItems() int { return len(c.g.items) }
+
+// NumTriples reports the number of distinct candidate triples.
+func (c *Compiled) NumTriples() int { return len(c.g.triples) }
+
+// NumProvenances reports the number of distinct provenance keys.
+func (c *Compiled) NumProvenances() int { return len(c.g.provKeys) }
+
+// Claims returns the compiled claim slice (claim ID -> Claim).
+func (c *Compiled) Claims() []Claim { return c.g.claims }
+
+// Triple returns the triple with the given triple ID.
+func (c *Compiled) Triple(t int) kb.Triple { return c.g.triples[t] }
+
+// Item returns the data item with the given item ID.
+func (c *Compiled) Item(i int) kb.DataItem { return c.g.items[i] }
+
+// ProvKey returns the provenance key with the given provenance ID.
+func (c *Compiled) ProvKey(p int) string { return c.g.provKeys[p] }
+
+// ItemTripleSpan returns the half-open triple-ID range [lo, hi) holding the
+// candidate triples of item i.
+func (c *Compiled) ItemTripleSpan(i int) (lo, hi int32) {
+	return c.g.itemTripleStart[i], c.g.itemTripleStart[i+1]
+}
+
+// ItemClaims returns the claim IDs of item i in claim-index order.
+func (c *Compiled) ItemClaims(i int) []int32 {
+	return c.g.itemClaims[c.g.itemClaimStart[i]:c.g.itemClaimStart[i+1]]
+}
+
+// TripleClaims returns the claim IDs asserting triple t in claim-index order.
+func (c *Compiled) TripleClaims(t int) []int32 {
+	return c.g.tripleClaims[c.g.tripleClaimStart[t]:c.g.tripleClaimStart[t+1]]
+}
+
+// ClaimProv returns the provenance ID of a claim.
+func (c *Compiled) ClaimProv(claim int32) int32 { return c.g.provOfClaim[claim] }
+
 // itemGroup is the compile shuffle's per-item output: the item's claims and
 // its deduplicated candidate triples.
 type itemGroup struct {
@@ -66,10 +178,11 @@ type itemGroup struct {
 // whole fusion run: claims are grouped by data item on the mapreduce
 // substrate (partitioned by the cheap field-wise kb.DataItem.Hash), and the
 // per-item candidate dedup — Figure 8's Stage III grouping — happens inside
-// the reducers. Everything after that is sequential O(n) array assembly.
+// the reducers. Provenance and extractor interning runs as a parallel
+// shard-and-merge pass; everything else is sequential O(n) array assembly.
 // The result is deterministic for a fixed input order and independent of
-// cfg.Workers.
-func compile(claims []Claim, cfg Config) *graph {
+// workers.
+func compile(claims []Claim, workers, partitions int) *graph {
 	n := len(claims)
 	g := &graph{claims: claims}
 
@@ -83,8 +196,8 @@ func compile(claims []Claim, cfg Config) *graph {
 		},
 		KeyHash:       kb.DataItem.Hash,
 		EmitsPerInput: 1,
-		Workers:       cfg.Workers,
-		Partitions:    cfg.Partitions,
+		Workers:       workers,
+		Partitions:    partitions,
 	}
 	groups := mapreduce.MustRun(job, claimIndexes(n))
 
@@ -127,48 +240,149 @@ func compile(claims []Claim, cfg Config) *graph {
 	g.itemTripleStart[nItems] = int32(len(g.triples))
 
 	// ---- Intern provenances and extractors (claim-index order) ----
-	provID := make(map[string]int32, 256)
-	extID := make(map[string]int32, 32)
-	extKeys := 0
-	g.provOfClaim = make([]int32, n)
-	extOfClaim := make([]int32, n)
-	for i := range claims {
-		id, ok := provID[claims[i].Prov]
-		if !ok {
-			id = int32(len(g.provKeys))
-			provID[claims[i].Prov] = id
-			g.provKeys = append(g.provKeys, claims[i].Prov)
-		}
-		g.provOfClaim[i] = id
-		xid, ok := extID[claims[i].Extractor]
-		if !ok {
-			xid = int32(extKeys)
-			extID[claims[i].Extractor] = xid
-			extKeys++
-		}
-		extOfClaim[i] = xid
-	}
+	var extOfClaim []int32
+	var extKeys int
+	g.provOfClaim, g.provKeys, extOfClaim, extKeys = internClaims(claims, workers)
 
 	// ---- CSR adjacency by counting sort ----
 	g.provClaimStart, g.provClaims = csrByGroup(g.provOfClaim, len(g.provKeys))
 	g.tripleClaimStart, g.tripleClaims = csrByGroup(g.tripleOfClaim, nTriples)
 
-	// Distinct extractors per triple, with an epoch-stamped seen-set so the
-	// scratch is never cleared.
-	g.tripleExtractors = make([]int32, nTriples)
-	seen := make([]int32, extKeys)
-	for i := range seen {
-		seen[i] = -1
+	g.tripleExtractors = countTripleExtractors(g, extOfClaim, extKeys, workers)
+	return g
+}
+
+// internShardThreshold is the claim count below which interning runs
+// sequentially: per-shard map setup and the merge pass only pay off once the
+// single-threaded hashing loop dominates.
+const internShardThreshold = 1 << 14
+
+// internClaims interns provenance and extractor keys into dense int32 IDs in
+// claim-index order of first use. Large inputs run a parallel shard pass —
+// each worker interns a contiguous claim range into shard-local IDs — then a
+// sequential ordered merge assigns global IDs and a parallel remap rewrites
+// the local IDs in place. Processing shards in claim order makes the global
+// assignment identical to the sequential one, so results never depend on the
+// worker count.
+func internClaims(claims []Claim, workers int) (provOfClaim []int32, provKeys []string, extOfClaim []int32, nExt int) {
+	n := len(claims)
+	provOfClaim = make([]int32, n)
+	extOfClaim = make([]int32, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	for t := 0; t < nTriples; t++ {
-		for _, c := range g.tripleClaims[g.tripleClaimStart[t]:g.tripleClaimStart[t+1]] {
-			if x := extOfClaim[c]; seen[x] != int32(t) {
-				seen[x] = int32(t)
-				g.tripleExtractors[t]++
+	if n < internShardThreshold || workers == 1 {
+		provID := make(map[string]int32, 256)
+		extID := make(map[string]int32, 32)
+		for i := range claims {
+			id, ok := provID[claims[i].Prov]
+			if !ok {
+				id = int32(len(provKeys))
+				provID[claims[i].Prov] = id
+				provKeys = append(provKeys, claims[i].Prov)
 			}
+			provOfClaim[i] = id
+			xid, ok := extID[claims[i].Extractor]
+			if !ok {
+				xid = int32(nExt)
+				extID[claims[i].Extractor] = xid
+				nExt++
+			}
+			extOfClaim[i] = xid
+		}
+		return provOfClaim, provKeys, extOfClaim, nExt
+	}
+
+	type shard struct {
+		provKeys, extKeys   []string // shard-local first-use order
+		provRemap, extRemap []int32  // shard-local ID -> global ID
+	}
+	shards := make([]shard, workers)
+	ParallelRange(n, workers, func(w, lo, hi int) {
+		s := &shards[w]
+		provID := make(map[string]int32, 256)
+		extID := make(map[string]int32, 32)
+		for i := lo; i < hi; i++ {
+			id, ok := provID[claims[i].Prov]
+			if !ok {
+				id = int32(len(s.provKeys))
+				provID[claims[i].Prov] = id
+				s.provKeys = append(s.provKeys, claims[i].Prov)
+			}
+			provOfClaim[i] = id
+			xid, ok := extID[claims[i].Extractor]
+			if !ok {
+				xid = int32(len(s.extKeys))
+				extID[claims[i].Extractor] = xid
+				s.extKeys = append(s.extKeys, claims[i].Extractor)
+			}
+			extOfClaim[i] = xid
+		}
+	})
+
+	// Ordered merge: walking shards (and their local key lists) in claim
+	// order assigns each key its global ID at its overall first use.
+	globalProv := make(map[string]int32, 256)
+	globalExt := make(map[string]int32, 32)
+	for w := range shards {
+		s := &shards[w]
+		s.provRemap = make([]int32, len(s.provKeys))
+		for li, key := range s.provKeys {
+			gid, ok := globalProv[key]
+			if !ok {
+				gid = int32(len(provKeys))
+				globalProv[key] = gid
+				provKeys = append(provKeys, key)
+			}
+			s.provRemap[li] = gid
+		}
+		s.extRemap = make([]int32, len(s.extKeys))
+		for li, key := range s.extKeys {
+			gid, ok := globalExt[key]
+			if !ok {
+				gid = int32(len(globalExt))
+				globalExt[key] = gid
+			}
+			s.extRemap[li] = gid
 		}
 	}
-	return g
+	// Same (n, workers) split as the intern pass, so chunk w rewrites
+	// exactly the IDs shard w assigned.
+	ParallelRange(n, workers, func(w, lo, hi int) {
+		s := &shards[w]
+		for i := lo; i < hi; i++ {
+			provOfClaim[i] = s.provRemap[provOfClaim[i]]
+			extOfClaim[i] = s.extRemap[extOfClaim[i]]
+		}
+	})
+	return provOfClaim, provKeys, extOfClaim, len(globalExt)
+}
+
+// countTripleExtractors computes the distinct extractor count of every
+// triple, in parallel over triple ranges. Each worker stamps a private
+// seen-set with the triple ID, so the scratch is never cleared; counts are
+// exact, making the result independent of the split.
+func countTripleExtractors(g *graph, extOfClaim []int32, extKeys, workers int) []int32 {
+	nTriples := len(g.triples)
+	out := make([]int32, nTriples)
+	if nTriples < internShardThreshold {
+		workers = 1 // goroutine setup would dominate
+	}
+	ParallelRange(nTriples, workers, func(_, lo, hi int) {
+		seen := make([]int32, extKeys)
+		for i := range seen {
+			seen[i] = -1
+		}
+		for t := lo; t < hi; t++ {
+			for _, c := range g.tripleClaims[g.tripleClaimStart[t]:g.tripleClaimStart[t+1]] {
+				if x := extOfClaim[c]; seen[x] != int32(t) {
+					seen[x] = int32(t)
+					out[t]++
+				}
+			}
+		}
+	})
+	return out
 }
 
 // dedupItem builds one item's group: its claims plus the deduplicated

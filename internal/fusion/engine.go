@@ -3,7 +3,6 @@ package fusion
 import (
 	"math"
 	"runtime"
-	"sync"
 
 	"kfusion/internal/kb"
 	"kfusion/internal/mapreduce"
@@ -58,20 +57,18 @@ type scoreScratch struct {
 }
 
 // Fuse runs the configured method over the claims and returns per-triple
-// probabilities. It is deterministic for a fixed (claims, cfg) and
-// independent of cfg.Workers. The claim set is compiled once into an
-// interned graph; every EM round then runs allocation-free over flat
-// slices. FuseReference preserves the original shuffle-per-round pipeline
-// for cross-checking.
+// probabilities. It is the compile-then-fuse convenience: the claim set is
+// compiled once into an interned graph (see Compile) and fused under cfg.
+// It is deterministic for a fixed (claims, cfg) and independent of
+// cfg.Workers. Callers fusing the same claim set under several
+// configurations should Compile once and call (*Compiled).Fuse per config
+// instead, amortizing the compilation. FuseReference preserves the original
+// shuffle-per-round pipeline for cross-checking.
 func Fuse(claims []Claim, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Epsilon <= 0 {
-		cfg.Epsilon = 1e-4
-	}
-	e := newEngine(compile(claims, cfg), cfg)
-	return e.run(), nil
+	return (&Compiled{g: compile(claims, cfg.Workers, cfg.Partitions)}).fuse(cfg), nil
 }
 
 // MustFuse is Fuse for statically-valid configurations.
@@ -81,6 +78,40 @@ func MustFuse(claims []Claim, cfg Config) *Result {
 		panic(err)
 	}
 	return r
+}
+
+// Fuse runs one fusion configuration over the compiled claim graph. The
+// graph is shared, immutable input: every call builds fresh per-run engine
+// state (provenance accuracies, per-claim probabilities, scratch), so
+// results are bit-identical to a fresh fusion.Fuse of the same claims and
+// concurrent calls on one Compiled are safe. cfg.Workers bounds only the
+// per-round stage parallelism here — the compile-time shuffle already
+// happened — and, as everywhere, never affects results. cfg.Granularity is
+// inert at this point: it selects how extractions were flattened into the
+// claims this graph was compiled from (see the Compiled doc); fuse each
+// granularity's claim set through its own Compile.
+func (c *Compiled) Fuse(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return c.fuse(cfg), nil
+}
+
+// MustFuse is Compiled.Fuse for statically-valid configurations.
+func (c *Compiled) MustFuse(cfg Config) *Result {
+	r, err := c.Fuse(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// fuse runs a validated configuration over the compiled graph.
+func (c *Compiled) fuse(cfg Config) *Result {
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 1e-4
+	}
+	return newEngine(c.g, cfg).run()
 }
 
 func newEngine(g *graph, cfg Config) *engine {
@@ -194,28 +225,10 @@ func (e *engine) initFromGold() {
 	}
 }
 
-// parallelRange splits [0,n) across the engine's workers and waits. Shard
-// boundaries never influence results — f must only touch state owned by the
-// indexes it is given (plus its own worker scratch).
+// parallelRange splits [0,n) across the engine's workers and waits (see
+// ParallelRange for the contract).
 func (e *engine) parallelRange(n int, f func(worker, lo, hi int)) {
-	w := e.workers
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
-		f(0, 0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	for k := 0; k < w; k++ {
-		lo, hi := n*k/w, n*(k+1)/w
-		wg.Add(1)
-		go func(k, lo, hi int) {
-			defer wg.Done()
-			f(k, lo, hi)
-		}(k, lo, hi)
-	}
-	wg.Wait()
+	ParallelRange(n, e.workers, f)
 }
 
 // stageI scores every data item with the current provenance accuracies

@@ -1,0 +1,37 @@
+package fusion
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelRange splits [0, n) into one contiguous chunk per worker and
+// waits for all of them. workers <= 0 defaults to GOMAXPROCS; the count is
+// clamped to n. The chunk formula is deterministic, so two calls with the
+// same (n, workers) see identical (worker, lo, hi) triples. Chunk
+// boundaries never influence results — f must only touch state owned by the
+// indexes it is given, plus per-worker state keyed by its worker index.
+// (Exported for the sibling fusion-model packages, e.g. multitruth; the
+// internal/ tree keeps it out of the public module surface.)
+func ParallelRange(n, workers int, f func(worker, lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		f(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			f(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

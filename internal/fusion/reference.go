@@ -55,7 +55,11 @@ type refEngine struct {
 // reservoir consumes the probabilities in shuffle emission order here but in
 // compiled claim order in Fuse, so the two (equally deterministic, equally
 // sized) samples can differ. Item-level SampleL sampling is identical in
-// both engines.
+// both engines. Exactness is not required at this boundary — both estimates
+// are means of uniform SampleL-sized samples of the same scored-probability
+// multiset, so they concentrate around the same full mean with sampling
+// error O(spread/√L) — and TestStageIIOversampleDivergenceBounded bounds
+// the resulting drift.
 func FuseReference(claims []Claim, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

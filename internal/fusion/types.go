@@ -33,6 +33,19 @@
 // deterministic and independent of Config.Workers. FuseReference preserves
 // the original shuffle-per-round engine as the golden oracle the compiled
 // engine is regression-tested against (see equivalence_test.go).
+//
+// # Compile/Fuse split
+//
+// The compiled graph is a first-class, reusable artifact: Compile interns a
+// claim set once into a Compiled handle, and (*Compiled).Fuse runs any
+// number of configurations over it. The graph depends only on the claims —
+// provenance accuracies and all other per-run state live in the engine each
+// Fuse call builds — so multi-config workloads (method comparisons,
+// θ/coverage sweeps, the ablation suite) pay for interning once and results
+// stay bit-identical to compile-per-config fusion.Fuse calls. Interning
+// itself is parallel on large inputs (per-worker shard interning with an
+// ordered merge). fusion.Fuse remains the one-shot compile-then-fuse
+// convenience.
 package fusion
 
 import (

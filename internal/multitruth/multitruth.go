@@ -7,6 +7,11 @@
 // claiming a false one). The model therefore can assign high probability to
 // several values of one data item — exactly what the single-truth models
 // cannot do, and the cause of 65% of their false negatives (Figure 17).
+//
+// The model runs over the fusion package's compiled claim graph
+// (fusion.Compiled): FuseCompiled consumes an existing compilation — so the
+// experiment layer's one interned graph serves the single-truth methods and
+// this model alike — and Fuse is the compile-then-fuse convenience.
 package multitruth
 
 import (
@@ -14,7 +19,6 @@ import (
 	"math"
 
 	"kfusion/internal/fusion"
-	"kfusion/internal/kb"
 	"kfusion/internal/mapreduce"
 )
 
@@ -29,7 +33,8 @@ type Config struct {
 	InitSpec float64
 	// Smoothing is the Beta pseudo-count used in the M-step.
 	Smoothing float64
-	// Workers configures the MapReduce substrate (0 = auto).
+	// Workers bounds the E-step parallelism (0 = auto). It never affects
+	// results.
 	Workers int
 }
 
@@ -55,144 +60,148 @@ func (c Config) Validate() error {
 	return nil
 }
 
-type provParams struct {
-	sens float64
-	spec float64
-}
-
 // Fuse runs the latent truth model over claims and returns independent
-// per-triple probabilities (they do NOT sum to 1 within a data item).
+// per-triple probabilities (they do NOT sum to 1 within a data item). It is
+// the compile-then-fuse convenience around FuseCompiled.
 func Fuse(claims []fusion.Claim, cfg Config) (*fusion.Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-
-	// Index: triples, items, and which provenances saw which items.
-	type tripleInfo struct {
-		triple   kb.Triple
-		claimers []string
+	c, err := fusion.CompileWorkers(claims, cfg.Workers, 0)
+	if err != nil {
+		return nil, err
 	}
-	tripleIdx := map[kb.Triple]int{}
-	var triples []tripleInfo
-	itemProvs := map[kb.DataItem]map[string]bool{}
-	itemTriples := map[kb.DataItem][]int{}
-	provs := map[string]*provParams{}
-	type claimKey struct {
-		prov   string
-		triple kb.Triple
-	}
-	seenClaim := map[claimKey]bool{}
+	return FuseCompiled(c, cfg)
+}
 
-	for _, c := range claims {
-		item := c.Triple.Item()
-		ti, ok := tripleIdx[c.Triple]
-		if !ok {
-			ti = len(triples)
-			tripleIdx[c.Triple] = ti
-			triples = append(triples, tripleInfo{triple: c.Triple})
-			itemTriples[item] = append(itemTriples[item], ti)
+// MustFuse is Fuse for statically-valid configurations.
+func MustFuse(claims []fusion.Claim, cfg Config) *fusion.Result {
+	r, err := Fuse(claims, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// FuseCompiled runs the latent truth model over an already-compiled claim
+// graph, sharing the compilation with any other fusion runs on the same
+// claim set. Results are deterministic and independent of cfg.Workers: every
+// log-odds and pseudo-count accumulation runs in the graph's fixed
+// claim-index order.
+func FuseCompiled(c *fusion.Compiled, cfg Config) (*fusion.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nItems, nTriples, nProvs := c.NumItems(), c.NumTriples(), c.NumProvenances()
+
+	// Distinct claimer provenances per triple and distinct seer provenances
+	// per item, both in claim-index order of first use, deduplicated with an
+	// epoch-stamped scratch over prov IDs — O(claims), never O(claims ×
+	// provenances) even on hot items.
+	seen := make([]int32, nProvs)
+	epoch := int32(0)
+	distinct := func(claimIDs []int32) []int32 {
+		epoch++
+		provs := make([]int32, 0, min(len(claimIDs), 8))
+		for _, cl := range claimIDs {
+			if p := c.ClaimProv(cl); seen[p] != epoch {
+				seen[p] = epoch
+				provs = append(provs, p)
+			}
 		}
-		key := claimKey{prov: c.Prov, triple: c.Triple}
-		if !seenClaim[key] {
-			seenClaim[key] = true
-			triples[ti].claimers = append(triples[ti].claimers, c.Prov)
-		}
-		if itemProvs[item] == nil {
-			itemProvs[item] = map[string]bool{}
-		}
-		itemProvs[item][c.Prov] = true
-		if provs[c.Prov] == nil {
-			provs[c.Prov] = &provParams{sens: cfg.InitSens, spec: cfg.InitSpec}
-		}
+		return provs
+	}
+	tripleProvs := make([][]int32, nTriples)
+	for t := 0; t < nTriples; t++ {
+		tripleProvs[t] = distinct(c.TripleClaims(t))
+	}
+	itemProvs := make([][]int32, nItems)
+	for i := 0; i < nItems; i++ {
+		itemProvs[i] = distinct(c.ItemClaims(i))
 	}
 
-	probs := make([]float64, len(triples))
+	sens := make([]float64, nProvs)
+	spec := make([]float64, nProvs)
+	for p := range sens {
+		sens[p] = cfg.InitSens
+		spec[p] = cfg.InitSpec
+	}
+	probs := make([]float64, nTriples)
 	logPrior := math.Log(cfg.PriorTrue) - math.Log(1-cfg.PriorTrue)
 
-	items := make([]kb.DataItem, 0, len(itemTriples))
-	for it := range itemTriples {
-		items = append(items, it)
-	}
-
+	// E-step: per-triple posterior under the current provenance parameters.
+	// Items are independent and each triple belongs to exactly one item, so
+	// the item loop parallelizes without races; per-triple log-odds sum in
+	// seer order, which is fixed by the graph. "Did this seer claim this
+	// triple" is answered by a per-worker scratch stamped with the (globally
+	// unique) triple ID — O(claimers + seers) per triple.
 	eStep := func() {
-		job := mapreduce.Job[kb.DataItem, int, float64, struct{}]{
-			Name: "ltm-estep",
-			Map: func(item kb.DataItem, emit func(int, float64)) {
-				seers := itemProvs[item]
-				for _, ti := range itemTriples[item] {
-					claimed := map[string]bool{}
-					for _, p := range triples[ti].claimers {
-						claimed[p] = true
+		parallelItems(nItems, cfg.Workers, func(lo, hi int) {
+			claimed := make([]int32, nProvs) // stamp: triple ID + 1
+			for i := lo; i < hi; i++ {
+				tLo, tHi := c.ItemTripleSpan(i)
+				for t := tLo; t < tHi; t++ {
+					for _, p := range tripleProvs[t] {
+						claimed[p] = t + 1
 					}
 					logOdds := logPrior
-					for p := range seers {
-						pp := provs[p]
-						if claimed[p] {
-							logOdds += math.Log(pp.sens) - math.Log(1-pp.spec)
+					for _, p := range itemProvs[i] {
+						if claimed[p] == t+1 {
+							logOdds += math.Log(sens[p]) - math.Log(1-spec[p])
 						} else {
-							logOdds += math.Log(1-pp.sens) - math.Log(pp.spec)
+							logOdds += math.Log(1-sens[p]) - math.Log(spec[p])
 						}
 					}
-					emit(ti, sigmoid(logOdds))
+					probs[t] = sigmoid(logOdds)
 				}
-			},
-			Reduce: func(ti int, vs []float64, emit func(struct{})) {
-				probs[ti] = vs[0]
-			},
-			KeyHash: func(ti int) uint64 { return uint64(ti)*0x9e3779b97f4a7c15 + 1 },
-			Workers: cfg.Workers,
-		}
-		mapreduce.MustRun(job, items)
+			}
+		})
 	}
 
+	// M-step: re-estimate sensitivity/specificity from the posteriors, with
+	// Beta smoothing anchored at the INITIAL values: provenances with little
+	// evidence keep their priors instead of collapsing toward 0.5 and losing
+	// all discrimination. The specificity prior is much stronger (as in Zhao
+	// et al.): the universe of false triples is vast and sources rarely
+	// claim them, so the few observed false candidates must not drag spec
+	// down.
 	mStep := func() float64 {
-		type acc struct {
-			claimedTrue, sawTrue     float64
-			unclaimedFalse, sawFalse float64
-		}
-		accs := map[string]*acc{}
-		for p := range provs {
-			accs[p] = &acc{}
-		}
-		for it, seers := range itemProvs {
-			for _, ti := range itemTriples[it] {
-				claimed := map[string]bool{}
-				for _, p := range triples[ti].claimers {
-					claimed[p] = true
+		claimedTrue := make([]float64, nProvs)
+		sawTrue := make([]float64, nProvs)
+		unclaimedFalse := make([]float64, nProvs)
+		sawFalse := make([]float64, nProvs)
+		claimed := make([]int32, nProvs) // stamp: triple ID + 1
+		for i := 0; i < nItems; i++ {
+			tLo, tHi := c.ItemTripleSpan(i)
+			for t := tLo; t < tHi; t++ {
+				for _, p := range tripleProvs[t] {
+					claimed[p] = t + 1
 				}
-				pt := probs[ti]
-				for p := range seers {
-					a := accs[p]
-					a.sawTrue += pt
-					a.sawFalse += 1 - pt
-					if claimed[p] {
-						a.claimedTrue += pt
+				pt := probs[t]
+				for _, p := range itemProvs[i] {
+					sawTrue[p] += pt
+					sawFalse[p] += 1 - pt
+					if claimed[p] == t+1 {
+						claimedTrue[p] += pt
 					} else {
-						a.unclaimedFalse += 1 - pt
+						unclaimedFalse[p] += 1 - pt
 					}
 				}
 			}
 		}
-		// Beta smoothing anchored at the INITIAL sensitivity/specificity:
-		// provenances with little evidence keep their priors instead of
-		// collapsing toward 0.5 and losing all discrimination. The
-		// specificity prior is much stronger (as in Zhao et al.): the
-		// universe of false triples is vast and sources rarely claim them,
-		// so the few observed false candidates must not drag spec down.
 		sSens := cfg.Smoothing * 2
 		sSpec := cfg.Smoothing * 10
 		maxDelta := 0.0
-		for p, a := range accs {
-			pp := provs[p]
-			newSens := clamp01((a.claimedTrue + sSens*cfg.InitSens) / (a.sawTrue + sSens))
-			newSpec := clamp01((a.unclaimedFalse + sSpec*cfg.InitSpec) / (a.sawFalse + sSpec))
-			if d := math.Abs(newSens - pp.sens); d > maxDelta {
+		for p := 0; p < nProvs; p++ {
+			newSens := clamp01((claimedTrue[p] + sSens*cfg.InitSens) / (sawTrue[p] + sSens))
+			newSpec := clamp01((unclaimedFalse[p] + sSpec*cfg.InitSpec) / (sawFalse[p] + sSpec))
+			if d := math.Abs(newSens - sens[p]); d > maxDelta {
 				maxDelta = d
 			}
-			if d := math.Abs(newSpec - pp.spec); d > maxDelta {
+			if d := math.Abs(newSpec - spec[p]); d > maxDelta {
 				maxDelta = d
 			}
-			pp.sens, pp.spec = newSens, newSpec
+			sens[p], spec[p] = newSens, newSpec
 		}
 		return maxDelta
 	}
@@ -205,39 +214,44 @@ func Fuse(claims []fusion.Claim, cfg Config) (*fusion.Result, error) {
 	})
 	eStep() // final probabilities under converged parameters
 
-	res := &fusion.Result{Rounds: rounds, ProvAccuracy: map[string]float64{}}
-	for p, pp := range provs {
-		res.ProvAccuracy[p] = pp.sens // report sensitivity as the headline quality
+	res := &fusion.Result{Rounds: rounds, ProvAccuracy: make(map[string]float64, nProvs)}
+	for p := 0; p < nProvs; p++ {
+		res.ProvAccuracy[c.ProvKey(p)] = sens[p] // report sensitivity as the headline quality
 	}
-	itemCounts := map[kb.DataItem]int{}
-	for _, c := range claims {
-		itemCounts[c.Triple.Item()]++
-	}
-	for ti := range triples {
-		t := triples[ti]
-		exts := map[string]bool{}
-		for _, p := range t.claimers {
-			exts[p] = true
+	res.Triples = make([]fusion.FusedTriple, 0, nTriples)
+	for i := 0; i < nItems; i++ {
+		itemClaims := len(c.ItemClaims(i))
+		tLo, tHi := c.ItemTripleSpan(i)
+		for t := tLo; t < tHi; t++ {
+			res.Triples = append(res.Triples, fusion.FusedTriple{
+				Triple:          c.Triple(int(t)),
+				Probability:     probs[t],
+				Predicted:       true,
+				Provenances:     len(tripleProvs[t]),
+				ItemProvenances: itemClaims,
+				// As in the seed model, "extractors" are the distinct
+				// claiming provenances — the LTM has no extractor axis.
+				Extractors: len(tripleProvs[t]),
+			})
 		}
-		res.Triples = append(res.Triples, fusion.FusedTriple{
-			Triple:          t.triple,
-			Probability:     probs[ti],
-			Predicted:       true,
-			Provenances:     len(t.claimers),
-			ItemProvenances: itemCounts[t.triple.Item()],
-			Extractors:      len(exts),
-		})
 	}
 	return res, nil
 }
 
-// MustFuse is Fuse for statically-valid configurations.
-func MustFuse(claims []fusion.Claim, cfg Config) *fusion.Result {
-	r, err := Fuse(claims, cfg)
+// MustFuseCompiled is FuseCompiled for statically-valid configurations.
+func MustFuseCompiled(c *fusion.Compiled, cfg Config) *fusion.Result {
+	r, err := FuseCompiled(c, cfg)
 	if err != nil {
 		panic(err)
 	}
 	return r
+}
+
+// parallelItems splits [0, n) across workers on the fusion package's shared
+// range splitter; f only writes state owned by its item range, so shard
+// boundaries never influence results.
+func parallelItems(n, workers int, f func(lo, hi int)) {
+	fusion.ParallelRange(n, workers, func(_, lo, hi int) { f(lo, hi) })
 }
 
 func sigmoid(x float64) float64 {

@@ -119,6 +119,29 @@ func TestProbabilitiesInRange(t *testing.T) {
 	}
 }
 
+// TestFuseCompiledSharesGraph pins that the latent truth model over a
+// shared, already-used compilation matches the compile-then-fuse path
+// exactly — the LTM leaks no state into the graph either.
+func TestFuseCompiledSharesGraph(t *testing.T) {
+	claims := []fusion.Claim{
+		cl("s", "p", "a", "p1"), cl("s", "p", "b", "p2"), cl("s", "p", "a", "p3"),
+		cl("t", "p", "c", "p1"),
+	}
+	compiled := fusion.MustCompile(claims)
+	compiled.MustFuse(fusion.PopAccuConfig()) // share with a single-truth run first
+	a := MustFuseCompiled(compiled, DefaultConfig())
+	b := MustFuse(claims, DefaultConfig())
+	am, bm := a.ByTriple(), b.ByTriple()
+	if len(am) != len(bm) {
+		t.Fatalf("%d triples via shared graph, want %d", len(am), len(bm))
+	}
+	for tr, fa := range am {
+		if fa != bm[tr] {
+			t.Fatalf("shared-graph result differs at %v: %+v vs %+v", tr, fa, bm[tr])
+		}
+	}
+}
+
 func TestDeterministic(t *testing.T) {
 	claims := []fusion.Claim{
 		cl("s", "p", "a", "p1"), cl("s", "p", "b", "p2"), cl("s", "p", "a", "p3"),
