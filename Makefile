@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test bench-smoke bench-json
+.PHONY: verify build vet test race bench-smoke bench-json bench-check
 
 # verify is the tier-1 gate: vet, build, full tests, and a 1-iteration
 # benchmark smoke so perf-critical paths cannot silently rot.
@@ -15,10 +15,25 @@ vet:
 test:
 	$(GO) test ./...
 
+# race exercises the concurrent paths (parallel interning, parallel CSR
+# build, the twolayer/fusion EM stage loops, the exper singleflight caches)
+# under the race detector; CI runs it on every push.
+race:
+	$(GO) test -race ./...
+
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFusePopAccu$$|BenchmarkFuseReferencePopAccu$$|BenchmarkLargeScaleFusion$$|BenchmarkConfigSweep' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkFusePopAccu$$|BenchmarkFuseReferencePopAccu$$|BenchmarkLargeScaleFusion$$|BenchmarkConfigSweep|BenchmarkTwoLayerFuse' -benchtime 1x -benchmem .
 
 # bench-json regenerates the machine-readable perf record (see BENCH_<n>.json;
 # bump N per PR that moves performance).
 bench-json:
-	$(GO) run ./cmd/kfbench -benchjson BENCH_2.json
+	$(GO) run ./cmd/kfbench -benchjson BENCH_3.json
+
+# bench-check is the CI perf-regression gate: re-measure the fast
+# compiled/reference benchmark pairs and fail if any pair's claims/s speedup
+# ratio dropped more than 30% below the committed BENCH_3.json baseline
+# (ratios cancel machine speed, so the gate is meaningful on any runner).
+# The fresh measurements land in bench-fresh.json, which CI uploads as a
+# workflow artifact.
+bench-check:
+	$(GO) run ./cmd/kfbench -check BENCH_3.json -checkjson bench-fresh.json

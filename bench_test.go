@@ -20,6 +20,7 @@ import (
 	"kfusion/internal/fusion"
 	"kfusion/internal/kbstore"
 	"kfusion/internal/mapreduce"
+	"kfusion/internal/twolayer"
 	"kfusion/internal/web"
 	"kfusion/internal/world"
 )
@@ -201,6 +202,69 @@ func BenchmarkConfigSweep(b *testing.B) {
 		b.StopTimer()
 		reportSweep(b)
 	})
+}
+
+// BenchmarkTwoLayerFuse measures the §5.1 two-layer model on the bench
+// extraction set: the compiled extraction-graph engine (end to end, and
+// re-fusing over a prebuilt graph) against the map-keyed reference engine.
+// claims/s counts raw extractions, the unit the two-layer model consumes.
+func BenchmarkTwoLayerFuse(b *testing.B) {
+	ds := benchDataset(b)
+	cfg := twolayer.DefaultConfig()
+	cfg.SiteLevel = true
+	report := func(b *testing.B) {
+		b.ReportMetric(float64(len(ds.Extractions))*float64(b.N)/b.Elapsed().Seconds(), "claims/s")
+	}
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			twolayer.MustFuse(ds.Extractions, cfg)
+		}
+		b.StopTimer()
+		report(b)
+	})
+	b.Run("reuse", func(b *testing.B) {
+		g := exper.SharedDataset(exper.ScaleBench, benchSeed).ExtractionGraph(true)
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			twolayer.MustFuseCompiled(g, cfg)
+		}
+		b.StopTimer()
+		report(b)
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			twolayer.MustFuseReference(ds.Extractions, cfg)
+		}
+		b.StopTimer()
+		report(b)
+	})
+}
+
+// BenchmarkCompileClaimGraph measures fusion.Compile itself — the interning
+// and CSR build every fusion run amortizes — sequential vs all cores, on the
+// large claim set where the parallel counting sort engages.
+func BenchmarkCompileClaimGraph(b *testing.B) {
+	ds := exper.SharedDataset(exper.ScaleLarge, benchSeed)
+	claims := fusion.Claims(ds.Extractions, fusion.Granularity{})
+	for _, workers := range []int{1, 0} {
+		name := "sequential"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fusion.CompileWorkers(claims, workers, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(claims))*float64(b.N)/b.Elapsed().Seconds(), "claims/s")
+		})
+	}
 }
 
 // BenchmarkMapReduceScaling measures the fusion pipeline at several worker

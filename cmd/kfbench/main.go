@@ -10,13 +10,24 @@
 //	kfbench -seeds 5             # re-run across 5 seeds; report check stability
 //	kfbench -list                # list experiment IDs
 //	kfbench -benchjson FILE      # fusion throughput benchmarks as JSON
+//	kfbench -check BENCH_3.json  # CI perf-regression gate against a baseline
 //
 // -benchjson measures the fusion engines (compiled and seed reference) over
-// the bench and large shared datasets, plus the multi-config sweep with and
+// the bench and large shared datasets, the §5.1 two-layer model (compiled
+// extraction graph vs map-keyed reference), claim-graph compilation
+// (sequential vs parallel CSR build), plus the multi-config sweep with and
 // without compiled-claim-graph reuse (ConfigSweepReuse vs
 // ConfigSweepRecompile), and writes one machine-readable JSON record — the
 // cross-PR perf trajectory lives in BENCH_<n>.json files at the repository
 // root.
+//
+// -check is the bench-regression gate CI runs on every push: it re-measures
+// the fast compiled/reference benchmark pairs on the bench dataset and
+// compares each pair's claims/s SPEEDUP RATIO against the committed baseline
+// file. Comparing ratios rather than absolute claims/s cancels the raw speed
+// of the machine running the check (CI runners vary wildly), while still
+// catching the real failure mode: a compiled fast path losing its edge over
+// its reference engine. A ratio drop beyond -checktol (default 30%) fails.
 package main
 
 import (
@@ -31,7 +42,9 @@ import (
 	"time"
 
 	"kfusion/internal/exper"
+	"kfusion/internal/extract"
 	"kfusion/internal/fusion"
+	"kfusion/internal/twolayer"
 )
 
 func main() {
@@ -44,11 +57,21 @@ func main() {
 		list      = flag.Bool("list", false, "list experiment IDs and exit")
 		seeds     = flag.Int("seeds", 1, "run across this many consecutive seeds and report per-check stability")
 		benchJSON = flag.String("benchjson", "", "run the fusion throughput benchmarks and write JSON to this file")
+		check     = flag.String("check", "", "compare fresh benchmark speedup ratios against this baseline BENCH json; exit non-zero on regression")
+		checkJSON = flag.String("checkjson", "", "with -check: also write the fresh measurements as JSON to this file")
+		checkTol  = flag.Float64("checktol", 0.30, "with -check: maximum tolerated fractional drop of a pair's speedup ratio")
 	)
 	flag.Parse()
 
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *check != "" {
+		if err := runCheck(*check, *checkJSON, *checkTol, *seed); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -187,6 +210,100 @@ type benchFile struct {
 	Benchmarks map[string]benchRecord `json:"benchmarks"`
 }
 
+// newBenchFile returns a benchFile stamped with this run's environment.
+func newBenchFile(seed int64) benchFile {
+	return benchFile{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPU:        runtime.GOARCH,
+		Seed:       seed,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: map[string]benchRecord{},
+	}
+}
+
+// measure runs op under testing.Benchmark and converts the result into a
+// benchRecord; claimsPerOp is the work-unit count one op processes (claims,
+// extractions, or claims × configs), from which claims/s is derived.
+func measure(claimsPerOp float64, op func()) benchRecord {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+	return benchRecord{
+		NsPerOp:     r.NsPerOp(),
+		ClaimsPerS:  claimsPerOp / (float64(r.NsPerOp()) / 1e9),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+// benchTwoLayer measures the two-layer pair over the bench dataset into out:
+// the compiled extraction-graph engine end to end vs the map-keyed reference.
+// Shared by -benchjson and -check so the gate compares like with like.
+func benchTwoLayer(out *benchFile, bench *exper.Dataset) {
+	cfg := twolayer.DefaultConfig()
+	cfg.SiteLevel = true
+	n := float64(len(bench.Extractions))
+	fmt.Fprintf(os.Stderr, "benchmarking TwoLayerFuse (%d extractions)...\n", len(bench.Extractions))
+	out.Benchmarks["TwoLayerFuse"] = measure(n, func() {
+		twolayer.MustFuse(bench.Extractions, cfg)
+	})
+	g := extract.Compile(bench.Extractions, true)
+	fmt.Fprintf(os.Stderr, "benchmarking TwoLayerFuseReuse...\n")
+	out.Benchmarks["TwoLayerFuseReuse"] = measure(n, func() {
+		twolayer.MustFuseCompiled(g, cfg)
+	})
+	fmt.Fprintf(os.Stderr, "benchmarking ReferenceTwoLayerFuse...\n")
+	out.Benchmarks["ReferenceTwoLayerFuse"] = measure(n, func() {
+		twolayer.MustFuseReference(bench.Extractions, cfg)
+	})
+}
+
+// benchConfigSweep measures the multi-config sweep pair over the bench
+// dataset into out: one compiled claim graph serving every sweep config vs
+// the per-config claims+compile the experiment layer used to do. claims/s
+// counts claims × configs, so the Reuse/Recompile ratio is the amortization
+// win of fusion.Compile.
+func benchConfigSweep(out *benchFile, bench *exper.Dataset) {
+	sweep := exper.ConfigSweep()
+	nSweepClaims := len(fusion.Claims(bench.Extractions, fusion.Granularity{}))
+	units := float64(nSweepClaims * len(sweep))
+	fmt.Fprintf(os.Stderr, "benchmarking ConfigSweep (%d claims x %d configs)...\n", nSweepClaims, len(sweep))
+	out.Benchmarks["ConfigSweepRecompile"] = measure(units, func() {
+		for _, p := range sweep {
+			fusion.MustFuse(fusion.Claims(bench.Extractions, p.Cfg.Granularity), p.Cfg)
+		}
+	})
+	out.Benchmarks["ConfigSweepReuse"] = measure(units, func() {
+		compiled := fusion.MustCompile(fusion.Claims(bench.Extractions, fusion.Granularity{}))
+		for _, p := range sweep {
+			compiled.MustFuse(p.Cfg)
+		}
+	})
+}
+
+// benchFusePair measures one fusion preset under the compiled engine and,
+// when ref is true, the seed reference engine.
+func benchFusePair(out *benchFile, name string, claims []fusion.Claim, cfg fusion.Config, ref bool) {
+	fmt.Fprintf(os.Stderr, "benchmarking %s (%d claims)...\n", name, len(claims))
+	out.Benchmarks[name] = measure(float64(len(claims)), func() {
+		fusion.MustFuse(claims, cfg)
+	})
+	if !ref {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchmarking Reference%s...\n", name)
+	out.Benchmarks["Reference"+name] = measure(float64(len(claims)), func() {
+		if _, err := fusion.FuseReference(claims, cfg); err != nil {
+			panic(err)
+		}
+	})
+}
+
 // writeBenchJSON measures fusion throughput on the shared bench and large
 // datasets — compiled engine and seed reference engine — and writes the
 // results as JSON for the cross-PR perf trajectory.
@@ -197,100 +314,51 @@ func writeBenchJSON(path string, seed int64) error {
 		return err
 	}
 	probe.Close()
-	out := benchFile{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		CPU:        runtime.GOARCH,
-		Seed:       seed,
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		Benchmarks: map[string]benchRecord{},
-	}
+	out := newBenchFile(seed)
 
 	fmt.Fprintf(os.Stderr, "building bench dataset...\n")
 	bench := exper.SharedDataset(exper.ScaleBench, seed)
 	fmt.Fprintf(os.Stderr, "building large dataset...\n")
 	large := exper.SharedDataset(exper.ScaleLarge, seed)
 
-	type engine struct {
-		prefix string
-		fuse   func([]fusion.Claim, fusion.Config) (*fusion.Result, error)
+	for _, preset := range []struct {
+		name string
+		cfg  fusion.Config
+	}{
+		{"FuseVote", fusion.VoteConfig()},
+		{"FuseAccu", fusion.AccuConfig()},
+		{"FusePopAccu", fusion.PopAccuConfig()},
+		{"FusePopAccuPlus", fusion.PopAccuPlusConfig(bench.Gold.Labeler())},
+	} {
+		claims := fusion.Claims(bench.Extractions, preset.cfg.Granularity)
+		benchFusePair(&out, preset.name, claims, preset.cfg, true)
 	}
-	engines := []engine{
-		{"", fusion.Fuse},
-		{"Reference", fusion.FuseReference},
-	}
-	run := func(name string, claims []fusion.Claim, cfg fusion.Config,
-		fuse func([]fusion.Claim, fusion.Config) (*fusion.Result, error)) {
-		fmt.Fprintf(os.Stderr, "benchmarking %s (%d claims)...\n", name, len(claims))
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := fuse(claims, cfg); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-		out.Benchmarks[name] = benchRecord{
-			NsPerOp:     r.NsPerOp(),
-			ClaimsPerS:  float64(len(claims)) / (float64(r.NsPerOp()) / 1e9),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-			Iterations:  r.N,
-		}
-	}
+	cfg := fusion.PopAccuConfig()
+	largeClaims := fusion.Claims(large.Extractions, cfg.Granularity)
+	benchFusePair(&out, "LargeScaleFusion", largeClaims, cfg, true)
 
-	for _, eng := range engines {
-		for _, preset := range []struct {
-			name string
-			cfg  fusion.Config
-		}{
-			{"FuseVote", fusion.VoteConfig()},
-			{"FuseAccu", fusion.AccuConfig()},
-			{"FusePopAccu", fusion.PopAccuConfig()},
-			{"FusePopAccuPlus", fusion.PopAccuPlusConfig(bench.Gold.Labeler())},
-		} {
-			claims := fusion.Claims(bench.Extractions, preset.cfg.Granularity)
-			run(eng.prefix+preset.name, claims, preset.cfg, eng.fuse)
-		}
-		cfg := fusion.PopAccuConfig()
-		run(eng.prefix+"LargeScaleFusion", fusion.Claims(large.Extractions, cfg.Granularity), cfg, eng.fuse)
-	}
-
-	// ---- Multi-config sweep: one compiled claim graph serving every sweep
-	// config vs the per-config claims+compile the experiment layer used to
-	// do. claims/s counts claims × configs, so the Reuse/Recompile ratio is
-	// the amortization win of fusion.Compile.
-	sweep := exper.ConfigSweep()
-	nSweepClaims := len(fusion.Claims(bench.Extractions, fusion.Granularity{}))
-	recordSweep := func(name string, op func()) {
-		fmt.Fprintf(os.Stderr, "benchmarking %s (%d claims x %d configs)...\n",
-			name, nSweepClaims, len(sweep))
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				op()
-			}
-		})
-		out.Benchmarks[name] = benchRecord{
-			NsPerOp:     r.NsPerOp(),
-			ClaimsPerS:  float64(nSweepClaims*len(sweep)) / (float64(r.NsPerOp()) / 1e9),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-			Iterations:  r.N,
-		}
-	}
-	recordSweep("ConfigSweepRecompile", func() {
-		for _, p := range sweep {
-			fusion.MustFuse(fusion.Claims(bench.Extractions, p.Cfg.Granularity), p.Cfg)
+	// Claim-graph compilation itself, sequential vs all cores: the parallel
+	// CSR build and shard-and-merge interning only engage past their size
+	// thresholds and with GOMAXPROCS > 1, so the pair quantifies the
+	// parallel build on this box.
+	fmt.Fprintf(os.Stderr, "benchmarking Compile (%d claims)...\n", len(largeClaims))
+	out.Benchmarks["CompileSequential"] = measure(float64(len(largeClaims)), func() {
+		if _, err := fusion.CompileWorkers(largeClaims, 1, 0); err != nil {
+			panic(err)
 		}
 	})
-	recordSweep("ConfigSweepReuse", func() {
-		compiled := fusion.MustCompile(fusion.Claims(bench.Extractions, fusion.Granularity{}))
-		for _, p := range sweep {
-			compiled.MustFuse(p.Cfg)
+	out.Benchmarks["CompileParallel"] = measure(float64(len(largeClaims)), func() {
+		if _, err := fusion.CompileWorkers(largeClaims, 0, 0); err != nil {
+			panic(err)
 		}
 	})
 
+	benchConfigSweep(&out, bench)
+	benchTwoLayer(&out, bench)
+	return writeBenchFile(path, out)
+}
+
+func writeBenchFile(path string, out benchFile) error {
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -300,5 +368,98 @@ func writeBenchJSON(path string, seed int64) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// checkPairs are the (fast path, reference path) benchmark pairs the -check
+// gate re-measures. All run on the bench dataset only, so the gate stays
+// minutes-fast; the large-scale records in BENCH_<n>.json remain a manual,
+// per-PR measurement.
+var checkPairs = [][2]string{
+	{"FusePopAccu", "ReferenceFusePopAccu"},
+	{"ConfigSweepReuse", "ConfigSweepRecompile"},
+	{"TwoLayerFuse", "ReferenceTwoLayerFuse"},
+}
+
+// runCheck is the CI bench-regression gate: re-measure each checkPairs entry,
+// compare its fresh claims/s speedup ratio (fast / reference) against the
+// committed baseline's ratio, and fail when any pair lost more than tol of
+// its speedup. Ratios cancel absolute machine speed, so the gate is stable
+// across heterogeneous CI runners while still catching a compiled path
+// regressing toward its reference engine.
+func runCheck(baselinePath, freshPath string, tol float64, seed int64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var baseline benchFile
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	// Refuse a baseline the gate cannot check against — a renamed or
+	// stripped record set would otherwise turn the gate into a silent no-op
+	// — and refuse before paying for the dataset build and measurements.
+	comparable := 0
+	for _, pair := range checkPairs {
+		if bs, ok := baseline.Benchmarks[pair[1]]; ok && bs.ClaimsPerS > 0 {
+			if bf, ok := baseline.Benchmarks[pair[0]]; ok && bf.ClaimsPerS > 0 {
+				comparable++
+			}
+		}
+	}
+	if comparable == 0 {
+		return fmt.Errorf("%s holds none of the benchmark pairs the gate checks; regenerate it with -benchjson", baselinePath)
+	}
+	if baseline.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		fmt.Fprintf(os.Stderr, "warning: baseline recorded at GOMAXPROCS=%d but this run has %d; "+
+			"speedup ratios cancel scalar machine speed, not parallel scaling — pin GOMAXPROCS to match the baseline\n",
+			baseline.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+
+	fmt.Fprintf(os.Stderr, "building bench dataset...\n")
+	bench := exper.SharedDataset(exper.ScaleBench, seed)
+	fresh := newBenchFile(seed)
+	cfg := fusion.PopAccuConfig()
+	benchFusePair(&fresh, "FusePopAccu", fusion.Claims(bench.Extractions, cfg.Granularity), cfg, true)
+	benchConfigSweep(&fresh, bench)
+	benchTwoLayer(&fresh, bench)
+
+	fmt.Printf("bench-regression check vs %s (baseline: %s, GOMAXPROCS=%d; tolerance %.0f%%)\n",
+		baselinePath, baseline.Date, baseline.GOMAXPROCS, tol*100)
+	regressions := 0
+	for _, pair := range checkPairs {
+		fast, slow := pair[0], pair[1]
+		bf, okf := baseline.Benchmarks[fast]
+		bs, oks := baseline.Benchmarks[slow]
+		if !okf || !oks || bf.ClaimsPerS <= 0 || bs.ClaimsPerS <= 0 {
+			fmt.Printf("  skip     %-22s (pair missing from baseline)\n", fast)
+			continue
+		}
+		baseRatio := bf.ClaimsPerS / bs.ClaimsPerS
+		nf, ns := fresh.Benchmarks[fast], fresh.Benchmarks[slow]
+		// A pair the fresh pass failed to measure is a programming error in
+		// checkPairs vs the measurement set; without this guard the ratio
+		// would be NaN, which never compares as regressed.
+		if nf.ClaimsPerS <= 0 || ns.ClaimsPerS <= 0 {
+			return fmt.Errorf("pair %s/%s in checkPairs was not measured by the fresh pass", fast, slow)
+		}
+		newRatio := nf.ClaimsPerS / ns.ClaimsPerS
+		status := "ok      "
+		if newRatio < baseRatio*(1-tol) {
+			status = "REGRESSED"
+			regressions++
+		}
+		fmt.Printf("  %s %-22s speedup %5.2fx vs baseline %5.2fx  (%.0f claims/s vs ref %.0f)\n",
+			status, fast+"/"+slow, newRatio, baseRatio, nf.ClaimsPerS, ns.ClaimsPerS)
+	}
+	if freshPath != "" {
+		if err := writeBenchFile(freshPath, fresh); err != nil {
+			return err
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d benchmark pair(s) regressed more than %.0f%%", regressions, tol*100)
+	}
+	fmt.Println("no regressions")
 	return nil
 }

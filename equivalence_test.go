@@ -11,9 +11,70 @@ import (
 
 	"kfusion/internal/exper"
 	"kfusion/internal/fusion"
+	"kfusion/internal/twolayer"
 )
 
 const engineEquivTol = 1e-12
+
+// TestTwoLayerEquivalenceOnBenchDataset pins the compiled two-layer engine
+// against the map-keyed reference engine over the bench extraction set, for
+// both source levels and several worker counts. The comparison is exact
+// (bitwise), not tolerance-based: the compiled engine replays the reference's
+// float operations in the same order, so any drift is a bug.
+func TestTwoLayerEquivalenceOnBenchDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench-scale dataset in -short mode")
+	}
+	ds := exper.SharedDataset(exper.ScaleBench, benchSeed)
+	for _, siteLevel := range []bool{false, true} {
+		cfg := twolayer.DefaultConfig()
+		cfg.SiteLevel = siteLevel
+		want, err := twolayer.FuseReference(ds.Extractions, cfg)
+		if err != nil {
+			t.Fatalf("siteLevel=%v: reference: %v", siteLevel, err)
+		}
+		g := ds.ExtractionGraph(siteLevel)
+		for _, workers := range []int{1, 4, 8} {
+			c := cfg
+			c.Workers = workers
+			got, err := twolayer.FuseCompiled(g, c)
+			if err != nil {
+				t.Fatalf("siteLevel=%v workers=%d: %v", siteLevel, workers, err)
+			}
+			if got.Rounds != want.Rounds {
+				t.Errorf("siteLevel=%v workers=%d: Rounds = %d, want %d", siteLevel, workers, got.Rounds, want.Rounds)
+			}
+			if len(got.Triples) != len(want.Triples) {
+				t.Fatalf("siteLevel=%v workers=%d: %d triples, want %d",
+					siteLevel, workers, len(got.Triples), len(want.Triples))
+			}
+			mismatches := 0
+			for i := range got.Triples {
+				if got.Triples[i] != want.Triples[i] {
+					if mismatches < 5 {
+						t.Errorf("siteLevel=%v workers=%d: triple %d: %+v vs %+v",
+							siteLevel, workers, i, got.Triples[i], want.Triples[i])
+					}
+					mismatches++
+				}
+			}
+			if mismatches > 0 {
+				t.Errorf("siteLevel=%v workers=%d: %d mismatching triples", siteLevel, workers, mismatches)
+			}
+			if len(got.ProvAccuracy) != len(want.ProvAccuracy) {
+				t.Fatalf("siteLevel=%v workers=%d: %d sources, want %d",
+					siteLevel, workers, len(got.ProvAccuracy), len(want.ProvAccuracy))
+			}
+			for src, a := range got.ProvAccuracy {
+				if wa := want.ProvAccuracy[src]; a != wa {
+					t.Errorf("siteLevel=%v workers=%d: ProvAccuracy[%q] = %v, want %v",
+						siteLevel, workers, src, a, wa)
+					break
+				}
+			}
+		}
+	}
+}
 
 func TestEngineEquivalenceOnBenchDataset(t *testing.T) {
 	if testing.Short() {

@@ -28,9 +28,11 @@ func (ds *Dataset) evalResult(name string, res *fusion.Result) eval.Report {
 func AblationTwoLayer(ds *Dataset) *Table {
 	base := ds.report("POPACCU", fusion.PopAccuConfig())
 
+	// The two-layer model rides the dataset's shared compiled extraction
+	// graph, the way the fusion models ride the shared claim graph.
 	cfg := twolayer.DefaultConfig()
 	cfg.SiteLevel = true
-	two := twolayer.MustFuse(ds.Extractions, cfg)
+	two := twolayer.MustFuseCompiled(ds.ExtractionGraph(true), cfg)
 	twoRep := ds.evalResult("TWOLAYER", two)
 
 	tb := &Table{ID: "abl-twolayer", Title: "Ablation: two-layer source/extractor model (§5.1)",

@@ -51,6 +51,7 @@ type Dataset struct {
 	// pointer) while different keys proceed in parallel.
 	mu        sync.Mutex
 	compiled  map[fusion.Granularity]*onceCell[*fusion.Compiled]
+	extGraph  map[bool]*onceCell[*extract.Compiled]
 	fuseCache map[string]*onceCell[*fusion.Result]
 }
 
@@ -113,6 +114,7 @@ func NewDataset(scale Scale, seed int64) *Dataset {
 		Extractions: suite.Run(w, corpus),
 		Snapshot:    world.BuildFreebase(w),
 		compiled:    make(map[fusion.Granularity]*onceCell[*fusion.Compiled]),
+		extGraph:    make(map[bool]*onceCell[*extract.Compiled]),
 		fuseCache:   make(map[string]*onceCell[*fusion.Result]),
 	}
 	ds.Gold = eval.NewGoldStandard(ds.Snapshot)
@@ -195,6 +197,29 @@ func (ds *Dataset) Compiled(g fusion.Granularity) *fusion.Compiled {
 	ds.mu.Unlock()
 	return e.Get(func() *fusion.Compiled {
 		return fusion.MustCompile(fusion.Claims(ds.Extractions, g))
+	})
+}
+
+// ExtractionGraph returns the compiled extraction graph (extract.Compiled)
+// for a source level, building it on first use — the extraction-layer
+// sibling of Compiled: one interned (source × extractor × triple) graph per
+// level serves every two-layer configuration, cached with the same per-key
+// singleflight as the claim graphs. The build always uses default
+// parallelism, keeping the cached graph independent of which configuration
+// happened to trigger it.
+func (ds *Dataset) ExtractionGraph(siteLevel bool) *extract.Compiled {
+	ds.mu.Lock()
+	if ds.extGraph == nil {
+		ds.extGraph = make(map[bool]*onceCell[*extract.Compiled])
+	}
+	e, ok := ds.extGraph[siteLevel]
+	if !ok {
+		e = &onceCell[*extract.Compiled]{}
+		ds.extGraph[siteLevel] = e
+	}
+	ds.mu.Unlock()
+	return e.Get(func() *extract.Compiled {
+		return extract.Compile(ds.Extractions, siteLevel)
 	})
 }
 

@@ -1,0 +1,304 @@
+package extract
+
+import (
+	"runtime"
+
+	"kfusion/internal/csr"
+	"kfusion/internal/kb"
+)
+
+// Compiled is the interned, immutable form of an extraction set for the
+// models that need the full three-dimensional (source × extractor × triple)
+// structure — today the two-layer model of internal/twolayer, which must see
+// which extractors did and did NOT extract a statement from a source. It is
+// the extraction-layer sibling of fusion.Compiled: every source, extractor,
+// (source, triple) statement pair, candidate triple and data item is interned
+// into a dense int32 ID with CSR adjacency, built once, and then every EM
+// round iterates flat slices — no maps, no string hashing.
+//
+// ID spaces and invariants (all deterministic for a fixed extraction order,
+// independent of the worker count):
+//
+//   - Source, extractor, triple, item and statement IDs are assigned in
+//     first-occurrence order of the extraction stream.
+//   - A statement is a distinct (source, triple) pair; its extractor list
+//     holds the distinct extractors that produced it there, in
+//     first-extraction order.
+//   - SourceExtractors lists the distinct extractors with at least one
+//     extraction from the source, in first-extraction order — the "which
+//     extractors processed this source" set the two-layer model scores
+//     silence against.
+//   - SourceStatements, TripleStatements and ItemTriples are CSR spans in
+//     ascending ID order (the same order the map-based reference model
+//     appends them in).
+//
+// A Compiled is bound to its source level: URL-level or site-level keys are
+// chosen at Compile time, mirroring how fusion.Compiled is bound to its
+// claims' provenance granularity. It holds no model state, so one Compiled
+// can serve any number of two-layer configurations concurrently.
+type Compiled struct {
+	siteLevel bool
+
+	sources    []string // source ID -> URL or site key
+	extractors []string // extractor ID -> name
+
+	// Statements: distinct (source, triple) pairs.
+	stSource   []int32 // statement ID -> source ID
+	stTriple   []int32 // statement ID -> triple ID
+	stExtStart []int32 // len nStatements+1; span into stExts
+	stExts     []int32 // extractor IDs per statement, first-extraction order
+
+	// Per-source adjacency.
+	srcExtStart []int32 // len nSources+1; span into srcExts
+	srcExts     []int32 // distinct extractor IDs per source, first-extraction order
+	srcStStart  []int32 // len nSources+1; span into srcSts
+	srcSts      []int32 // statement IDs per source, ascending
+
+	// Candidate triples and data items.
+	triples         []kb.Triple   // triple ID -> triple
+	tripleStStart   []int32       // len nTriples+1; span into tripleSts
+	tripleSts       []int32       // statement IDs per triple, ascending
+	tripleExts      []int32       // triple ID -> distinct extractor count
+	items           []kb.DataItem // item ID -> data item
+	itemOfTriple    []int32       // triple ID -> item ID
+	itemTripleStart []int32       // len nItems+1; span into itemTriples
+	itemTriples     []int32       // triple IDs per item, ascending
+	itemStatements  []int32       // item ID -> total statements on the item
+
+	// maxItemTriples is the largest candidate count of any single item; it
+	// sizes per-worker scoring scratch.
+	maxItemTriples int
+}
+
+// Compile interns an extraction set into a reusable Compiled graph using all
+// available cores. siteLevel keys sources at site level instead of URL level.
+// The graph is deterministic for a fixed extraction order and independent of
+// available parallelism.
+func Compile(xs []Extraction, siteLevel bool) *Compiled {
+	return CompileWorkers(xs, siteLevel, 0)
+}
+
+// CompileWorkers is Compile with an explicit bound on the CSR-building
+// goroutines (0 = GOMAXPROCS). The graph is identical for any workers value.
+func CompileWorkers(xs []Extraction, siteLevel bool, workers int) *Compiled {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	g := &Compiled{siteLevel: siteLevel}
+
+	// Interning pass: sequential, in extraction order, so every ID space is
+	// first-occurrence ordered regardless of parallelism. The per-statement
+	// and per-source extractor lists are deduplicated here too; both are
+	// short (bounded by the extractor fleet), so linear scans beat maps.
+	type stKey struct{ src, tri int32 }
+	srcIdx := make(map[string]int32, 1024)
+	extIdx := make(map[string]int32, 32)
+	triIdx := make(map[kb.Triple]int32, len(xs))
+	itemIdx := make(map[kb.DataItem]int32, len(xs))
+	stIdx := make(map[stKey]int32, len(xs))
+	var stExtLists [][]int32
+	var srcExtLists [][]int32
+	for i := range xs {
+		x := &xs[i]
+		key := x.URL
+		if siteLevel {
+			key = x.Site
+		}
+		src, ok := srcIdx[key]
+		if !ok {
+			src = int32(len(g.sources))
+			srcIdx[key] = src
+			g.sources = append(g.sources, key)
+			srcExtLists = append(srcExtLists, nil)
+		}
+		ext, ok := extIdx[x.Extractor]
+		if !ok {
+			ext = int32(len(g.extractors))
+			extIdx[x.Extractor] = ext
+			g.extractors = append(g.extractors, x.Extractor)
+		}
+		if !containsID(srcExtLists[src], ext) {
+			srcExtLists[src] = append(srcExtLists[src], ext)
+		}
+		tri, ok := triIdx[x.Triple]
+		if !ok {
+			tri = int32(len(g.triples))
+			triIdx[x.Triple] = tri
+			g.triples = append(g.triples, x.Triple)
+			item, iok := itemIdx[x.Triple.Item()]
+			if !iok {
+				item = int32(len(g.items))
+				itemIdx[x.Triple.Item()] = item
+				g.items = append(g.items, x.Triple.Item())
+			}
+			g.itemOfTriple = append(g.itemOfTriple, item)
+		}
+		si, ok := stIdx[stKey{src, tri}]
+		if !ok {
+			si = int32(len(g.stSource))
+			stIdx[stKey{src, tri}] = si
+			g.stSource = append(g.stSource, src)
+			g.stTriple = append(g.stTriple, tri)
+			stExtLists = append(stExtLists, nil)
+		}
+		if !containsID(stExtLists[si], ext) {
+			stExtLists[si] = append(stExtLists[si], ext)
+		}
+	}
+
+	// ---- Flatten the per-statement and per-source extractor lists ----
+	g.stExtStart, g.stExts = flattenLists(stExtLists)
+	g.srcExtStart, g.srcExts = flattenLists(srcExtLists)
+
+	// ---- CSR adjacency by parallel counting sort ----
+	nSt := len(g.stSource)
+	nTriples := len(g.triples)
+	nItems := len(g.items)
+	g.srcStStart, g.srcSts = csr.ByGroup(g.stSource, len(g.sources), workers)
+	g.tripleStStart, g.tripleSts = csr.ByGroup(g.stTriple, nTriples, workers)
+	g.itemTripleStart, g.itemTriples = csr.ByGroup(g.itemOfTriple, nItems, workers)
+	for i := 0; i < nItems; i++ {
+		if n := int(g.itemTripleStart[i+1] - g.itemTripleStart[i]); n > g.maxItemTriples {
+			g.maxItemTriples = n
+		}
+	}
+
+	// ---- Config-independent support counts ----
+	// Statements per item (the two-layer result's ItemProvenances).
+	g.itemStatements = make([]int32, nItems)
+	for si := 0; si < nSt; si++ {
+		g.itemStatements[g.itemOfTriple[g.stTriple[si]]]++
+	}
+	// Distinct extractors per triple, in parallel over triple ranges: each
+	// worker stamps a private seen-set with the triple ID, so counts are
+	// exact and independent of the split.
+	g.tripleExts = make([]int32, nTriples)
+	tw := workers
+	if nSt < 1<<14 {
+		tw = 1 // goroutine setup would dominate
+	}
+	csr.ParallelRange(nTriples, tw, func(_, lo, hi int) {
+		seen := make([]int32, len(g.extractors))
+		for i := range seen {
+			seen[i] = -1
+		}
+		for t := lo; t < hi; t++ {
+			for _, si := range g.tripleSts[g.tripleStStart[t]:g.tripleStStart[t+1]] {
+				for _, e := range g.stExts[g.stExtStart[si]:g.stExtStart[si+1]] {
+					if seen[e] != int32(t) {
+						seen[e] = int32(t)
+						g.tripleExts[t]++
+					}
+				}
+			}
+		}
+	})
+	return g
+}
+
+func containsID(ids []int32, id int32) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// flattenLists concatenates per-ID lists into a CSR (start, flat) pair.
+func flattenLists(lists [][]int32) (start, flat []int32) {
+	start = make([]int32, len(lists)+1)
+	total := 0
+	for i, l := range lists {
+		start[i] = int32(total)
+		total += len(l)
+	}
+	start[len(lists)] = int32(total)
+	flat = make([]int32, 0, total)
+	for _, l := range lists {
+		flat = append(flat, l...)
+	}
+	return start, flat
+}
+
+// ---- Read-only accessors ----
+//
+// All returned slices are views into the compiled graph and must not be
+// modified.
+
+// SiteLevel reports whether sources are keyed at site level.
+func (g *Compiled) SiteLevel() bool { return g.siteLevel }
+
+// NumStatements reports the number of distinct (source, triple) pairs.
+func (g *Compiled) NumStatements() int { return len(g.stSource) }
+
+// NumSources reports the number of distinct sources.
+func (g *Compiled) NumSources() int { return len(g.sources) }
+
+// NumExtractors reports the number of distinct extractors.
+func (g *Compiled) NumExtractors() int { return len(g.extractors) }
+
+// NumTriples reports the number of distinct candidate triples.
+func (g *Compiled) NumTriples() int { return len(g.triples) }
+
+// NumItems reports the number of distinct data items.
+func (g *Compiled) NumItems() int { return len(g.items) }
+
+// SourceKey returns the URL or site key of a source ID.
+func (g *Compiled) SourceKey(s int32) string { return g.sources[s] }
+
+// ExtractorName returns the name of an extractor ID.
+func (g *Compiled) ExtractorName(e int32) string { return g.extractors[e] }
+
+// Triple returns the triple with the given triple ID.
+func (g *Compiled) Triple(t int32) kb.Triple { return g.triples[t] }
+
+// Item returns the data item with the given item ID.
+func (g *Compiled) Item(i int32) kb.DataItem { return g.items[i] }
+
+// StatementSource returns the source ID of a statement.
+func (g *Compiled) StatementSource(si int32) int32 { return g.stSource[si] }
+
+// StatementTriple returns the triple ID of a statement.
+func (g *Compiled) StatementTriple(si int32) int32 { return g.stTriple[si] }
+
+// StatementExtractors returns the distinct extractor IDs that extracted the
+// statement, in first-extraction order.
+func (g *Compiled) StatementExtractors(si int32) []int32 {
+	return g.stExts[g.stExtStart[si]:g.stExtStart[si+1]]
+}
+
+// SourceExtractors returns the distinct extractor IDs that processed the
+// source, in first-extraction order.
+func (g *Compiled) SourceExtractors(s int32) []int32 {
+	return g.srcExts[g.srcExtStart[s]:g.srcExtStart[s+1]]
+}
+
+// SourceStatements returns the statement IDs of a source in ascending order.
+func (g *Compiled) SourceStatements(s int32) []int32 {
+	return g.srcSts[g.srcStStart[s]:g.srcStStart[s+1]]
+}
+
+// TripleStatements returns the statement IDs asserting a triple in ascending
+// order.
+func (g *Compiled) TripleStatements(t int32) []int32 {
+	return g.tripleSts[g.tripleStStart[t]:g.tripleStStart[t+1]]
+}
+
+// TripleExtractors returns the number of distinct extractors asserting the
+// triple anywhere.
+func (g *Compiled) TripleExtractors(t int32) int32 { return g.tripleExts[t] }
+
+// ItemOfTriple returns the item ID of a triple.
+func (g *Compiled) ItemOfTriple(t int32) int32 { return g.itemOfTriple[t] }
+
+// ItemTriples returns the candidate triple IDs of an item in ascending order.
+func (g *Compiled) ItemTriples(i int32) []int32 {
+	return g.itemTriples[g.itemTripleStart[i]:g.itemTripleStart[i+1]]
+}
+
+// ItemStatements returns the total statement count on an item.
+func (g *Compiled) ItemStatements(i int32) int32 { return g.itemStatements[i] }
+
+// MaxItemTriples returns the largest candidate-triple count of any item.
+func (g *Compiled) MaxItemTriples() int { return g.maxItemTriples }

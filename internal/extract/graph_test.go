@@ -1,0 +1,205 @@
+package extract
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"kfusion/internal/kb"
+)
+
+// randomExtractions builds a synthetic extraction stream with heavy
+// (source, triple, extractor) collisions so statement dedup, the extractor
+// sets and the CSR spans all get exercised.
+func randomExtractions(rng *rand.Rand, n int) []Extraction {
+	xs := make([]Extraction, n)
+	for i := range xs {
+		site := fmt.Sprintf("site%d", rng.Intn(8))
+		xs[i] = Extraction{
+			Triple: kb.Triple{
+				Subject:   kb.EntityID(fmt.Sprintf("s%d", rng.Intn(12))),
+				Predicate: kb.PredicateID(fmt.Sprintf("/p/%d", rng.Intn(4))),
+				Object:    kb.StringObject(fmt.Sprintf("v%d", rng.Intn(6))),
+			},
+			Extractor: fmt.Sprintf("E%d", rng.Intn(5)),
+			URL:       fmt.Sprintf("http://%s/page%d", site, rng.Intn(6)),
+			Site:      site,
+		}
+	}
+	return xs
+}
+
+// TestCompiledGraphMatchesBruteForce rebuilds every interned relation with
+// maps and checks the graph agrees, at both source levels and for several
+// worker counts (the graph must be independent of parallelism).
+func TestCompiledGraphMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := randomExtractions(rng, 5000)
+	for _, siteLevel := range []bool{false, true} {
+		want := CompileWorkers(xs, siteLevel, 1)
+		for _, workers := range []int{2, 4, 8} {
+			got := CompileWorkers(xs, siteLevel, workers)
+			if got.NumStatements() != want.NumStatements() || got.NumSources() != want.NumSources() ||
+				got.NumTriples() != want.NumTriples() || got.NumItems() != want.NumItems() ||
+				got.NumExtractors() != want.NumExtractors() {
+				t.Fatalf("siteLevel=%v workers=%d: sizes differ from workers=1", siteLevel, workers)
+			}
+			for si := 0; si < got.NumStatements(); si++ {
+				if got.StatementSource(int32(si)) != want.StatementSource(int32(si)) ||
+					got.StatementTriple(int32(si)) != want.StatementTriple(int32(si)) {
+					t.Fatalf("siteLevel=%v workers=%d: statement %d differs", siteLevel, workers, si)
+				}
+			}
+			for ti := 0; ti < got.NumTriples(); ti++ {
+				if !equalSpans(got.TripleStatements(int32(ti)), want.TripleStatements(int32(ti))) {
+					t.Fatalf("siteLevel=%v workers=%d: TripleStatements(%d) differs", siteLevel, workers, ti)
+				}
+				if got.TripleExtractors(int32(ti)) != want.TripleExtractors(int32(ti)) {
+					t.Fatalf("siteLevel=%v workers=%d: TripleExtractors(%d) differs", siteLevel, workers, ti)
+				}
+			}
+		}
+
+		g := want
+		sourceOf := func(x Extraction) string {
+			if siteLevel {
+				return x.Site
+			}
+			return x.URL
+		}
+
+		// Brute-force reconstruction.
+		type stKey struct {
+			src string
+			tri kb.Triple
+		}
+		stExts := map[stKey][]string{}
+		srcExts := map[string][]string{}
+		tripleSts := map[kb.Triple]map[stKey]bool{}
+		itemSts := map[kb.DataItem]map[stKey]bool{}
+		tripleExts := map[kb.Triple]map[string]bool{}
+		for _, x := range xs {
+			src := sourceOf(x)
+			k := stKey{src, x.Triple}
+			if !hasString(stExts[k], x.Extractor) {
+				stExts[k] = append(stExts[k], x.Extractor)
+			}
+			if !hasString(srcExts[src], x.Extractor) {
+				srcExts[src] = append(srcExts[src], x.Extractor)
+			}
+			if tripleSts[x.Triple] == nil {
+				tripleSts[x.Triple] = map[stKey]bool{}
+			}
+			tripleSts[x.Triple][k] = true
+			if itemSts[x.Triple.Item()] == nil {
+				itemSts[x.Triple.Item()] = map[stKey]bool{}
+			}
+			itemSts[x.Triple.Item()][k] = true
+			if tripleExts[x.Triple] == nil {
+				tripleExts[x.Triple] = map[string]bool{}
+			}
+			tripleExts[x.Triple][x.Extractor] = true
+		}
+
+		if g.NumStatements() != len(stExts) {
+			t.Fatalf("siteLevel=%v: %d statements, want %d", siteLevel, g.NumStatements(), len(stExts))
+		}
+		if g.NumSources() != len(srcExts) {
+			t.Fatalf("siteLevel=%v: %d sources, want %d", siteLevel, g.NumSources(), len(srcExts))
+		}
+		for si := 0; si < g.NumStatements(); si++ {
+			src := g.SourceKey(g.StatementSource(int32(si)))
+			tri := g.Triple(g.StatementTriple(int32(si)))
+			k := stKey{src, tri}
+			if !equalNames(g, g.StatementExtractors(int32(si)), stExts[k]) {
+				t.Fatalf("siteLevel=%v: statement %d extractors = %v, want %v",
+					siteLevel, si, names(g, g.StatementExtractors(int32(si))), stExts[k])
+			}
+		}
+		for s := 0; s < g.NumSources(); s++ {
+			if !equalNames(g, g.SourceExtractors(int32(s)), srcExts[g.SourceKey(int32(s))]) {
+				t.Fatalf("siteLevel=%v: source %q extractor set mismatch", siteLevel, g.SourceKey(int32(s)))
+			}
+			if len(g.SourceStatements(int32(s))) == 0 {
+				t.Fatalf("siteLevel=%v: source %q has no statements", siteLevel, g.SourceKey(int32(s)))
+			}
+			for _, si := range g.SourceStatements(int32(s)) {
+				if g.StatementSource(si) != int32(s) {
+					t.Fatalf("siteLevel=%v: SourceStatements(%d) contains foreign statement", siteLevel, s)
+				}
+			}
+		}
+		for ti := 0; ti < g.NumTriples(); ti++ {
+			tri := g.Triple(int32(ti))
+			if len(g.TripleStatements(int32(ti))) != len(tripleSts[tri]) {
+				t.Fatalf("siteLevel=%v: triple %v has %d statements, want %d",
+					siteLevel, tri, len(g.TripleStatements(int32(ti))), len(tripleSts[tri]))
+			}
+			if int(g.TripleExtractors(int32(ti))) != len(tripleExts[tri]) {
+				t.Fatalf("siteLevel=%v: triple %v extractor count %d, want %d",
+					siteLevel, tri, g.TripleExtractors(int32(ti)), len(tripleExts[tri]))
+			}
+		}
+		for i := 0; i < g.NumItems(); i++ {
+			item := g.Item(int32(i))
+			if int(g.ItemStatements(int32(i))) != len(itemSts[item]) {
+				t.Fatalf("siteLevel=%v: item %v has %d statements, want %d",
+					siteLevel, item, g.ItemStatements(int32(i)), len(itemSts[item]))
+			}
+			for _, ti := range g.ItemTriples(int32(i)) {
+				if g.ItemOfTriple(ti) != int32(i) {
+					t.Fatalf("siteLevel=%v: ItemTriples(%d) contains foreign triple", siteLevel, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCompiledGraphEmpty(t *testing.T) {
+	g := Compile(nil, false)
+	if g.NumStatements() != 0 || g.NumSources() != 0 || g.NumTriples() != 0 ||
+		g.NumItems() != 0 || g.NumExtractors() != 0 || g.MaxItemTriples() != 0 {
+		t.Fatalf("empty graph not empty: %+v", g)
+	}
+}
+
+func equalSpans(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func names(g *Compiled, ids []int32) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = g.ExtractorName(id)
+	}
+	return out
+}
+
+func equalNames(g *Compiled, ids []int32, want []string) bool {
+	if len(ids) != len(want) {
+		return false
+	}
+	for i, id := range ids {
+		if g.ExtractorName(id) != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func hasString(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

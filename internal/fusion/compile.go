@@ -3,6 +3,7 @@ package fusion
 import (
 	"runtime"
 
+	"kfusion/internal/csr"
 	"kfusion/internal/kb"
 	"kfusion/internal/mapreduce"
 )
@@ -245,8 +246,8 @@ func compile(claims []Claim, workers, partitions int) *graph {
 	g.provOfClaim, g.provKeys, extOfClaim, extKeys = internClaims(claims, workers)
 
 	// ---- CSR adjacency by counting sort ----
-	g.provClaimStart, g.provClaims = csrByGroup(g.provOfClaim, len(g.provKeys))
-	g.tripleClaimStart, g.tripleClaims = csrByGroup(g.tripleOfClaim, nTriples)
+	g.provClaimStart, g.provClaims = csrByGroup(g.provOfClaim, len(g.provKeys), workers)
+	g.tripleClaimStart, g.tripleClaims = csrByGroup(g.tripleOfClaim, nTriples, workers)
 
 	g.tripleExtractors = countTripleExtractors(g, extOfClaim, extKeys, workers)
 	return g
@@ -427,21 +428,9 @@ func dedupItem(claims []Claim, item kb.DataItem, idxs []int32) itemGroup {
 
 // csrByGroup builds a CSR adjacency from a dense group assignment: start has
 // one span per group, and ids lists the element indexes of each group in
-// ascending order.
-func csrByGroup(groupOf []int32, nGroups int) (start, ids []int32) {
-	start = make([]int32, nGroups+1)
-	for _, p := range groupOf {
-		start[p+1]++
-	}
-	for i := 0; i < nGroups; i++ {
-		start[i+1] += start[i]
-	}
-	ids = make([]int32, len(groupOf))
-	next := make([]int32, nGroups)
-	copy(next, start[:nGroups])
-	for i, p := range groupOf {
-		ids[next[p]] = int32(i)
-		next[p]++
-	}
-	return start, ids
+// ascending order. Large inputs run csr.ByGroup's parallel counting sort
+// (per-worker counts + prefix-sum merge + parallel scatter), which is exact:
+// the adjacency is identical for every workers value.
+func csrByGroup(groupOf []int32, nGroups, workers int) (start, ids []int32) {
+	return csr.ByGroup(groupOf, nGroups, workers)
 }

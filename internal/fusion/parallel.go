@@ -1,9 +1,6 @@
 package fusion
 
-import (
-	"runtime"
-	"sync"
-)
+import "kfusion/internal/csr"
 
 // ParallelRange splits [0, n) into one contiguous chunk per worker and
 // waits for all of them. workers <= 0 defaults to GOMAXPROCS; the count is
@@ -12,26 +9,8 @@ import (
 // boundaries never influence results — f must only touch state owned by the
 // indexes it is given, plus per-worker state keyed by its worker index.
 // (Exported for the sibling fusion-model packages, e.g. multitruth; the
-// internal/ tree keeps it out of the public module surface.)
+// implementation lives in internal/csr so the extraction-layer graph can
+// share it without importing this package.)
 func ParallelRange(n, workers int, f func(worker, lo, hi int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		f(0, 0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := n*w/workers, n*(w+1)/workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			f(w, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
+	csr.ParallelRange(n, workers, f)
 }

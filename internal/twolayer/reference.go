@@ -1,0 +1,315 @@
+package twolayer
+
+import (
+	"math"
+	"sort"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+	"kfusion/internal/mapreduce"
+)
+
+// FuseReference is the original map-keyed two-layer engine, retained as the
+// golden oracle the compiled engine (FuseCompiled) is regression-tested
+// against — the same role fusion.FuseReference plays for the claim-graph
+// engine. It indexes statements, sources and extractors with string/struct
+// maps and re-walks them every EM round.
+//
+// One behavioral fix relative to the seed implementation: the per-source
+// extractor sets are kept as first-extraction-ordered slices instead of maps.
+// The layer-1 log-odds is a float sum over those sets, and summing in Go's
+// randomized map-iteration order made low-order result bits vary run to run;
+// the ordered walk makes the reference deterministic and is the exact order
+// the compiled engine's CSR spans reproduce.
+func FuseReference(xs []extract.Extraction, cfg Config) (*fusion.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sourceOf := func(x extract.Extraction) string {
+		if cfg.SiteLevel {
+			return x.Site
+		}
+		return x.URL
+	}
+
+	// Indexes.
+	type stKey struct {
+		source string
+		triple kb.Triple
+	}
+	type stInfo struct {
+		source     string
+		triple     kb.Triple
+		extractors []string // extractors that extracted it there
+	}
+	stIdx := map[stKey]int{}
+	var sts []stInfo
+	extsOnSource := map[string][]string{} // source → extractors that processed it, first-extraction order
+	srcAcc := map[string]float64{}
+	extPar := map[string]*extParams{}
+	tripleIdx := map[kb.Triple]int{}
+	var triples []kb.Triple
+	itemTriples := map[kb.DataItem][]int{}
+	stByTriple := map[int][]int{} // triple index → st indexes
+
+	for _, x := range xs {
+		src := sourceOf(x)
+		if !containsString(extsOnSource[src], x.Extractor) {
+			extsOnSource[src] = append(extsOnSource[src], x.Extractor)
+		}
+		if _, ok := srcAcc[src]; !ok {
+			srcAcc[src] = cfg.InitSourceAccuracy
+		}
+		if extPar[x.Extractor] == nil {
+			extPar[x.Extractor] = &extParams{recall: cfg.InitRecall, falsePos: cfg.InitFalsePos}
+		}
+		k := stKey{source: src, triple: x.Triple}
+		si, ok := stIdx[k]
+		if !ok {
+			si = len(sts)
+			stIdx[k] = si
+			sts = append(sts, stInfo{source: src, triple: x.Triple})
+			ti, tok := tripleIdx[x.Triple]
+			if !tok {
+				ti = len(triples)
+				tripleIdx[x.Triple] = ti
+				triples = append(triples, x.Triple)
+				itemTriples[x.Triple.Item()] = append(itemTriples[x.Triple.Item()], ti)
+			}
+			stByTriple[ti] = append(stByTriple[ti], si)
+		}
+		if !containsString(sts[si].extractors, x.Extractor) {
+			sts[si].extractors = append(sts[si].extractors, x.Extractor)
+		}
+	}
+
+	stated := make([]float64, len(sts))      // P(source states triple)
+	tripleP := make([]float64, len(triples)) // P(triple true)
+	for i := range tripleP {
+		tripleP[i] = 0.5
+	}
+
+	// Layer 1 E-step: statement probabilities from extractor agreement.
+	inferStatements := func() {
+		job := mapreduce.Job[int, int, float64, struct{}]{
+			Name: "twolayer-statements",
+			Map: func(si int, emit func(int, float64)) {
+				st := &sts[si]
+				claimed := map[string]bool{}
+				for _, e := range st.extractors {
+					claimed[e] = true
+				}
+				logOdds := math.Log(cfg.PriorStated) - math.Log(1-cfg.PriorStated)
+				for _, e := range extsOnSource[st.source] {
+					p := extPar[e]
+					if claimed[e] {
+						logOdds += math.Log(p.recall) - math.Log(p.falsePos)
+					} else {
+						logOdds += math.Log(1-p.recall) - math.Log(1-p.falsePos)
+					}
+				}
+				emit(si, sigmoid(logOdds))
+			},
+			Reduce: func(si int, vs []float64, emit func(struct{})) {
+				stated[si] = vs[0]
+			},
+			KeyHash: func(si int) uint64 { return uint64(si)*0x9e3779b97f4a7c15 + 7 },
+			Workers: cfg.Workers,
+		}
+		mapreduce.MustRun(job, stIndexes(len(sts)))
+	}
+
+	// Layer 2: weighted Bayesian truth inference per data item.
+	items := make([]kb.DataItem, 0, len(itemTriples))
+	for it := range itemTriples {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Subject != items[j].Subject {
+			return items[i].Subject < items[j].Subject
+		}
+		return items[i].Predicate < items[j].Predicate
+	})
+
+	inferTruth := func() {
+		job := mapreduce.Job[kb.DataItem, int, float64, struct{}]{
+			Name: "twolayer-truth",
+			Map: func(item kb.DataItem, emit func(int, float64)) {
+				tis := itemTriples[item]
+				scores := make([]float64, len(tis))
+				for vi, ti := range tis {
+					s := 0.0
+					for _, si := range stByTriple[ti] {
+						// Corroboration gate: an uninformed statement
+						// (stated ≈ 0.5) contributes nothing, a confident
+						// one (stated >= 0.95) votes with full weight.
+						w := (stated[si] - 0.5) / 0.45
+						if w <= 0 {
+							continue
+						}
+						if w > 1 {
+							w = 1
+						}
+						a := clampAcc(srcAcc[sts[si].source])
+						s += w * math.Log(float64(cfg.NFalse)*a/(1-a))
+					}
+					scores[vi] = s
+				}
+				unknown := float64(cfg.NFalse - len(tis))
+				if unknown < 0 {
+					unknown = 0
+				}
+				m := 0.0
+				for _, s := range scores {
+					if s > m {
+						m = s
+					}
+				}
+				denom := unknown * math.Exp(-m)
+				for _, s := range scores {
+					denom += math.Exp(s - m)
+				}
+				for vi, ti := range tis {
+					emit(ti, math.Exp(scores[vi]-m)/denom)
+				}
+			},
+			Reduce: func(ti int, vs []float64, emit func(struct{})) {
+				tripleP[ti] = vs[0]
+			},
+			KeyHash: func(ti int) uint64 { return uint64(ti)*0x9e3779b97f4a7c15 + 13 },
+			Workers: cfg.Workers,
+		}
+		mapreduce.MustRun(job, items)
+	}
+
+	// M-step: source accuracies and extractor recall/false-positive rates.
+	updateParams := func() float64 {
+		// Source accuracy: expected-stated-weighted mean truth of claims.
+		num := map[string]float64{}
+		den := map[string]float64{}
+		for si := range sts {
+			ti := tripleIdx[sts[si].triple]
+			w := stated[si]
+			num[sts[si].source] += w * tripleP[ti]
+			den[sts[si].source] += w
+		}
+		maxDelta := 0.0
+		const anchor = 2.0 // pseudo-claims at the initial accuracy
+		for src, d := range den {
+			if d < 1e-9 {
+				continue
+			}
+			// Small sources are anchored toward the prior so a source with
+			// one claim does not spiral down with its own claim's
+			// probability (the isolated-conflict drift).
+			v := (num[src] + anchor*cfg.InitSourceAccuracy) / (d + anchor)
+			if diff := math.Abs(v - srcAcc[src]); diff > maxDelta {
+				maxDelta = diff
+			}
+			srcAcc[src] = v
+		}
+		// Extractor recall / false positives against expected statements.
+		type extAcc struct{ hitStated, stated, hitUnstated, unstated float64 }
+		ea := map[string]*extAcc{}
+		for e := range extPar {
+			ea[e] = &extAcc{}
+		}
+		for si := range sts {
+			st := &sts[si]
+			claimed := map[string]bool{}
+			for _, e := range st.extractors {
+				claimed[e] = true
+			}
+			for _, e := range extsOnSource[st.source] {
+				a := ea[e]
+				a.stated += stated[si]
+				a.unstated += 1 - stated[si]
+				if claimed[e] {
+					a.hitStated += stated[si]
+					a.hitUnstated += 1 - stated[si]
+				}
+			}
+		}
+		for e, a := range ea {
+			p := extPar[e]
+			if a.stated > 1e-9 {
+				p.recall = clampRate(a.hitStated / (a.stated + 1))
+			}
+			if a.unstated > 1e-9 {
+				p.falsePos = clampRate(a.hitUnstated / (a.unstated + 1))
+			}
+		}
+		return maxDelta
+	}
+
+	rounds := 0
+	mapreduce.Iterate(struct{}{}, cfg.Rounds, func(_ struct{}, r int) (struct{}, bool) {
+		inferStatements()
+		inferTruth()
+		rounds++
+		return struct{}{}, updateParams() < 1e-4
+	})
+	inferStatements()
+	inferTruth()
+
+	// Assemble the result.
+	itemCounts := map[kb.DataItem]int{}
+	extractorsOf := map[int]map[string]bool{}
+	for si := range sts {
+		ti := tripleIdx[sts[si].triple]
+		itemCounts[sts[si].triple.Item()]++
+		if extractorsOf[ti] == nil {
+			extractorsOf[ti] = map[string]bool{}
+		}
+		for _, e := range sts[si].extractors {
+			extractorsOf[ti][e] = true
+		}
+	}
+	res := &fusion.Result{Rounds: rounds, ProvAccuracy: map[string]float64{}}
+	for src, a := range srcAcc {
+		res.ProvAccuracy[src] = a
+	}
+	for ti, t := range triples {
+		res.Triples = append(res.Triples, fusion.FusedTriple{
+			Triple:          t,
+			Probability:     tripleP[ti],
+			Predicted:       true,
+			Provenances:     len(stByTriple[ti]),
+			ItemProvenances: itemCounts[t.Item()],
+			Extractors:      len(extractorsOf[ti]),
+		})
+	}
+	return res, nil
+}
+
+// MustFuseReference is FuseReference for statically-valid configurations.
+func MustFuseReference(xs []extract.Extraction, cfg Config) *fusion.Result {
+	r, err := FuseReference(xs, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+type extParams struct {
+	recall   float64
+	falsePos float64
+}
+
+func containsString(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func stIndexes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

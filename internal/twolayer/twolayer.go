@@ -18,17 +18,28 @@
 //	extractor × source pairs), weighting each source's vote by the
 //	probability it states the triple, with per-source accuracy re-estimated
 //	from expected-stated claims.
+//
+// # Compiled engine
+//
+// Fuse rides the compiled extraction graph (extract.Compiled): sources,
+// extractors, (source, triple) statement pairs, candidate triples and data
+// items are interned into dense int32 IDs with CSR adjacency once, and every
+// EM round iterates flat ID-indexed slices — the same compile-once
+// architecture fusion.Fuse uses for the claim graph. FuseCompiled consumes an
+// existing compilation, so the experiment layer shares one graph across
+// configurations. The original map-keyed engine survives as FuseReference,
+// pinned against the compiled engine by golden equivalence tests; both are
+// deterministic and independent of Config.Workers.
 package twolayer
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"runtime"
 
+	"kfusion/internal/csr"
 	"kfusion/internal/extract"
 	"kfusion/internal/fusion"
-	"kfusion/internal/kb"
-	"kfusion/internal/mapreduce"
 )
 
 // Config parameterizes the two-layer model.
@@ -50,7 +61,8 @@ type Config struct {
 	PriorStated float64
 	// NFalse is the layer-2 ACCU false-value count.
 	NFalse int
-	// Workers configures the MapReduce substrate (0 = auto).
+	// Workers bounds the parallel EM stage loops (0 = GOMAXPROCS). Results
+	// never depend on it.
 	Workers int
 }
 
@@ -87,283 +99,15 @@ func (c Config) Validate() error {
 	return nil
 }
 
-type extParams struct {
-	recall   float64
-	falsePos float64
-}
-
-// Fuse runs the two-layer model over raw extractions.
+// Fuse runs the two-layer model over raw extractions: it compiles the
+// extraction graph at the configured source level and fuses over it. Callers
+// running several configurations over one extraction set should Compile once
+// and use FuseCompiled.
 func Fuse(xs []extract.Extraction, cfg Config) (*fusion.Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	sourceOf := func(x extract.Extraction) string {
-		if cfg.SiteLevel {
-			return x.Site
-		}
-		return x.URL
-	}
-
-	// Indexes.
-	type stKey struct {
-		source string
-		triple kb.Triple
-	}
-	type stInfo struct {
-		source     string
-		triple     kb.Triple
-		extractors []string // extractors that extracted it there
-	}
-	stIdx := map[stKey]int{}
-	var sts []stInfo
-	extsOnSource := map[string]map[string]bool{} // source → extractors that processed it
-	srcAcc := map[string]float64{}
-	extPar := map[string]*extParams{}
-	tripleIdx := map[kb.Triple]int{}
-	var triples []kb.Triple
-	itemTriples := map[kb.DataItem][]int{}
-	stByTriple := map[int][]int{} // triple index → st indexes
-
-	for _, x := range xs {
-		src := sourceOf(x)
-		if extsOnSource[src] == nil {
-			extsOnSource[src] = map[string]bool{}
-		}
-		extsOnSource[src][x.Extractor] = true
-		if _, ok := srcAcc[src]; !ok {
-			srcAcc[src] = cfg.InitSourceAccuracy
-		}
-		if extPar[x.Extractor] == nil {
-			extPar[x.Extractor] = &extParams{recall: cfg.InitRecall, falsePos: cfg.InitFalsePos}
-		}
-		k := stKey{source: src, triple: x.Triple}
-		si, ok := stIdx[k]
-		if !ok {
-			si = len(sts)
-			stIdx[k] = si
-			sts = append(sts, stInfo{source: src, triple: x.Triple})
-			ti, tok := tripleIdx[x.Triple]
-			if !tok {
-				ti = len(triples)
-				tripleIdx[x.Triple] = ti
-				triples = append(triples, x.Triple)
-				itemTriples[x.Triple.Item()] = append(itemTriples[x.Triple.Item()], ti)
-			}
-			stByTriple[ti] = append(stByTriple[ti], si)
-		}
-		found := false
-		for _, e := range sts[si].extractors {
-			if e == x.Extractor {
-				found = true
-				break
-			}
-		}
-		if !found {
-			sts[si].extractors = append(sts[si].extractors, x.Extractor)
-		}
-	}
-
-	stated := make([]float64, len(sts))      // P(source states triple)
-	tripleP := make([]float64, len(triples)) // P(triple true)
-	for i := range tripleP {
-		tripleP[i] = 0.5
-	}
-
-	// Layer 1 E-step: statement probabilities from extractor agreement.
-	inferStatements := func() {
-		job := mapreduce.Job[int, int, float64, struct{}]{
-			Name: "twolayer-statements",
-			Map: func(si int, emit func(int, float64)) {
-				st := &sts[si]
-				claimed := map[string]bool{}
-				for _, e := range st.extractors {
-					claimed[e] = true
-				}
-				logOdds := math.Log(cfg.PriorStated) - math.Log(1-cfg.PriorStated)
-				for e := range extsOnSource[st.source] {
-					p := extPar[e]
-					if claimed[e] {
-						logOdds += math.Log(p.recall) - math.Log(p.falsePos)
-					} else {
-						logOdds += math.Log(1-p.recall) - math.Log(1-p.falsePos)
-					}
-				}
-				emit(si, sigmoid(logOdds))
-			},
-			Reduce: func(si int, vs []float64, emit func(struct{})) {
-				stated[si] = vs[0]
-			},
-			KeyHash: func(si int) uint64 { return uint64(si)*0x9e3779b97f4a7c15 + 7 },
-			Workers: cfg.Workers,
-		}
-		mapreduce.MustRun(job, stIndexes(len(sts)))
-	}
-
-	// Layer 2: weighted Bayesian truth inference per data item.
-	items := make([]kb.DataItem, 0, len(itemTriples))
-	for it := range itemTriples {
-		items = append(items, it)
-	}
-	sort.Slice(items, func(i, j int) bool {
-		if items[i].Subject != items[j].Subject {
-			return items[i].Subject < items[j].Subject
-		}
-		return items[i].Predicate < items[j].Predicate
-	})
-
-	inferTruth := func() {
-		job := mapreduce.Job[kb.DataItem, int, float64, struct{}]{
-			Name: "twolayer-truth",
-			Map: func(item kb.DataItem, emit func(int, float64)) {
-				tis := itemTriples[item]
-				scores := make([]float64, len(tis))
-				for vi, ti := range tis {
-					s := 0.0
-					for _, si := range stByTriple[ti] {
-						// Corroboration gate: an uninformed statement
-						// (stated ≈ 0.5) contributes nothing, a confident
-						// one (stated >= 0.95) votes with full weight.
-						// This is the sublinear source counting that stops
-						// one extractor's repeated mistake from out-voting
-						// genuinely corroborated statements (Figure 7's
-						// drops, §5.1).
-						w := (stated[si] - 0.5) / 0.45
-						if w <= 0 {
-							continue
-						}
-						if w > 1 {
-							w = 1
-						}
-						a := clampAcc(srcAcc[sts[si].source])
-						s += w * math.Log(float64(cfg.NFalse)*a/(1-a))
-					}
-					scores[vi] = s
-				}
-				unknown := float64(cfg.NFalse - len(tis))
-				if unknown < 0 {
-					unknown = 0
-				}
-				m := 0.0
-				for _, s := range scores {
-					if s > m {
-						m = s
-					}
-				}
-				denom := unknown * math.Exp(-m)
-				for _, s := range scores {
-					denom += math.Exp(s - m)
-				}
-				for vi, ti := range tis {
-					emit(ti, math.Exp(scores[vi]-m)/denom)
-				}
-			},
-			Reduce: func(ti int, vs []float64, emit func(struct{})) {
-				tripleP[ti] = vs[0]
-			},
-			KeyHash: func(ti int) uint64 { return uint64(ti)*0x9e3779b97f4a7c15 + 13 },
-			Workers: cfg.Workers,
-		}
-		mapreduce.MustRun(job, items)
-	}
-
-	// M-step: source accuracies and extractor recall/false-positive rates.
-	updateParams := func() float64 {
-		// Source accuracy: expected-stated-weighted mean truth of claims.
-		num := map[string]float64{}
-		den := map[string]float64{}
-		for si := range sts {
-			ti := tripleIdx[sts[si].triple]
-			w := stated[si]
-			num[sts[si].source] += w * tripleP[ti]
-			den[sts[si].source] += w
-		}
-		maxDelta := 0.0
-		const anchor = 2.0 // pseudo-claims at the initial accuracy
-		for src, d := range den {
-			if d < 1e-9 {
-				continue
-			}
-			// Small sources are anchored toward the prior so a source with
-			// one claim does not spiral down with its own claim's
-			// probability (the isolated-conflict drift).
-			v := (num[src] + anchor*cfg.InitSourceAccuracy) / (d + anchor)
-			if diff := math.Abs(v - srcAcc[src]); diff > maxDelta {
-				maxDelta = diff
-			}
-			srcAcc[src] = v
-		}
-		// Extractor recall / false positives against expected statements.
-		type extAcc struct{ hitStated, stated, hitUnstated, unstated float64 }
-		ea := map[string]*extAcc{}
-		for e := range extPar {
-			ea[e] = &extAcc{}
-		}
-		for si := range sts {
-			st := &sts[si]
-			claimed := map[string]bool{}
-			for _, e := range st.extractors {
-				claimed[e] = true
-			}
-			for e := range extsOnSource[st.source] {
-				a := ea[e]
-				a.stated += stated[si]
-				a.unstated += 1 - stated[si]
-				if claimed[e] {
-					a.hitStated += stated[si]
-					a.hitUnstated += 1 - stated[si]
-				}
-			}
-		}
-		for e, a := range ea {
-			p := extPar[e]
-			if a.stated > 1e-9 {
-				p.recall = clampRate(a.hitStated / (a.stated + 1))
-			}
-			if a.unstated > 1e-9 {
-				p.falsePos = clampRate(a.hitUnstated / (a.unstated + 1))
-			}
-		}
-		return maxDelta
-	}
-
-	rounds := 0
-	mapreduce.Iterate(struct{}{}, cfg.Rounds, func(_ struct{}, r int) (struct{}, bool) {
-		inferStatements()
-		inferTruth()
-		rounds++
-		return struct{}{}, updateParams() < 1e-4
-	})
-	inferStatements()
-	inferTruth()
-
-	// Assemble the result.
-	itemCounts := map[kb.DataItem]int{}
-	extractorsOf := map[int]map[string]bool{}
-	for si := range sts {
-		ti := tripleIdx[sts[si].triple]
-		itemCounts[sts[si].triple.Item()]++
-		if extractorsOf[ti] == nil {
-			extractorsOf[ti] = map[string]bool{}
-		}
-		for _, e := range sts[si].extractors {
-			extractorsOf[ti][e] = true
-		}
-	}
-	res := &fusion.Result{Rounds: rounds, ProvAccuracy: map[string]float64{}}
-	for src, a := range srcAcc {
-		res.ProvAccuracy[src] = a
-	}
-	for ti, t := range triples {
-		res.Triples = append(res.Triples, fusion.FusedTriple{
-			Triple:          t,
-			Probability:     tripleP[ti],
-			Predicted:       true,
-			Provenances:     len(stByTriple[ti]),
-			ItemProvenances: itemCounts[t.Item()],
-			Extractors:      len(extractorsOf[ti]),
-		})
-	}
-	return res, nil
+	return FuseCompiled(extract.CompileWorkers(xs, cfg.SiteLevel, cfg.Workers), cfg)
 }
 
 // MustFuse is Fuse for statically-valid configurations.
@@ -375,12 +119,318 @@ func MustFuse(xs []extract.Extraction, cfg Config) *fusion.Result {
 	return r
 }
 
-func stIndexes(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
+// FuseCompiled runs the two-layer model over an already-compiled extraction
+// graph. The graph's source level must match cfg.SiteLevel — the grouping is
+// baked in at extract.Compile time. All model state (statement probabilities,
+// source accuracies, extractor rates) lives in the per-call engine, so one
+// graph serves any number of concurrent FuseCompiled calls.
+func FuseCompiled(g *extract.Compiled, cfg Config) (*fusion.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	return out
+	if g.SiteLevel() != cfg.SiteLevel {
+		return nil, fmt.Errorf("twolayer: graph compiled with SiteLevel=%v but Config.SiteLevel=%v",
+			g.SiteLevel(), cfg.SiteLevel)
+	}
+	e := newEngine(g, cfg)
+	rounds := 0
+	for r := 0; r < cfg.Rounds; r++ {
+		e.inferStatements()
+		e.inferTruth()
+		rounds++
+		if e.updateParams() < 1e-4 {
+			break
+		}
+	}
+	e.inferStatements()
+	e.inferTruth()
+	return e.result(rounds), nil
+}
+
+// MustFuseCompiled is FuseCompiled for statically-valid configurations.
+func MustFuseCompiled(g *extract.Compiled, cfg Config) *fusion.Result {
+	r, err := FuseCompiled(g, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// engine is the per-call EM state over a compiled extraction graph. Every
+// slice is indexed by an interned ID; the EM rounds allocate nothing.
+//
+// Bit-equivalence with FuseReference is a hard invariant (pinned by the
+// golden equivalence tests): every floating-point accumulation below runs in
+// the same order and grouping as the reference loops — statement sums walk a
+// source's extractors in first-extraction order, per-source and per-triple
+// sums walk statements in ascending ID order, and the per-round extractor
+// likelihood ratios and source log-weights are precomputed from the exact
+// expressions the reference evaluates inline.
+type engine struct {
+	g       *extract.Compiled
+	cfg     Config
+	workers int
+
+	stated  []float64 // statement ID -> P(source states triple)
+	tripleP []float64 // triple ID -> P(triple true)
+	srcAcc  []float64 // source ID -> accuracy
+
+	recall   []float64 // extractor ID -> recall
+	falsePos []float64 // extractor ID -> hallucination rate
+	lrHit    []float64 // per round: log(recall) - log(falsePos)
+	lrMiss   []float64 // per round: log(1-recall) - log(1-falsePos)
+	srcLogW  []float64 // per round: log(NFalse * a / (1-a)), a clamped
+
+	// Per-worker scratch: extractor-membership stamps for the layer-1 loop
+	// and candidate score buffers for the layer-2 softmax.
+	stamps [][]int32
+	scores [][]float64
+	deltas []float64
+
+	// M-step accumulators (sequential pass; see updateParams).
+	mstamp                                               []int32
+	extStated, extUnstated, extHitStated, extHitUnstated []float64
+}
+
+func newEngine(g *extract.Compiled, cfg Config) *engine {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nExt := g.NumExtractors()
+	e := &engine{
+		g:       g,
+		cfg:     cfg,
+		workers: workers,
+
+		stated:  make([]float64, g.NumStatements()),
+		tripleP: make([]float64, g.NumTriples()),
+		srcAcc:  make([]float64, g.NumSources()),
+
+		recall:   make([]float64, nExt),
+		falsePos: make([]float64, nExt),
+		lrHit:    make([]float64, nExt),
+		lrMiss:   make([]float64, nExt),
+		srcLogW:  make([]float64, g.NumSources()),
+
+		stamps: make([][]int32, workers),
+		scores: make([][]float64, workers),
+		deltas: make([]float64, workers),
+
+		mstamp:         make([]int32, nExt),
+		extStated:      make([]float64, nExt),
+		extUnstated:    make([]float64, nExt),
+		extHitStated:   make([]float64, nExt),
+		extHitUnstated: make([]float64, nExt),
+	}
+	for i := range e.tripleP {
+		e.tripleP[i] = 0.5
+	}
+	for i := range e.srcAcc {
+		e.srcAcc[i] = cfg.InitSourceAccuracy
+	}
+	for i := 0; i < nExt; i++ {
+		e.recall[i] = cfg.InitRecall
+		e.falsePos[i] = cfg.InitFalsePos
+		e.mstamp[i] = -1
+	}
+	for w := 0; w < workers; w++ {
+		e.stamps[w] = make([]int32, nExt)
+		for i := range e.stamps[w] {
+			e.stamps[w][i] = -1
+		}
+		e.scores[w] = make([]float64, g.MaxItemTriples())
+	}
+	return e
+}
+
+// inferStatements is the layer-1 E-step: statement probabilities from
+// extractor agreement, in parallel over statements. Each statement's log-odds
+// walks its source's extractor span in first-extraction order — the same
+// order the reference engine iterates — adding the precomputed
+// claimed/unclaimed likelihood ratio per extractor.
+func (e *engine) inferStatements() {
+	g := e.g
+	for x := range e.recall {
+		e.lrHit[x] = math.Log(e.recall[x]) - math.Log(e.falsePos[x])
+		e.lrMiss[x] = math.Log(1-e.recall[x]) - math.Log(1-e.falsePos[x])
+	}
+	prior := math.Log(e.cfg.PriorStated) - math.Log(1-e.cfg.PriorStated)
+	csr.ParallelRange(g.NumStatements(), e.workers, func(w, lo, hi int) {
+		stamp := e.stamps[w]
+		for si := lo; si < hi; si++ {
+			for _, x := range g.StatementExtractors(int32(si)) {
+				stamp[x] = int32(si)
+			}
+			logOdds := prior
+			for _, x := range g.SourceExtractors(g.StatementSource(int32(si))) {
+				if stamp[x] == int32(si) {
+					logOdds += e.lrHit[x]
+				} else {
+					logOdds += e.lrMiss[x]
+				}
+			}
+			e.stated[si] = sigmoid(logOdds)
+		}
+	})
+}
+
+// inferTruth is the layer-2 E-step: weighted Bayesian truth inference, in
+// parallel over data items (each item owns its candidates' tripleP entries).
+func (e *engine) inferTruth() {
+	g := e.g
+	nFalse := float64(e.cfg.NFalse)
+	for s := range e.srcAcc {
+		a := clampAcc(e.srcAcc[s])
+		e.srcLogW[s] = math.Log(nFalse * a / (1 - a))
+	}
+	csr.ParallelRange(g.NumItems(), e.workers, func(w, lo, hi int) {
+		buf := e.scores[w]
+		for it := lo; it < hi; it++ {
+			tis := g.ItemTriples(int32(it))
+			scores := buf[:len(tis)]
+			for vi, ti := range tis {
+				s := 0.0
+				for _, si := range g.TripleStatements(ti) {
+					// Corroboration gate: an uninformed statement
+					// (stated ≈ 0.5) contributes nothing, a confident
+					// one (stated >= 0.95) votes with full weight.
+					// This is the sublinear source counting that stops
+					// one extractor's repeated mistake from out-voting
+					// genuinely corroborated statements (Figure 7's
+					// drops, §5.1).
+					wgt := (e.stated[si] - 0.5) / 0.45
+					if wgt <= 0 {
+						continue
+					}
+					if wgt > 1 {
+						wgt = 1
+					}
+					s += wgt * e.srcLogW[g.StatementSource(si)]
+				}
+				scores[vi] = s
+			}
+			unknown := nFalse - float64(len(tis))
+			if unknown < 0 {
+				unknown = 0
+			}
+			m := 0.0
+			for _, s := range scores {
+				if s > m {
+					m = s
+				}
+			}
+			denom := unknown * math.Exp(-m)
+			for _, s := range scores {
+				denom += math.Exp(s - m)
+			}
+			for vi, ti := range tis {
+				e.tripleP[ti] = math.Exp(scores[vi]-m) / denom
+			}
+		}
+	})
+}
+
+// updateParams is the M-step: source accuracies (parallel over sources, each
+// source summing its statement span in ascending order) and extractor
+// recall/false-positive rates (one sequential pass over statements — the
+// per-extractor sums must accumulate in global statement order to stay
+// bit-identical to the reference, and chunk-merged partial sums would
+// re-group the additions). It returns the largest source-accuracy change.
+func (e *engine) updateParams() float64 {
+	g := e.g
+	const anchor = 2.0 // pseudo-claims at the initial accuracy
+	for w := range e.deltas {
+		e.deltas[w] = 0
+	}
+	csr.ParallelRange(g.NumSources(), e.workers, func(w, lo, hi int) {
+		maxDelta := 0.0
+		for s := lo; s < hi; s++ {
+			num, den := 0.0, 0.0
+			for _, si := range g.SourceStatements(int32(s)) {
+				wgt := e.stated[si]
+				num += wgt * e.tripleP[g.StatementTriple(si)]
+				den += wgt
+			}
+			if den < 1e-9 {
+				continue
+			}
+			// Small sources are anchored toward the prior so a source with
+			// one claim does not spiral down with its own claim's
+			// probability (the isolated-conflict drift).
+			v := (num + anchor*e.cfg.InitSourceAccuracy) / (den + anchor)
+			if d := math.Abs(v - e.srcAcc[s]); d > maxDelta {
+				maxDelta = d
+			}
+			e.srcAcc[s] = v
+		}
+		e.deltas[w] = maxDelta
+	})
+	maxDelta := 0.0
+	for _, d := range e.deltas {
+		if d > maxDelta {
+			maxDelta = d
+		}
+	}
+
+	// Extractor recall / false positives against expected statements.
+	for x := range e.extStated {
+		e.extStated[x] = 0
+		e.extUnstated[x] = 0
+		e.extHitStated[x] = 0
+		e.extHitUnstated[x] = 0
+	}
+	nSt := g.NumStatements()
+	for si := 0; si < nSt; si++ {
+		for _, x := range g.StatementExtractors(int32(si)) {
+			e.mstamp[x] = int32(si)
+		}
+		sv := e.stated[si]
+		for _, x := range g.SourceExtractors(g.StatementSource(int32(si))) {
+			e.extStated[x] += sv
+			e.extUnstated[x] += 1 - sv
+			if e.mstamp[x] == int32(si) {
+				e.extHitStated[x] += sv
+				e.extHitUnstated[x] += 1 - sv
+			}
+		}
+	}
+	for x := range e.recall {
+		if e.extStated[x] > 1e-9 {
+			e.recall[x] = clampRate(e.extHitStated[x] / (e.extStated[x] + 1))
+		}
+		if e.extUnstated[x] > 1e-9 {
+			e.falsePos[x] = clampRate(e.extHitUnstated[x] / (e.extUnstated[x] + 1))
+		}
+	}
+	return maxDelta
+}
+
+// result assembles the fusion.Result: triples in interned (first-occurrence)
+// order with the graph's precomputed support counts.
+func (e *engine) result(rounds int) *fusion.Result {
+	g := e.g
+	res := &fusion.Result{
+		Rounds:       rounds,
+		ProvAccuracy: make(map[string]float64, g.NumSources()),
+	}
+	for s := 0; s < g.NumSources(); s++ {
+		res.ProvAccuracy[g.SourceKey(int32(s))] = e.srcAcc[s]
+	}
+	if n := g.NumTriples(); n > 0 {
+		res.Triples = make([]fusion.FusedTriple, n)
+		for ti := 0; ti < n; ti++ {
+			res.Triples[ti] = fusion.FusedTriple{
+				Triple:          g.Triple(int32(ti)),
+				Probability:     e.tripleP[ti],
+				Predicted:       true,
+				Provenances:     len(g.TripleStatements(int32(ti))),
+				ItemProvenances: int(g.ItemStatements(g.ItemOfTriple(int32(ti)))),
+				Extractors:      int(g.TripleExtractors(int32(ti))),
+			}
+		}
+	}
+	return res
 }
 
 func sigmoid(x float64) float64 {
