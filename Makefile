@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race bench-smoke bench-json bench-check
+.PHONY: verify build vet test race bench-smoke bench-json bench-check bench-scaling
 
 # verify is the tier-1 gate: vet, build, full tests, and a 1-iteration
 # benchmark smoke so perf-critical paths cannot silently rot.
@@ -22,18 +22,29 @@ race:
 	$(GO) test -race ./...
 
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFusePopAccu$$|BenchmarkFuseReferencePopAccu$$|BenchmarkLargeScaleFusion$$|BenchmarkConfigSweep|BenchmarkTwoLayerFuse' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkFusePopAccu$$|BenchmarkFuseReferencePopAccu$$|BenchmarkLargeScaleFusion$$|BenchmarkConfigSweep|BenchmarkTwoLayerFuse|BenchmarkTwoLayerScaling|BenchmarkExtractCompileGraph' -benchtime 1x -benchmem .
 
 # bench-json regenerates the machine-readable perf record (see BENCH_<n>.json;
 # bump N per PR that moves performance).
 bench-json:
-	$(GO) run ./cmd/kfbench -benchjson BENCH_3.json
+	$(GO) run ./cmd/kfbench -benchjson BENCH_4.json
 
 # bench-check is the CI perf-regression gate: re-measure the fast
 # compiled/reference benchmark pairs and fail if any pair's claims/s speedup
-# ratio dropped more than 30% below the committed BENCH_3.json baseline
+# ratio dropped more than 30% below the committed BENCH_4.json baseline
 # (ratios cancel machine speed, so the gate is meaningful on any runner).
 # The fresh measurements land in bench-fresh.json, which CI uploads as a
 # workflow artifact.
 bench-check:
-	$(GO) run ./cmd/kfbench -check BENCH_3.json -checkjson bench-fresh.json
+	$(GO) run ./cmd/kfbench -check BENCH_4.json -checkjson bench-fresh.json
+
+# bench-scaling mirrors the CI bench-scaling/scaling-check jobs locally: one
+# kfbench -scaling cell per GOMAXPROCS value, then the speedup gate — on a
+# multi-core box the 4-core cell must beat the 1-core cell by >= 1.5x on the
+# gated records (TwoLayerParallel, CompileParallel). The hot paths are
+# bit-identical across cells, so claims/s is the only thing that varies.
+bench-scaling:
+	GOMAXPROCS=1 $(GO) run ./cmd/kfbench -scaling bench-scaling-1.json
+	GOMAXPROCS=2 $(GO) run ./cmd/kfbench -scaling bench-scaling-2.json
+	GOMAXPROCS=4 $(GO) run ./cmd/kfbench -scaling bench-scaling-4.json
+	$(GO) run ./cmd/kfbench -scalingcheck bench-scaling-1.json,bench-scaling-2.json,bench-scaling-4.json -minspeedup 1.5

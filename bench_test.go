@@ -17,6 +17,7 @@ import (
 
 	"kfusion/internal/eval"
 	"kfusion/internal/exper"
+	"kfusion/internal/extract"
 	"kfusion/internal/fusion"
 	"kfusion/internal/kbstore"
 	"kfusion/internal/mapreduce"
@@ -241,6 +242,52 @@ func BenchmarkTwoLayerFuse(b *testing.B) {
 		b.StopTimer()
 		report(b)
 	})
+}
+
+// BenchmarkTwoLayerScaling measures the two-layer EM loops (both E-steps,
+// the per-source M-step pass and the fixed-block extractor-rate reduction)
+// over a prebuilt extraction graph at several worker counts. Results are
+// bit-identical across the counts — the reduction trees are fixed by the
+// data — so the sub-benchmarks differ only in speed; on a 1-core box they
+// collapse to the workers-1 number (csr.ParallelRange still fans out, but
+// the scheduler serializes it).
+func BenchmarkTwoLayerScaling(b *testing.B) {
+	ds := benchDataset(b)
+	g := ds.ExtractionGraph(true)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName(workers), func(b *testing.B) {
+			cfg := twolayer.DefaultConfig()
+			cfg.SiteLevel = true
+			cfg.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				twolayer.MustFuseCompiled(g, cfg)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(ds.Extractions))*float64(b.N)/b.Elapsed().Seconds(), "claims/s")
+		})
+	}
+}
+
+// BenchmarkExtractCompileGraph measures extract.Compile itself — interning,
+// CSR adjacency and the ext→statement incidence — sequential vs all cores,
+// on the bench extraction set where the shard-and-merge interning engages.
+func BenchmarkExtractCompileGraph(b *testing.B) {
+	ds := benchDataset(b)
+	for _, workers := range []int{1, 0} {
+		name := "sequential"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				extract.CompileWorkers(ds.Extractions, true, workers)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(ds.Extractions))*float64(b.N)/b.Elapsed().Seconds(), "claims/s")
+		})
+	}
 }
 
 // BenchmarkCompileClaimGraph measures fusion.Compile itself — the interning

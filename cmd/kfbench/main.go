@@ -10,7 +10,9 @@
 //	kfbench -seeds 5             # re-run across 5 seeds; report check stability
 //	kfbench -list                # list experiment IDs
 //	kfbench -benchjson FILE      # fusion throughput benchmarks as JSON
-//	kfbench -check BENCH_3.json  # CI perf-regression gate against a baseline
+//	kfbench -check BENCH_4.json  # CI perf-regression gate against a baseline
+//	kfbench -scaling FILE        # parallel hot paths at the current GOMAXPROCS
+//	kfbench -scalingcheck A,B,C  # multi-core speedup gate over -scaling cells
 //
 // -benchjson measures the fusion engines (compiled and seed reference) over
 // the bench and large shared datasets, the §5.1 two-layer model (compiled
@@ -28,6 +30,18 @@
 // of the machine running the check (CI runners vary wildly), while still
 // catching the real failure mode: a compiled fast path losing its edge over
 // its reference engine. A ratio drop beyond -checktol (default 30%) fails.
+//
+// -scaling measures the deterministically-parallel hot paths — the two-layer
+// EM loops over a prebuilt extraction graph (TwoLayerParallel), claim-graph
+// compilation (CompileParallel) and extraction-graph compilation
+// (ExtractCompileParallel) — at whatever GOMAXPROCS the process was given,
+// and writes one JSON cell. CI runs it under a GOMAXPROCS matrix on
+// multi-core runners; -scalingcheck then compares the cells and fails if the
+// highest-core cell's TwoLayerParallel or CompileParallel claims/s speedup
+// over the 1-core cell falls below -minspeedup (default 1.5x). This is the
+// measurement the 1-core reference box cannot make: all three paths are
+// bit-identical across worker counts, so the only thing the matrix varies is
+// speed.
 package main
 
 import (
@@ -37,6 +51,8 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"slices"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -51,15 +67,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("kfbench: ")
 	var (
-		scaleFlag = flag.String("scale", "small", "dataset scale: small or bench")
-		seed      = flag.Int64("seed", 42, "generation seed")
-		expFlag   = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		list      = flag.Bool("list", false, "list experiment IDs and exit")
-		seeds     = flag.Int("seeds", 1, "run across this many consecutive seeds and report per-check stability")
-		benchJSON = flag.String("benchjson", "", "run the fusion throughput benchmarks and write JSON to this file")
-		check     = flag.String("check", "", "compare fresh benchmark speedup ratios against this baseline BENCH json; exit non-zero on regression")
-		checkJSON = flag.String("checkjson", "", "with -check: also write the fresh measurements as JSON to this file")
-		checkTol  = flag.Float64("checktol", 0.30, "with -check: maximum tolerated fractional drop of a pair's speedup ratio")
+		scaleFlag  = flag.String("scale", "small", "dataset scale: small or bench")
+		seed       = flag.Int64("seed", 42, "generation seed")
+		expFlag    = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		seeds      = flag.Int("seeds", 1, "run across this many consecutive seeds and report per-check stability")
+		benchJSON  = flag.String("benchjson", "", "run the fusion throughput benchmarks and write JSON to this file")
+		check      = flag.String("check", "", "compare fresh benchmark speedup ratios against this baseline BENCH json; exit non-zero on regression")
+		checkJSON  = flag.String("checkjson", "", "with -check: also write the fresh measurements as JSON to this file")
+		checkTol   = flag.Float64("checktol", 0.30, "with -check: maximum tolerated fractional drop of a pair's speedup ratio")
+		scaling    = flag.String("scaling", "", "measure the parallel hot paths at the current GOMAXPROCS and write one JSON cell to this file")
+		scalingChk = flag.String("scalingcheck", "", "comma-separated -scaling cell files; exit non-zero if the top cell's gated speedups over the 1-core cell fall below -minspeedup")
+		minSpeedup = flag.Float64("minspeedup", 1.5, "with -scalingcheck: minimum claims/s speedup of the highest-GOMAXPROCS cell over the 1-core cell")
 	)
 	flag.Parse()
 
@@ -72,6 +91,20 @@ func main() {
 
 	if *check != "" {
 		if err := runCheck(*check, *checkJSON, *checkTol, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *scaling != "" {
+		if err := writeScalingJSON(*scaling, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *scalingChk != "" {
+		if err := runScalingCheck(*scalingChk, *minSpeedup); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -368,6 +401,150 @@ func writeBenchFile(path string, out benchFile) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// writeScalingJSON measures the deterministically-parallel hot paths at the
+// current GOMAXPROCS and writes one scaling cell. Worker bounds are left at
+// 0 (= GOMAXPROCS) everywhere, so the matrix environment is the only thing
+// that varies across cells; results are bit-identical across cells by the
+// forced-worker determinism contract, making claims/s the only signal.
+//
+//   - TwoLayerParallel: the two-layer EM loops (both E-steps, both M-step
+//     passes) over a prebuilt extraction graph — isolates the per-round
+//     parallel loops from compilation.
+//   - CompileParallel: claim-graph compilation on the large claim set
+//     (shuffle, shard-and-merge interning, parallel CSR build), matching the
+//     -benchjson record of the same name.
+//   - ExtractCompileParallel: extraction-graph compilation on the bench
+//     extraction set (shard-and-merge interning + parallel CSR and
+//     ext→statement builds); reported but not gated — its ordered merge
+//     bounds the achievable speedup on small key spaces.
+func writeScalingJSON(path string, seed int64) error {
+	probe, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	probe.Close()
+	out := newBenchFile(seed)
+
+	fmt.Fprintf(os.Stderr, "building bench dataset (GOMAXPROCS=%d)...\n", runtime.GOMAXPROCS(0))
+	bench := exper.SharedDataset(exper.ScaleBench, seed)
+	cfg := twolayer.DefaultConfig()
+	cfg.SiteLevel = true
+	g := bench.ExtractionGraph(true)
+	n := float64(len(bench.Extractions))
+	fmt.Fprintf(os.Stderr, "benchmarking TwoLayerParallel (%d extractions)...\n", len(bench.Extractions))
+	out.Benchmarks["TwoLayerParallel"] = measure(n, func() {
+		twolayer.MustFuseCompiled(g, cfg)
+	})
+	fmt.Fprintf(os.Stderr, "benchmarking ExtractCompileParallel...\n")
+	out.Benchmarks["ExtractCompileParallel"] = measure(n, func() {
+		extract.CompileWorkers(bench.Extractions, true, 0)
+	})
+
+	fmt.Fprintf(os.Stderr, "building large dataset...\n")
+	large := exper.SharedDataset(exper.ScaleLarge, seed)
+	largeClaims := fusion.Claims(large.Extractions, fusion.Granularity{})
+	fmt.Fprintf(os.Stderr, "benchmarking CompileParallel (%d claims)...\n", len(largeClaims))
+	out.Benchmarks["CompileParallel"] = measure(float64(len(largeClaims)), func() {
+		if _, err := fusion.CompileWorkers(largeClaims, 0, 0); err != nil {
+			panic(err)
+		}
+	})
+	return writeBenchFile(path, out)
+}
+
+// scalingGated are the -scalingcheck records whose top-cell speedup must
+// clear -minspeedup; other shared records are reported informationally.
+var scalingGated = []string{"TwoLayerParallel", "CompileParallel"}
+
+// runScalingCheck reads the -scaling cells, prints every record's claims/s
+// per GOMAXPROCS, and enforces the gate: the highest-GOMAXPROCS cell must
+// beat the 1-core cell by at least minSpeedup on every gated record. The
+// cells come from one matrix run on one runner class but potentially
+// different VMs, so absolute claims/s carry fleet variance (CPU generation,
+// noisy neighbors); the default 1.5x threshold is deliberately conservative
+// against the 2-3x these paths show on a quiet 4-core box, absorbing that
+// variance while still catching parallelism regressing into overhead.
+func runScalingCheck(filesCSV string, minSpeedup float64) error {
+	var cells []benchFile
+	for _, path := range strings.Split(filesCSV, ",") {
+		raw, err := os.ReadFile(strings.TrimSpace(path))
+		if err != nil {
+			return err
+		}
+		var cell benchFile
+		if err := json.Unmarshal(raw, &cell); err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		cells = append(cells, cell)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].GOMAXPROCS < cells[j].GOMAXPROCS })
+	base := -1
+	for i := range cells {
+		if cells[i].GOMAXPROCS == 1 {
+			base = i
+			break
+		}
+	}
+	if base < 0 {
+		return fmt.Errorf("no GOMAXPROCS=1 cell among %s; the speedup gate needs the 1-core baseline", filesCSV)
+	}
+	top := len(cells) - 1
+	if cells[top].GOMAXPROCS <= 1 {
+		return fmt.Errorf("no multi-core cell among %s; nothing to gate", filesCSV)
+	}
+
+	// A gated record that cannot be compared — missing from either end cell,
+	// or with a non-positive baseline — must fail the gate, not skip it: a
+	// stale binary or truncated artifact would otherwise turn the job into a
+	// silent no-op.
+	for _, name := range scalingGated {
+		if rec, ok := cells[base].Benchmarks[name]; !ok || rec.ClaimsPerS <= 0 {
+			return fmt.Errorf("gated record %s missing from the 1-core cell; regenerate the cells with -scaling", name)
+		}
+		if rec, ok := cells[top].Benchmarks[name]; !ok || rec.ClaimsPerS <= 0 {
+			return fmt.Errorf("gated record %s missing from the %d-core cell; regenerate the cells with -scaling",
+				name, cells[top].GOMAXPROCS)
+		}
+	}
+
+	names := make([]string, 0, len(cells[base].Benchmarks))
+	for name := range cells[base].Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("parallel scaling across GOMAXPROCS cells (gate: top cell >= %.2fx the 1-core cell)\n", minSpeedup)
+	failures := 0
+	for _, name := range names {
+		baseRec := cells[base].Benchmarks[name]
+		fmt.Printf("  %-24s", name)
+		for _, cell := range cells {
+			rec, ok := cell.Benchmarks[name]
+			if !ok {
+				fmt.Printf("  %d-core: missing", cell.GOMAXPROCS)
+				continue
+			}
+			fmt.Printf("  %d-core: %8.0f/s", cell.GOMAXPROCS, rec.ClaimsPerS)
+		}
+		topRec, ok := cells[top].Benchmarks[name]
+		if !ok || baseRec.ClaimsPerS <= 0 {
+			fmt.Printf("  (not comparable)\n")
+			continue
+		}
+		speedup := topRec.ClaimsPerS / baseRec.ClaimsPerS
+		status := ""
+		if gated := slices.Contains(scalingGated, name); gated && speedup < minSpeedup {
+			status = "  BELOW GATE"
+			failures++
+		}
+		fmt.Printf("  speedup %.2fx%s\n", speedup, status)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d gated record(s) scaled below %.2fx on %d cores", failures, minSpeedup, cells[top].GOMAXPROCS)
+	}
+	fmt.Println("scaling gate passed")
 	return nil
 }
 

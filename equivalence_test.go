@@ -18,9 +18,13 @@ const engineEquivTol = 1e-12
 
 // TestTwoLayerEquivalenceOnBenchDataset pins the compiled two-layer engine
 // against the map-keyed reference engine over the bench extraction set, for
-// both source levels and several worker counts. The comparison is exact
-// (bitwise), not tolerance-based: the compiled engine replays the reference's
-// float operations in the same order, so any drift is a bug.
+// both source levels and several worker counts: triple order, support counts
+// and rounds exactly, probabilities and accuracies within the documented
+// twolayer.RefTol (the compiled M-step reduces the per-extractor sums with a
+// fixed-block pairwise tree instead of the reference's global left-to-right
+// walk, which perturbs low-order bits — see internal/twolayer's package
+// comment). Bitwise equality across worker counts is pinned separately by
+// the forced-worker property tests in internal/twolayer.
 func TestTwoLayerEquivalenceOnBenchDataset(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench-scale dataset in -short mode")
@@ -50,10 +54,13 @@ func TestTwoLayerEquivalenceOnBenchDataset(t *testing.T) {
 			}
 			mismatches := 0
 			for i := range got.Triples {
-				if got.Triples[i] != want.Triples[i] {
+				g, w := got.Triples[i], want.Triples[i]
+				if g.Triple != w.Triple || g.Predicted != w.Predicted ||
+					g.Provenances != w.Provenances || g.ItemProvenances != w.ItemProvenances ||
+					g.Extractors != w.Extractors || !twolayer.CloseToReference(g.Probability, w.Probability) {
 					if mismatches < 5 {
 						t.Errorf("siteLevel=%v workers=%d: triple %d: %+v vs %+v",
-							siteLevel, workers, i, got.Triples[i], want.Triples[i])
+							siteLevel, workers, i, g, w)
 					}
 					mismatches++
 				}
@@ -66,7 +73,7 @@ func TestTwoLayerEquivalenceOnBenchDataset(t *testing.T) {
 					siteLevel, workers, len(got.ProvAccuracy), len(want.ProvAccuracy))
 			}
 			for src, a := range got.ProvAccuracy {
-				if wa := want.ProvAccuracy[src]; a != wa {
+				if wa := want.ProvAccuracy[src]; !twolayer.CloseToReference(a, wa) {
 					t.Errorf("siteLevel=%v workers=%d: ProvAccuracy[%q] = %v, want %v",
 						siteLevel, workers, src, a, wa)
 					break

@@ -42,10 +42,21 @@ func ParallelRange(n, workers int, f func(worker, lo, hi int)) {
 	wg.Wait()
 }
 
-// byGroupParallelThreshold is the element count below which ByGroup runs the
-// sequential counting sort: below it the per-worker count arrays and the
-// extra merge pass cost more than the single-threaded loop.
-const byGroupParallelThreshold = 1 << 14
+// ParallelThreshold is the input size below which the shared multi-pass
+// parallel schemes — the grouped counting sort here, the shard-and-merge
+// interning passes of the claim and extraction graphs — fall back to their
+// sequential loops: under it, per-worker scratch setup and the merge pass
+// cost more than the single-threaded work. One constant so retuning the
+// cutoff happens in one place for every consumer.
+const ParallelThreshold = 1 << 14
+
+// ElementwiseThreshold is the element count below which the per-round
+// elementwise table passes (log-likelihood and log-weight precomputes in
+// the fusion and twolayer engines) stay sequential: under it, goroutine
+// setup costs more than the loop. Gating on input size alone keeps results
+// independent of the worker count — the passes are elementwise, so any
+// split is exact.
+const ElementwiseThreshold = 1 << 12
 
 // ByGroup builds a CSR adjacency from a dense group assignment: start has
 // one span per group (len nGroups+1), and ids lists the element indexes of
@@ -60,7 +71,7 @@ func ByGroup(groupOf []int32, nGroups, workers int) (start, ids []int32) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if n < byGroupParallelThreshold || workers <= 1 {
+	if n < ParallelThreshold || workers <= 1 {
 		return byGroupSeq(groupOf, nGroups)
 	}
 	if workers > n {

@@ -17,11 +17,11 @@ func TestByGroupParallelMatchesSequential(t *testing.T) {
 		{0, 0},
 		{1, 1},
 		{100, 7},
-		{byGroupParallelThreshold - 1, 64},   // just below the parallel cutoff
-		{byGroupParallelThreshold + 333, 1},  // one group, all workers collide
-		{byGroupParallelThreshold + 333, 64}, // generic parallel case
-		{3 * byGroupParallelThreshold, 10000},
-		{2*byGroupParallelThreshold + 17, 2*byGroupParallelThreshold + 17}, // nGroups == n
+		{ParallelThreshold - 1, 64},   // just below the parallel cutoff
+		{ParallelThreshold + 333, 1},  // one group, all workers collide
+		{ParallelThreshold + 333, 64}, // generic parallel case
+		{3 * ParallelThreshold, 10000},
+		{2*ParallelThreshold + 17, 2*ParallelThreshold + 17}, // nGroups == n
 	}
 	for _, tc := range cases {
 		groupOf := make([]int32, tc.n)
@@ -46,7 +46,7 @@ func TestByGroupParallelMatchesSequential(t *testing.T) {
 // that group.
 func TestByGroupInvariants(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	n, nGroups := byGroupParallelThreshold*2, 517
+	n, nGroups := ParallelThreshold*2, 517
 	groupOf := make([]int32, n)
 	for i := range groupOf {
 		groupOf[i] = int32(rng.Intn(nGroups))

@@ -1,0 +1,110 @@
+package csr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSpanBlocksPartition checks that SpanBlocks tiles every span exactly:
+// blocks are in span order, contiguous within a span, never cross a span
+// boundary and never exceed ReduceBlockSize.
+func TestSpanBlocksPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	spans := []int32{0, 1, ReduceBlockSize - 1, ReduceBlockSize, ReduceBlockSize + 1,
+		3*ReduceBlockSize + 17, 0, int32(rng.Intn(5 * ReduceBlockSize))}
+	start := make([]int32, len(spans)+1)
+	for i, n := range spans {
+		start[i+1] = start[i] + n
+	}
+	blocks := SpanBlocks(start)
+	bi := 0
+	for g := range spans {
+		pos := start[g]
+		for pos < start[g+1] {
+			if bi >= len(blocks) {
+				t.Fatalf("ran out of blocks at group %d", g)
+			}
+			b := blocks[bi]
+			if b.Group != int32(g) || b.Lo != pos {
+				t.Fatalf("block %d = %+v, want group %d starting at %d", bi, b, g, pos)
+			}
+			if b.Hi <= b.Lo || b.Hi-b.Lo > ReduceBlockSize || b.Hi > start[g+1] {
+				t.Fatalf("block %d = %+v has a bad range (span ends at %d)", bi, b, start[g+1])
+			}
+			pos = b.Hi
+			bi++
+		}
+	}
+	if bi != len(blocks) {
+		t.Fatalf("%d blocks produced, %d consumed", len(blocks), bi)
+	}
+}
+
+// TestPairwiseDeterministicAndExactOnInts: the fold shape is fixed by length
+// alone, and over exact arithmetic it reproduces the plain sum.
+func TestPairwiseDeterministicAndExactOnInts(t *testing.T) {
+	add := func(a, b int64) int64 { return a + b }
+	if got := Pairwise(nil, add); got != 0 {
+		t.Fatalf("Pairwise(nil) = %d, want 0", got)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 2, 3, 4, 7, 100, 1023} {
+		parts := make([]int64, n)
+		want := int64(0)
+		for i := range parts {
+			parts[i] = int64(rng.Intn(1000) - 500)
+			want += parts[i]
+		}
+		if got := Pairwise(parts, add); got != want {
+			t.Fatalf("n=%d: Pairwise = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestBlockReductionWorkerInvariance is the end-to-end contract the twolayer
+// M-step relies on: summing per-block partials (each block left-to-right)
+// and folding them with Pairwise yields bit-identical floats no matter how
+// blocks are distributed over workers.
+func TestBlockReductionWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	start := []int32{0, 5, 5, 2*ReduceBlockSize + 100, 7*ReduceBlockSize + 1}
+	vals := make([]float64, start[len(start)-1])
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	blocks := SpanBlocks(start)
+	add := func(a, b float64) float64 { return a + b }
+
+	reduce := func(workers int) []float64 {
+		partial := make([]float64, len(blocks))
+		ParallelRange(len(blocks), workers, func(_, lo, hi int) {
+			for bi := lo; bi < hi; bi++ {
+				s := 0.0
+				for _, v := range vals[blocks[bi].Lo:blocks[bi].Hi] {
+					s += v
+				}
+				partial[bi] = s
+			}
+		})
+		out := make([]float64, len(start)-1)
+		bi := 0
+		for g := range out {
+			lo := bi
+			for bi < len(blocks) && blocks[bi].Group == int32(g) {
+				bi++
+			}
+			out[g] = Pairwise(partial[lo:bi], add)
+		}
+		return out
+	}
+
+	want := reduce(1)
+	for _, workers := range []int{2, 3, 7, 8, 16} {
+		got := reduce(workers)
+		for g := range want {
+			if got[g] != want[g] {
+				t.Fatalf("workers=%d group %d: %v != %v", workers, g, got[g], want[g])
+			}
+		}
+	}
+}

@@ -205,8 +205,11 @@ func (ds *Dataset) Compiled(g fusion.Granularity) *fusion.Compiled {
 // sibling of Compiled: one interned (source × extractor × triple) graph per
 // level serves every two-layer configuration, cached with the same per-key
 // singleflight as the claim graphs. The build always uses default
-// parallelism, keeping the cached graph independent of which configuration
-// happened to trigger it.
+// parallelism — safe to cache because compilation (including the
+// shard-and-merge interning and the ext→statement incidence, both parallel
+// at this scale) is bit-identical for every worker count, so the cached
+// graph is independent of which configuration happened to trigger it and of
+// the machine's core count.
 func (ds *Dataset) ExtractionGraph(siteLevel bool) *extract.Compiled {
 	ds.mu.Lock()
 	if ds.extGraph == nil {

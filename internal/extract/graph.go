@@ -1,6 +1,8 @@
 package extract
 
 import (
+	"fmt"
+	"math"
 	"runtime"
 
 	"kfusion/internal/csr"
@@ -31,6 +33,12 @@ import (
 //   - SourceStatements, TripleStatements and ItemTriples are CSR spans in
 //     ascending ID order (the same order the map-based reference model
 //     appends them in).
+//   - ExtBlockStatements spans (the ext→statement CSR) list, per extractor,
+//     every statement whose source the extractor processed, in ascending
+//     statement order, with a hit flag marking the statements it actually
+//     extracted — pre-cut into csr.ReduceBlockSize blocks so the two-layer
+//     M-step can reduce per-extractor sums in parallel with a fixed,
+//     worker-independent addition tree.
 //
 // A Compiled is bound to its source level: URL-level or site-level keys are
 // chosen at Compile time, mirroring how fusion.Compiled is bound to its
@@ -65,6 +73,15 @@ type Compiled struct {
 	itemTriples     []int32       // triple IDs per item, ascending
 	itemStatements  []int32       // item ID -> total statements on the item
 
+	// Ext→statement incidence: for each extractor, the statements whose
+	// source it processed (ascending statement order), with a parallel hit
+	// flag for the statements it extracted. This is the two-layer M-step's
+	// reduction domain; extBlocks is its fixed csr.ReduceBlockSize partition.
+	extStStart []int32     // len nExtractors+1; span into extSts/extHits
+	extSts     []int32     // statement IDs per extractor, ascending
+	extHits    []bool      // aligned with extSts: extractor extracted it
+	extBlocks  []csr.Block // fixed-size blocks covering the extStStart spans
+
 	// maxItemTriples is the largest candidate count of any single item; it
 	// sizes per-worker scoring scratch.
 	maxItemTriples int
@@ -78,26 +95,167 @@ func Compile(xs []Extraction, siteLevel bool) *Compiled {
 	return CompileWorkers(xs, siteLevel, 0)
 }
 
-// CompileWorkers is Compile with an explicit bound on the CSR-building
-// goroutines (0 = GOMAXPROCS). The graph is identical for any workers value.
+// CompileWorkers is Compile with an explicit bound on the CSR-building and
+// interning goroutines (0 = GOMAXPROCS). The graph is identical for any
+// workers value.
 func CompileWorkers(xs []Extraction, siteLevel bool, workers int) *Compiled {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	g := &Compiled{siteLevel: siteLevel}
 
-	// Interning pass: sequential, in extraction order, so every ID space is
-	// first-occurrence ordered regardless of parallelism. The per-statement
-	// and per-source extractor lists are deduplicated here too; both are
-	// short (bounded by the extractor fleet), so linear scans beat maps.
-	type stKey struct{ src, tri int32 }
+	// Interning pass: every ID space is assigned in first-occurrence order of
+	// the extraction stream. Large inputs run a parallel shard-and-merge pass
+	// (internParallel); small ones intern sequentially — both produce the
+	// exact same graph.
+	var stExtLists, srcExtLists [][]int32
+	if len(xs) >= internShardThreshold && workers > 1 {
+		stExtLists, srcExtLists = internParallel(g, xs, siteLevel, workers)
+	} else {
+		stExtLists, srcExtLists = internSequential(g, xs, siteLevel)
+	}
+
+	// ---- Flatten the per-statement and per-source extractor lists ----
+	g.stExtStart, g.stExts = flattenLists(stExtLists)
+	g.srcExtStart, g.srcExts = flattenLists(srcExtLists)
+
+	// ---- CSR adjacency by parallel counting sort ----
+	nSt := len(g.stSource)
+	nTriples := len(g.triples)
+	nItems := len(g.items)
+	g.srcStStart, g.srcSts = csr.ByGroup(g.stSource, len(g.sources), workers)
+	g.tripleStStart, g.tripleSts = csr.ByGroup(g.stTriple, nTriples, workers)
+	g.itemTripleStart, g.itemTriples = csr.ByGroup(g.itemOfTriple, nItems, workers)
+	for i := 0; i < nItems; i++ {
+		if n := int(g.itemTripleStart[i+1] - g.itemTripleStart[i]); n > g.maxItemTriples {
+			g.maxItemTriples = n
+		}
+	}
+
+	// ---- Config-independent support counts ----
+	// Statements per item (the two-layer result's ItemProvenances).
+	g.itemStatements = make([]int32, nItems)
+	for si := 0; si < nSt; si++ {
+		g.itemStatements[g.itemOfTriple[g.stTriple[si]]]++
+	}
+	// Distinct extractors per triple, in parallel over triple ranges: each
+	// worker stamps a private seen-set with the triple ID, so counts are
+	// exact and independent of the split.
+	g.tripleExts = make([]int32, nTriples)
+	tw := workers
+	if nSt < internShardThreshold {
+		tw = 1 // goroutine setup would dominate
+	}
+	csr.ParallelRange(nTriples, tw, func(_, lo, hi int) {
+		seen := make([]int32, len(g.extractors))
+		for i := range seen {
+			seen[i] = -1
+		}
+		for t := lo; t < hi; t++ {
+			for _, si := range g.tripleSts[g.tripleStStart[t]:g.tripleStStart[t+1]] {
+				for _, e := range g.stExts[g.stExtStart[si]:g.stExtStart[si+1]] {
+					if seen[e] != int32(t) {
+						seen[e] = int32(t)
+						g.tripleExts[t]++
+					}
+				}
+			}
+		}
+	})
+
+	g.buildExtStatements(workers)
+	return g
+}
+
+// buildExtStatements materializes the ext→statement incidence: for every
+// extractor, the statements whose source it processed (ascending statement
+// order) with a hit flag for the ones it extracted — the two-layer M-step's
+// per-extractor reduction domain, walked there in csr.ReduceBlockSize blocks
+// (extBlocks). Built with the same parallel counting-sort scheme as
+// csr.ByGroup, except each statement scatters into several extractor spans;
+// each (worker, extractor) cell owns a disjoint output range ordered by
+// worker, so the result is identical for every workers value.
+func (g *Compiled) buildExtStatements(workers int) {
+	nSt := len(g.stSource)
+	nExt := len(g.extractors)
+	ew := workers
+	if nSt < internShardThreshold {
+		ew = 1 // goroutine setup would dominate
+	}
+	if ew > nSt {
+		ew = nSt
+	}
+	if ew < 1 {
+		ew = 1
+	}
+	counts := make([]int32, ew*nExt)
+	csr.ParallelRange(nSt, ew, func(w, lo, hi int) {
+		c := counts[w*nExt : (w+1)*nExt]
+		for si := lo; si < hi; si++ {
+			for _, x := range g.SourceExtractors(g.stSource[si]) {
+				c[x]++
+			}
+		}
+	})
+	// The incidence is a product space — sum over sources of
+	// |extractors(src)| x |statements(src)| — so unlike the ID spaces it is
+	// not bounded by the extraction count; run the prefix sum in int64 and
+	// refuse to build corrupt int32 spans if it ever crosses 2^31.
+	g.extStStart = make([]int32, nExt+1)
+	run := int64(0)
+	for x := 0; x < nExt; x++ {
+		g.extStStart[x] = int32(run)
+		for w := 0; w < ew; w++ {
+			c := counts[w*nExt+x]
+			counts[w*nExt+x] = int32(run)
+			run += int64(c)
+		}
+	}
+	if run > math.MaxInt32 {
+		panic(fmt.Sprintf("extract: ext→statement incidence has %d entries, exceeding the int32 CSR offset space; shard the extraction set", run))
+	}
+	g.extStStart[nExt] = int32(run)
+	g.extSts = make([]int32, run)
+	g.extHits = make([]bool, run)
+	csr.ParallelRange(nSt, ew, func(w, lo, hi int) {
+		next := counts[w*nExt : (w+1)*nExt]
+		stamp := make([]int32, nExt)
+		for i := range stamp {
+			stamp[i] = -1
+		}
+		for si := lo; si < hi; si++ {
+			for _, x := range g.StatementExtractors(int32(si)) {
+				stamp[x] = int32(si)
+			}
+			for _, x := range g.SourceExtractors(g.stSource[si]) {
+				g.extSts[next[x]] = int32(si)
+				g.extHits[next[x]] = stamp[x] == int32(si)
+				next[x]++
+			}
+		}
+	})
+	g.extBlocks = csr.SpanBlocks(g.extStStart)
+}
+
+// internShardThreshold is the extraction count below which interning runs
+// sequentially: per-shard map setup and the ordered merge only pay off once
+// the single-threaded hashing loop dominates (the shared cutoff of every
+// shard-and-merge pass; tuned in internal/csr).
+const internShardThreshold = csr.ParallelThreshold
+
+// stKey identifies a statement: a distinct (source, triple) pair.
+type stKey struct{ src, tri int32 }
+
+// internSequential interns the extraction stream in order with one map per
+// ID space. The per-statement and per-source extractor lists are
+// deduplicated here too; both are short (bounded by the extractor fleet), so
+// linear scans beat maps.
+func internSequential(g *Compiled, xs []Extraction, siteLevel bool) (stExtLists, srcExtLists [][]int32) {
 	srcIdx := make(map[string]int32, 1024)
 	extIdx := make(map[string]int32, 32)
 	triIdx := make(map[kb.Triple]int32, len(xs))
 	itemIdx := make(map[kb.DataItem]int32, len(xs))
 	stIdx := make(map[stKey]int32, len(xs))
-	var stExtLists [][]int32
-	var srcExtLists [][]int32
 	for i := range xs {
 		x := &xs[i]
 		key := x.URL
@@ -145,55 +303,157 @@ func CompileWorkers(xs []Extraction, siteLevel bool, workers int) *Compiled {
 			stExtLists[si] = append(stExtLists[si], ext)
 		}
 	}
+	return stExtLists, srcExtLists
+}
 
-	// ---- Flatten the per-statement and per-source extractor lists ----
-	g.stExtStart, g.stExts = flattenLists(stExtLists)
-	g.srcExtStart, g.srcExts = flattenLists(srcExtLists)
+// extShard is one worker's shard-local interning output: every ID space in
+// shard-local first-occurrence order, plus the shard-local extractor lists.
+type extShard struct {
+	sources, extractors []string
+	triples             []kb.Triple
+	stSrc, stTri        []int32   // per local statement: local source/triple ID
+	stExtLists          [][]int32 // per local statement: local extractor IDs
+	srcExtLists         [][]int32 // per local source: local extractor IDs
+}
 
-	// ---- CSR adjacency by parallel counting sort ----
-	nSt := len(g.stSource)
-	nTriples := len(g.triples)
-	nItems := len(g.items)
-	g.srcStStart, g.srcSts = csr.ByGroup(g.stSource, len(g.sources), workers)
-	g.tripleStStart, g.tripleSts = csr.ByGroup(g.stTriple, nTriples, workers)
-	g.itemTripleStart, g.itemTriples = csr.ByGroup(g.itemOfTriple, nItems, workers)
-	for i := 0; i < nItems; i++ {
-		if n := int(g.itemTripleStart[i+1] - g.itemTripleStart[i]); n > g.maxItemTriples {
-			g.maxItemTriples = n
-		}
+// internParallel is the shard-and-merge interning pass: each worker interns
+// a contiguous extraction range into shard-local ID spaces, then a
+// sequential merge walks the shards in claim order and assigns global IDs —
+// because any key's first global occurrence lies in the earliest shard that
+// saw it, and shard-local lists preserve stream order, the merged ID spaces
+// (and the first-extraction-ordered extractor lists) are identical to
+// internSequential's. The merge touches only distinct keys per shard, not
+// every extraction, so the O(n) hashing runs fully parallel.
+func internParallel(g *Compiled, xs []Extraction, siteLevel bool, workers int) (stExtLists, srcExtLists [][]int32) {
+	n := len(xs)
+	if workers > n {
+		workers = n
 	}
-
-	// ---- Config-independent support counts ----
-	// Statements per item (the two-layer result's ItemProvenances).
-	g.itemStatements = make([]int32, nItems)
-	for si := 0; si < nSt; si++ {
-		g.itemStatements[g.itemOfTriple[g.stTriple[si]]]++
-	}
-	// Distinct extractors per triple, in parallel over triple ranges: each
-	// worker stamps a private seen-set with the triple ID, so counts are
-	// exact and independent of the split.
-	g.tripleExts = make([]int32, nTriples)
-	tw := workers
-	if nSt < 1<<14 {
-		tw = 1 // goroutine setup would dominate
-	}
-	csr.ParallelRange(nTriples, tw, func(_, lo, hi int) {
-		seen := make([]int32, len(g.extractors))
-		for i := range seen {
-			seen[i] = -1
-		}
-		for t := lo; t < hi; t++ {
-			for _, si := range g.tripleSts[g.tripleStStart[t]:g.tripleStStart[t+1]] {
-				for _, e := range g.stExts[g.stExtStart[si]:g.stExtStart[si+1]] {
-					if seen[e] != int32(t) {
-						seen[e] = int32(t)
-						g.tripleExts[t]++
-					}
-				}
+	shards := make([]extShard, workers)
+	csr.ParallelRange(n, workers, func(w, lo, hi int) {
+		s := &shards[w]
+		srcIdx := make(map[string]int32, 1024)
+		extIdx := make(map[string]int32, 32)
+		triIdx := make(map[kb.Triple]int32, hi-lo)
+		stIdx := make(map[stKey]int32, hi-lo)
+		for i := lo; i < hi; i++ {
+			x := &xs[i]
+			key := x.URL
+			if siteLevel {
+				key = x.Site
+			}
+			src, ok := srcIdx[key]
+			if !ok {
+				src = int32(len(s.sources))
+				srcIdx[key] = src
+				s.sources = append(s.sources, key)
+				s.srcExtLists = append(s.srcExtLists, nil)
+			}
+			ext, ok := extIdx[x.Extractor]
+			if !ok {
+				ext = int32(len(s.extractors))
+				extIdx[x.Extractor] = ext
+				s.extractors = append(s.extractors, x.Extractor)
+			}
+			if !containsID(s.srcExtLists[src], ext) {
+				s.srcExtLists[src] = append(s.srcExtLists[src], ext)
+			}
+			tri, ok := triIdx[x.Triple]
+			if !ok {
+				tri = int32(len(s.triples))
+				triIdx[x.Triple] = tri
+				s.triples = append(s.triples, x.Triple)
+			}
+			si, ok := stIdx[stKey{src, tri}]
+			if !ok {
+				si = int32(len(s.stSrc))
+				stIdx[stKey{src, tri}] = si
+				s.stSrc = append(s.stSrc, src)
+				s.stTri = append(s.stTri, tri)
+				s.stExtLists = append(s.stExtLists, nil)
+			}
+			if !containsID(s.stExtLists[si], ext) {
+				s.stExtLists[si] = append(s.stExtLists[si], ext)
 			}
 		}
 	})
-	return g
+
+	// Ordered merge. Items are interned here exactly as in the sequential
+	// pass: when a globally-new triple is appended, its item is interned if
+	// unseen — the first extraction carrying an item always carries a
+	// globally-new triple, so item IDs come out in stream first-occurrence
+	// order too.
+	srcIdx := make(map[string]int32, 1024)
+	extIdx := make(map[string]int32, 32)
+	triIdx := make(map[kb.Triple]int32, n)
+	itemIdx := make(map[kb.DataItem]int32, n)
+	stIdx := make(map[stKey]int32, n)
+	for w := range shards {
+		s := &shards[w]
+		srcRemap := make([]int32, len(s.sources))
+		for li, key := range s.sources {
+			gid, ok := srcIdx[key]
+			if !ok {
+				gid = int32(len(g.sources))
+				srcIdx[key] = gid
+				g.sources = append(g.sources, key)
+				srcExtLists = append(srcExtLists, nil)
+			}
+			srcRemap[li] = gid
+		}
+		extRemap := make([]int32, len(s.extractors))
+		for li, key := range s.extractors {
+			gid, ok := extIdx[key]
+			if !ok {
+				gid = int32(len(g.extractors))
+				extIdx[key] = gid
+				g.extractors = append(g.extractors, key)
+			}
+			extRemap[li] = gid
+		}
+		triRemap := make([]int32, len(s.triples))
+		for li, t := range s.triples {
+			gid, ok := triIdx[t]
+			if !ok {
+				gid = int32(len(g.triples))
+				triIdx[t] = gid
+				g.triples = append(g.triples, t)
+				item, iok := itemIdx[t.Item()]
+				if !iok {
+					item = int32(len(g.items))
+					itemIdx[t.Item()] = item
+					g.items = append(g.items, t.Item())
+				}
+				g.itemOfTriple = append(g.itemOfTriple, item)
+			}
+			triRemap[li] = gid
+		}
+		for lsi := range s.stSrc {
+			k := stKey{srcRemap[s.stSrc[lsi]], triRemap[s.stTri[lsi]]}
+			gsi, ok := stIdx[k]
+			if !ok {
+				gsi = int32(len(g.stSource))
+				stIdx[k] = gsi
+				g.stSource = append(g.stSource, k.src)
+				g.stTriple = append(g.stTriple, k.tri)
+				stExtLists = append(stExtLists, nil)
+			}
+			for _, lx := range s.stExtLists[lsi] {
+				if gx := extRemap[lx]; !containsID(stExtLists[gsi], gx) {
+					stExtLists[gsi] = append(stExtLists[gsi], gx)
+				}
+			}
+		}
+		for ls := range s.srcExtLists {
+			gs := srcRemap[ls]
+			for _, lx := range s.srcExtLists[ls] {
+				if gx := extRemap[lx]; !containsID(srcExtLists[gs], gx) {
+					srcExtLists[gs] = append(srcExtLists[gs], gx)
+				}
+			}
+		}
+	}
+	return stExtLists, srcExtLists
 }
 
 func containsID(ids []int32, id int32) bool {
@@ -299,6 +559,25 @@ func (g *Compiled) ItemTriples(i int32) []int32 {
 
 // ItemStatements returns the total statement count on an item.
 func (g *Compiled) ItemStatements(i int32) int32 { return g.itemStatements[i] }
+
+// ExtStatements returns, for an extractor, the statements whose source it
+// processed in ascending statement order, and the aligned hit flags marking
+// the statements it actually extracted there.
+func (g *Compiled) ExtStatements(x int32) (sts []int32, hits []bool) {
+	return g.extSts[g.extStStart[x]:g.extStStart[x+1]], g.extHits[g.extStStart[x]:g.extStStart[x+1]]
+}
+
+// ExtStatementBlocks returns the fixed csr.ReduceBlockSize partition of the
+// ext→statement spans: blocks are grouped by extractor in extractor-ID order
+// (Block.Group is the extractor ID). The partition depends only on the span
+// lengths, so reductions over it are bit-identical for any worker count.
+func (g *Compiled) ExtStatementBlocks() []csr.Block { return g.extBlocks }
+
+// ExtBlockStatements returns one block's slice of the ext→statement
+// incidence: statement IDs (ascending) and aligned hit flags.
+func (g *Compiled) ExtBlockStatements(b csr.Block) (sts []int32, hits []bool) {
+	return g.extSts[b.Lo:b.Hi], g.extHits[b.Lo:b.Hi]
+}
 
 // MaxItemTriples returns the largest candidate-triple count of any item.
 func (g *Compiled) MaxItemTriples() int { return g.maxItemTriples }

@@ -3,6 +3,7 @@ package extract
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"kfusion/internal/kb"
@@ -150,6 +151,83 @@ func TestCompiledGraphMatchesBruteForce(t *testing.T) {
 				if g.ItemOfTriple(ti) != int32(i) {
 					t.Fatalf("siteLevel=%v: ItemTriples(%d) contains foreign triple", siteLevel, i)
 				}
+			}
+		}
+	}
+}
+
+// TestExtStatementIncidenceMatchesBruteForce cross-checks the ext→statement
+// CSR (the two-layer M-step's reduction domain) against a direct per-source
+// reconstruction: extractor x's span must hold exactly the statements of the
+// sources x processed, ascending, with hit flags matching membership in the
+// statement's extractor list — and the block partition must tile the spans.
+func TestExtStatementIncidenceMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, n := range []int{0, 1, 300, 5000} {
+		xs := randomExtractions(rng, n)
+		for _, siteLevel := range []bool{false, true} {
+			g := Compile(xs, siteLevel)
+			for x := int32(0); x < int32(g.NumExtractors()); x++ {
+				var wantSts []int32
+				var wantHits []bool
+				for si := int32(0); si < int32(g.NumStatements()); si++ {
+					if !containsID(g.SourceExtractors(g.StatementSource(si)), x) {
+						continue
+					}
+					wantSts = append(wantSts, si)
+					wantHits = append(wantHits, containsID(g.StatementExtractors(si), x))
+				}
+				sts, hits := g.ExtStatements(x)
+				if !equalSpans(sts, wantSts) {
+					t.Fatalf("n=%d siteLevel=%v: ExtStatements(%d) = %v, want %v", n, siteLevel, x, sts, wantSts)
+				}
+				for i := range hits {
+					if hits[i] != wantHits[i] {
+						t.Fatalf("n=%d siteLevel=%v: ExtStatements(%d) hit[%d] = %v, want %v",
+							n, siteLevel, x, i, hits[i], wantHits[i])
+					}
+				}
+			}
+			// Blocks tile the spans in extractor order.
+			pos := map[int32]int{}
+			for _, b := range g.ExtStatementBlocks() {
+				sts, hits := g.ExtBlockStatements(b)
+				if len(sts) == 0 || len(sts) != len(hits) {
+					t.Fatalf("n=%d siteLevel=%v: bad block %+v", n, siteLevel, b)
+				}
+				full, _ := g.ExtStatements(b.Group)
+				if pos[b.Group]+len(sts) > len(full) || !equalSpans(sts, full[pos[b.Group]:pos[b.Group]+len(sts)]) {
+					t.Fatalf("n=%d siteLevel=%v: block %+v does not continue span of extractor %d",
+						n, siteLevel, b, b.Group)
+				}
+				pos[b.Group] += len(sts)
+			}
+			for x := int32(0); x < int32(g.NumExtractors()); x++ {
+				full, _ := g.ExtStatements(x)
+				if pos[x] != len(full) {
+					t.Fatalf("n=%d siteLevel=%v: blocks cover %d of %d statements of extractor %d",
+						n, siteLevel, pos[x], len(full), x)
+				}
+			}
+		}
+	}
+}
+
+// TestInternParallelMatchesSequential is the forced-worker property test for
+// the shard-and-merge interning pass: above the shard threshold, the whole
+// compiled graph — every ID space, every CSR span, every extractor list and
+// the ext→statement blocks — must be identical to the sequential build for
+// any worker count.
+func TestInternParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	n := internShardThreshold + 4321
+	xs := randomExtractions(rng, n)
+	for _, siteLevel := range []bool{false, true} {
+		want := CompileWorkers(xs, siteLevel, 1)
+		for _, workers := range []int{2, 3, 7, 8} {
+			got := CompileWorkers(xs, siteLevel, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("siteLevel=%v workers=%d: parallel interning diverged from sequential", siteLevel, workers)
 			}
 		}
 	}

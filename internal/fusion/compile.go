@@ -255,8 +255,9 @@ func compile(claims []Claim, workers, partitions int) *graph {
 
 // internShardThreshold is the claim count below which interning runs
 // sequentially: per-shard map setup and the merge pass only pay off once the
-// single-threaded hashing loop dominates.
-const internShardThreshold = 1 << 14
+// single-threaded hashing loop dominates (the shared cutoff of every
+// shard-and-merge pass; tuned in internal/csr).
+const internShardThreshold = csr.ParallelThreshold
 
 // internClaims interns provenance and extractor keys into dense int32 IDs in
 // claim-index order of first use. Large inputs run a parallel shard pass —

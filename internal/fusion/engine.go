@@ -4,6 +4,7 @@ import (
 	"math"
 	"runtime"
 
+	"kfusion/internal/csr"
 	"kfusion/internal/kb"
 	"kfusion/internal/mapreduce"
 	"kfusion/internal/randx"
@@ -231,26 +232,39 @@ func (e *engine) parallelRange(n int, f func(worker, lo, hi int)) {
 	ParallelRange(n, e.workers, f)
 }
 
+// provTermParallelThreshold is the provenance count below which the
+// per-round provTerm table stays sequential (the shared elementwise cutoff;
+// tuned in internal/csr). The gate depends only on the provenance count, so
+// results stay independent of Workers (the pass is elementwise — exact for
+// any split).
+const provTermParallelThreshold = csr.ElementwiseThreshold
+
 // stageI scores every data item with the current provenance accuracies
 // (Figure 8, Stage I) — a parallel flat loop over the compiled item spans.
 func (e *engine) stageI(round int) {
 	// Without a ClaimAccuracy hook, a claim's log score term depends only
 	// on its provenance, so the log is taken once per provenance per round
-	// instead of once per claim per candidate.
-	if e.cfg.ClaimAccuracy == nil {
-		switch e.cfg.Method {
-		case Accu:
-			nf := float64(e.cfg.NFalse)
-			for p, raw := range e.provAcc {
-				a := clampAcc(raw)
+	// instead of once per claim per candidate — elementwise over the
+	// provenance table, in parallel once the table is large enough to pay
+	// for the goroutines.
+	if e.cfg.ClaimAccuracy == nil && (e.cfg.Method == Accu || e.cfg.Method == PopAccu) {
+		pw := e.workers
+		if len(e.provAcc) < provTermParallelThreshold {
+			pw = 1
+		}
+		// POPACCU's term log(a/(1-a)) is ACCU's with nf = 1 (1*a == a
+		// exactly, so the shared expression is bit-identical to the
+		// per-method ones).
+		nf := 1.0
+		if e.cfg.Method == Accu {
+			nf = float64(e.cfg.NFalse)
+		}
+		ParallelRange(len(e.provAcc), pw, func(_, lo, hi int) {
+			for p := lo; p < hi; p++ {
+				a := clampAcc(e.provAcc[p])
 				e.provTerm[p] = math.Log(nf * a / (1 - a))
 			}
-		case PopAccu:
-			for p, raw := range e.provAcc {
-				a := clampAcc(raw)
-				e.provTerm[p] = math.Log(a / (1 - a))
-			}
-		}
+		})
 	}
 	e.parallelRange(len(e.g.items), func(w, lo, hi int) {
 		sc := &e.scratches[w]

@@ -30,6 +30,36 @@
 // configurations. The original map-keyed engine survives as FuseReference,
 // pinned against the compiled engine by golden equivalence tests; both are
 // deterministic and independent of Config.Workers.
+//
+// # Deterministic parallel reductions
+//
+// Every EM stage runs in parallel, and every one is bit-identical for any
+// Config.Workers value (pinned by forced-worker property tests at Workers
+// 1/2/3/7/8):
+//
+//   - The layer-1 and layer-2 E-steps and the per-source M-step pass
+//     parallelize over statements, items and sources respectively; each
+//     index owns its outputs, so chunk boundaries cannot influence results.
+//   - The M-step extractor-rate pass — the last hot path that was sequential
+//     — reduces over the graph's ext→statement CSR in fixed
+//     csr.ReduceBlockSize blocks: each block is summed left-to-right by
+//     whichever worker picks it up, and per-extractor block partials are
+//     folded with csr.Pairwise, whose tree shape depends only on the block
+//     count. The reduction tree is a pure function of the span lengths, so
+//     the result never depends on scheduling.
+//
+// # Reference-tolerance policy
+//
+// The fixed-block re-grouping legitimately changes the low-order bits of the
+// per-extractor sums relative to the reference engine's single left-to-right
+// walk in global statement order (pairwise summation is, if anything, more
+// accurate). Compiled-vs-reference equivalence therefore relaxes from
+// bit-equality to a documented <= 1e-9 absolute tolerance (RefTol,
+// CloseToReference) on the M-step-affected outputs — triple probabilities
+// and source accuracies, all in [0,1], where an absolute bound is at least
+// as strict as a relative one; everything integer — triple order, support
+// counts, round counts — remains exact. Compiled-vs-compiled equality
+// across worker counts remains bitwise.
 package twolayer
 
 import (
@@ -41,6 +71,26 @@ import (
 	"kfusion/internal/extract"
 	"kfusion/internal/fusion"
 )
+
+// RefTol is the documented compiled-vs-reference tolerance (see the
+// package comment's reference-tolerance policy): the M-step's fixed-block
+// pairwise reduction re-groups the reference engine's left-to-right float
+// sums, perturbing low-order bits of the M-step-affected outputs. Every
+// equivalence suite comparing FuseCompiled against FuseReference uses this
+// one constant, so revisiting the policy (e.g. after a csr.ReduceBlockSize
+// change) happens in exactly one place.
+const RefTol = 1e-9
+
+// CloseToReference reports whether two float outputs agree within RefTol,
+// absolutely. Every compared output — triple probabilities, source
+// accuracies — lives in [0,1], where an absolute bound is at least as
+// strict as a relative one; 1e-9 is still ~1000x looser than the observed
+// ~1e-12 drift, so the bar catches real divergence without flaking.
+// Integer outputs (triple order, support counts, rounds) are outside the
+// policy: they must match exactly.
+func CloseToReference(a, b float64) bool {
+	return math.Abs(a-b) <= RefTol
+}
 
 // Config parameterizes the two-layer model.
 type Config struct {
@@ -159,13 +209,16 @@ func MustFuseCompiled(g *extract.Compiled, cfg Config) *fusion.Result {
 // engine is the per-call EM state over a compiled extraction graph. Every
 // slice is indexed by an interned ID; the EM rounds allocate nothing.
 //
-// Bit-equivalence with FuseReference is a hard invariant (pinned by the
-// golden equivalence tests): every floating-point accumulation below runs in
-// the same order and grouping as the reference loops — statement sums walk a
+// Closeness to FuseReference is an invariant pinned by the golden
+// equivalence tests: every floating-point accumulation below runs in the
+// same order and grouping as the reference loops — statement sums walk a
 // source's extractors in first-extraction order, per-source and per-triple
 // sums walk statements in ascending ID order, and the per-round extractor
 // likelihood ratios and source log-weights are precomputed from the exact
-// expressions the reference evaluates inline.
+// expressions the reference evaluates inline — except the M-step
+// extractor-rate pass, whose fixed-block pairwise re-grouping is documented
+// in the package comment (<= 1e-9 tolerance vs the reference; bit-identical
+// across Workers).
 type engine struct {
 	g       *extract.Compiled
 	cfg     Config
@@ -187,9 +240,17 @@ type engine struct {
 	scores [][]float64
 	deltas []float64
 
-	// M-step accumulators (sequential pass; see updateParams).
-	mstamp                                               []int32
-	extStated, extUnstated, extHitStated, extHitUnstated []float64
+	// M-step extractor-rate reduction state: one [stated, unstated,
+	// hitStated, hitUnstated] partial per fixed block of the graph's
+	// ext→statement spans, folded per extractor with csr.Pairwise.
+	// blockWorkers is the reduction's worker bound: 1 when the whole
+	// incidence is below the shared elementwise threshold (goroutine fan-out
+	// would dominate the few float adds), e.workers otherwise — a pure
+	// function of the graph, so results stay Workers-independent either way
+	// (block sums are scheduling-independent by construction).
+	blockSums    [][4]float64
+	extTotals    [][4]float64 // extractor ID -> folded block partials
+	blockWorkers int
 }
 
 func newEngine(g *extract.Compiled, cfg Config) *engine {
@@ -217,11 +278,16 @@ func newEngine(g *extract.Compiled, cfg Config) *engine {
 		scores: make([][]float64, workers),
 		deltas: make([]float64, workers),
 
-		mstamp:         make([]int32, nExt),
-		extStated:      make([]float64, nExt),
-		extUnstated:    make([]float64, nExt),
-		extHitStated:   make([]float64, nExt),
-		extHitUnstated: make([]float64, nExt),
+		blockSums:    make([][4]float64, len(g.ExtStatementBlocks())),
+		extTotals:    make([][4]float64, nExt),
+		blockWorkers: 1,
+	}
+	incidence := 0
+	for _, b := range g.ExtStatementBlocks() {
+		incidence += int(b.Hi - b.Lo)
+	}
+	if incidence >= elementwiseParallelThreshold {
+		e.blockWorkers = workers
 	}
 	for i := range e.tripleP {
 		e.tripleP[i] = 0.5
@@ -232,7 +298,6 @@ func newEngine(g *extract.Compiled, cfg Config) *engine {
 	for i := 0; i < nExt; i++ {
 		e.recall[i] = cfg.InitRecall
 		e.falsePos[i] = cfg.InitFalsePos
-		e.mstamp[i] = -1
 	}
 	for w := 0; w < workers; w++ {
 		e.stamps[w] = make([]int32, nExt)
@@ -275,15 +340,29 @@ func (e *engine) inferStatements() {
 	})
 }
 
+// elementwiseParallelThreshold is the element count below which the
+// per-round elementwise precomputes (source log-weights) stay sequential
+// (the shared elementwise cutoff; tuned in internal/csr). The gate depends
+// only on the input size, so results stay independent of Workers.
+const elementwiseParallelThreshold = csr.ElementwiseThreshold
+
 // inferTruth is the layer-2 E-step: weighted Bayesian truth inference, in
 // parallel over data items (each item owns its candidates' tripleP entries).
+// The per-round source log-weight table is itself computed in parallel —
+// elementwise, so exact for any worker count.
 func (e *engine) inferTruth() {
 	g := e.g
 	nFalse := float64(e.cfg.NFalse)
-	for s := range e.srcAcc {
-		a := clampAcc(e.srcAcc[s])
-		e.srcLogW[s] = math.Log(nFalse * a / (1 - a))
+	lw := e.workers
+	if len(e.srcAcc) < elementwiseParallelThreshold {
+		lw = 1
 	}
+	csr.ParallelRange(len(e.srcAcc), lw, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			a := clampAcc(e.srcAcc[s])
+			e.srcLogW[s] = math.Log(nFalse * a / (1 - a))
+		}
+	})
 	csr.ParallelRange(g.NumItems(), e.workers, func(w, lo, hi int) {
 		buf := e.scores[w]
 		for it := lo; it < hi; it++ {
@@ -333,10 +412,10 @@ func (e *engine) inferTruth() {
 
 // updateParams is the M-step: source accuracies (parallel over sources, each
 // source summing its statement span in ascending order) and extractor
-// recall/false-positive rates (one sequential pass over statements — the
-// per-extractor sums must accumulate in global statement order to stay
-// bit-identical to the reference, and chunk-merged partial sums would
-// re-group the additions). It returns the largest source-accuracy change.
+// recall/false-positive rates (a parallel fixed-block reduction over the
+// graph's ext→statement CSR — see the package comment for the determinism
+// contract and the tolerance this re-grouping costs against the reference).
+// It returns the largest source-accuracy change.
 func (e *engine) updateParams() float64 {
 	g := e.g
 	const anchor = 2.0 // pseudo-claims at the initial accuracy
@@ -373,37 +452,52 @@ func (e *engine) updateParams() float64 {
 		}
 	}
 
-	// Extractor recall / false positives against expected statements.
-	for x := range e.extStated {
-		e.extStated[x] = 0
-		e.extUnstated[x] = 0
-		e.extHitStated[x] = 0
-		e.extHitUnstated[x] = 0
-	}
-	nSt := g.NumStatements()
-	for si := 0; si < nSt; si++ {
-		for _, x := range g.StatementExtractors(int32(si)) {
-			e.mstamp[x] = int32(si)
-		}
-		sv := e.stated[si]
-		for _, x := range g.SourceExtractors(g.StatementSource(int32(si))) {
-			e.extStated[x] += sv
-			e.extUnstated[x] += 1 - sv
-			if e.mstamp[x] == int32(si) {
-				e.extHitStated[x] += sv
-				e.extHitUnstated[x] += 1 - sv
+	// Extractor recall / false positives against expected statements: a
+	// parallel reduction over the ext→statement CSR. Workers sum whole fixed
+	// blocks (left-to-right within a block, ascending statement order), then
+	// each extractor's block partials fold with a pairwise tree shaped only
+	// by its block count — so every bit of the totals is independent of the
+	// worker count and of which worker summed which block.
+	blocks := g.ExtStatementBlocks()
+	csr.ParallelRange(len(blocks), e.blockWorkers, func(_, blo, bhi int) {
+		for bi := blo; bi < bhi; bi++ {
+			sts, hits := g.ExtBlockStatements(blocks[bi])
+			var s, u, hs, hu float64
+			for k, si := range sts {
+				sv := e.stated[si]
+				s += sv
+				u += 1 - sv
+				if hits[k] {
+					hs += sv
+					hu += 1 - sv
+				}
 			}
+			e.blockSums[bi] = [4]float64{s, u, hs, hu}
 		}
+	})
+	bi := 0
+	for x := range e.extTotals {
+		lo := bi
+		for bi < len(blocks) && blocks[bi].Group == int32(x) {
+			bi++
+		}
+		e.extTotals[x] = csr.Pairwise(e.blockSums[lo:bi], add4)
 	}
 	for x := range e.recall {
-		if e.extStated[x] > 1e-9 {
-			e.recall[x] = clampRate(e.extHitStated[x] / (e.extStated[x] + 1))
+		tot := &e.extTotals[x]
+		if stated := tot[0]; stated > 1e-9 {
+			e.recall[x] = clampRate(tot[2] / (stated + 1))
 		}
-		if e.extUnstated[x] > 1e-9 {
-			e.falsePos[x] = clampRate(e.extHitUnstated[x] / (e.extUnstated[x] + 1))
+		if unstated := tot[1]; unstated > 1e-9 {
+			e.falsePos[x] = clampRate(tot[3] / (unstated + 1))
 		}
 	}
 	return maxDelta
+}
+
+// add4 combines two [stated, unstated, hitStated, hitUnstated] partials.
+func add4(a, b [4]float64) [4]float64 {
+	return [4]float64{a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]}
 }
 
 // result assembles the fusion.Result: triples in interned (first-occurrence)
