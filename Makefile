@@ -22,21 +22,23 @@ race:
 	$(GO) test -race ./...
 
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFusePopAccu$$|BenchmarkFuseReferencePopAccu$$|BenchmarkLargeScaleFusion$$|BenchmarkConfigSweep|BenchmarkTwoLayerFuse|BenchmarkTwoLayerScaling|BenchmarkExtractCompileGraph' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkFusePopAccu$$|BenchmarkFuseReferencePopAccu$$|BenchmarkLargeScaleFusion$$|BenchmarkConfigSweep|BenchmarkTwoLayerFuse|BenchmarkTwoLayerScaling|BenchmarkExtractCompileGraph|BenchmarkAppendBatch' -benchtime 1x -benchmem .
 
 # bench-json regenerates the machine-readable perf record (see BENCH_<n>.json;
 # bump N per PR that moves performance).
 bench-json:
-	$(GO) run ./cmd/kfbench -benchjson BENCH_4.json
+	$(GO) run ./cmd/kfbench -benchjson BENCH_5.json
 
-# bench-check is the CI perf-regression gate: re-measure the fast
-# compiled/reference benchmark pairs and fail if any pair's claims/s speedup
-# ratio dropped more than 30% below the committed BENCH_4.json baseline
+# bench-check is the CI perf-regression gate: re-measure the fast/slow
+# benchmark pairs — compiled vs reference engines, compiled-graph reuse vs
+# recompile, and the append-only feed pairs (Append + warm-start re-fuse vs
+# full recompile + cold fuse) — and fail if any pair's claims/s speedup
+# ratio dropped more than 30% below the committed BENCH_5.json baseline
 # (ratios cancel machine speed, so the gate is meaningful on any runner).
 # The fresh measurements land in bench-fresh.json, which CI uploads as a
 # workflow artifact.
 bench-check:
-	$(GO) run ./cmd/kfbench -check BENCH_4.json -checkjson bench-fresh.json
+	$(GO) run ./cmd/kfbench -check BENCH_5.json -checkjson bench-fresh.json
 
 # bench-scaling mirrors the CI bench-scaling/scaling-check jobs locally: one
 # kfbench -scaling cell per GOMAXPROCS value, then the speedup gate — on a

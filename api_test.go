@@ -139,3 +139,54 @@ func TestCalibrationHelpers(t *testing.T) {
 		t.Error("PRCurve empty")
 	}
 }
+
+// TestAppendWarmSurface smoke-tests the exported append / warm-start
+// surface: stream claims in two batches over one growing CompiledClaims,
+// warm-start the second fuse, and grow a CompiledExtractions generation
+// through the two-layer warm path.
+func TestAppendWarmSurface(t *testing.T) {
+	ds := ds0()
+	xs := ds.Extractions
+	cut := len(xs) / 2
+
+	stream := NewClaimStream(GranExtractorURL)
+	base := MustCompile(stream.Add(xs[:cut]))
+	prev, err := base.Fuse(POPACCU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := base.Append(stream.Add(xs[cut:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Generation() != 1 || next.NumClaims() <= base.NumClaims() {
+		t.Fatalf("append did not grow: gen=%d claims %d -> %d", next.Generation(), base.NumClaims(), next.NumClaims())
+	}
+	warm, err := next.FuseWarm(POPACCU(), prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Triples) == 0 {
+		t.Fatal("warm fuse produced no triples")
+	}
+
+	g := CompileExtractions(xs[:cut], true)
+	tcfg := TwoLayerDefaultConfig()
+	tcfg.SiteLevel = true
+	_, state, err := TwoLayerFuseCompiledWarm(g, tcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, state2, err := TwoLayerFuseCompiledWarm(g.Append(xs[cut:]), tcfg, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Triples) == 0 || len(state2.SrcAcc) < len(state.SrcAcc) {
+		t.Fatal("two-layer append/warm surface broken")
+	}
+
+	ds.AppendExtractions(xs[:100])
+	if ds.Generation() != 1 {
+		t.Fatalf("Dataset.Generation = %d, want 1", ds.Generation())
+	}
+}

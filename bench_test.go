@@ -12,6 +12,7 @@ package kfusion
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -202,6 +203,92 @@ func BenchmarkConfigSweep(b *testing.B) {
 		}
 		b.StopTimer()
 		reportSweep(b)
+	})
+}
+
+// BenchmarkAppendBatch measures the append-only feed scenario the
+// incremental compile pipeline exists for: a 10% extraction batch lands on
+// top of an already-compiled 90% prefix.
+//
+//   - recompile: the before path — flatten the whole feed to claims,
+//     compile the claim graph from scratch, cold-fuse at the paper's R=5.
+//   - append: flatten only the batch through the generation's ClaimStream,
+//     Append it to the compiled base (bit-identical to the recompile) and
+//     re-fuse as online EM — one warm-started round carrying the previous
+//     generation's accuracies (evaluation quality pinned within documented
+//     bounds by TestWarmStartQualityOnBenchDataset).
+//
+// The base compile runs off the clock each iteration (Append consumes the
+// base generation's interning index; a production chain appends each
+// generation once). claims/s counts the whole feed — the extractions served
+// fresh after the batch lands — so append/recompile is the cost ratio of
+// keeping the corpus up to date.
+func BenchmarkAppendBatch(b *testing.B) {
+	ds := benchDataset(b)
+	xs := ds.Extractions
+	n := len(xs)
+	cut := n - n/10
+	cfg := fusion.PopAccuConfig()
+	report := func(b *testing.B) {
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "claims/s")
+	}
+	b.Run("recompile", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fusion.MustCompile(fusion.Claims(xs, cfg.Granularity)).MustFuse(cfg)
+		}
+		b.StopTimer()
+		report(b)
+	})
+	b.Run("append", func(b *testing.B) {
+		warmCfg := cfg
+		warmCfg.Rounds = 1
+		prev := fusion.MustCompile(fusion.Claims(xs[:cut], cfg.Granularity)).MustFuse(cfg)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			stream := fusion.NewClaimStream(cfg.Granularity)
+			base := fusion.MustCompile(stream.Add(xs[:cut]))
+			runtime.GC() // keep setup garbage out of the timed region
+			b.StartTimer()
+			next := base.MustAppend(stream.Add(xs[cut:]))
+			next.MustFuseWarm(warmCfg, prev)
+		}
+		b.StopTimer()
+		report(b)
+	})
+	b.Run("twolayer-recompile", func(b *testing.B) {
+		tcfg := twolayer.DefaultConfig()
+		tcfg.SiteLevel = true
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			twolayer.MustFuseCompiled(extract.Compile(xs, true), tcfg)
+		}
+		b.StopTimer()
+		report(b)
+	})
+	b.Run("twolayer-append", func(b *testing.B) {
+		tcfg := twolayer.DefaultConfig()
+		tcfg.SiteLevel = true
+		twarm := tcfg
+		twarm.Rounds = 1
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			base := extract.Compile(xs[:cut], true)
+			_, state, err := twolayer.FuseCompiledWarm(base, tcfg, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runtime.GC() // keep setup garbage out of the timed region
+			b.StartTimer()
+			next := base.Append(xs[cut:])
+			if _, _, err := twolayer.FuseCompiledWarm(next, twarm, state); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		report(b)
 	})
 }
 

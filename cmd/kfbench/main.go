@@ -10,18 +10,21 @@
 //	kfbench -seeds 5             # re-run across 5 seeds; report check stability
 //	kfbench -list                # list experiment IDs
 //	kfbench -benchjson FILE      # fusion throughput benchmarks as JSON
-//	kfbench -check BENCH_4.json  # CI perf-regression gate against a baseline
+//	kfbench -check BENCH_5.json  # CI perf-regression gate against a baseline
 //	kfbench -scaling FILE        # parallel hot paths at the current GOMAXPROCS
 //	kfbench -scalingcheck A,B,C  # multi-core speedup gate over -scaling cells
 //
 // -benchjson measures the fusion engines (compiled and seed reference) over
 // the bench and large shared datasets, the §5.1 two-layer model (compiled
 // extraction graph vs map-keyed reference), claim-graph compilation
-// (sequential vs parallel CSR build), plus the multi-config sweep with and
+// (sequential vs parallel CSR build), the multi-config sweep with and
 // without compiled-claim-graph reuse (ConfigSweepReuse vs
-// ConfigSweepRecompile), and writes one machine-readable JSON record — the
-// cross-PR perf trajectory lives in BENCH_<n>.json files at the repository
-// root.
+// ConfigSweepRecompile), and the append-only feed pairs (AppendFusePopAccu
+// vs RecompileFusePopAccu, TwoLayerAppend vs TwoLayerRecompile — a 10%
+// batch appended onto a compiled 90% prefix and warm-start re-fused, vs
+// flattening, recompiling and cold-fusing the whole feed), and writes one
+// machine-readable JSON record — the cross-PR perf trajectory lives in
+// BENCH_<n>.json files at the repository root.
 //
 // -check is the bench-regression gate CI runs on every push: it re-measures
 // the fast compiled/reference benchmark pairs on the bench dataset and
@@ -259,9 +262,26 @@ func newBenchFile(seed int64) benchFile {
 // benchRecord; claimsPerOp is the work-unit count one op processes (claims,
 // extractions, or claims × configs), from which claims/s is derived.
 func measure(claimsPerOp float64, op func()) benchRecord {
+	return measureWithSetup(claimsPerOp, nil, op)
+}
+
+// measureWithSetup is measure with an untimed per-iteration setup: setup
+// runs with the benchmark timer stopped before every op. The Append
+// benchmarks need it because Append consumes the base generation's interning
+// index (the production shape is a chain, each generation appended once), so
+// every measured append must start from a freshly compiled base — built off
+// the clock. A forced GC after each setup keeps the setup's allocation
+// garbage from being collected inside — and charged to — the timed region.
+func measureWithSetup(claimsPerOp float64, setup, op func()) benchRecord {
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
+			if setup != nil {
+				b.StopTimer()
+				setup()
+				runtime.GC()
+				b.StartTimer()
+			}
 			op()
 		}
 	})
@@ -293,6 +313,74 @@ func benchTwoLayer(out *benchFile, bench *exper.Dataset) {
 	fmt.Fprintf(os.Stderr, "benchmarking ReferenceTwoLayerFuse...\n")
 	out.Benchmarks["ReferenceTwoLayerFuse"] = measure(n, func() {
 		twolayer.MustFuseReference(bench.Extractions, cfg)
+	})
+}
+
+// benchAppend measures the AppendVsRecompile pairs on the bench dataset:
+// the steady state of an append-only extraction feed, where a 10% batch
+// arrives on top of an already-compiled 90% prefix.
+//
+//   - Recompile records are the before path: flatten the whole feed to
+//     claims (or compile the whole extraction graph), compile from scratch
+//     and cold-fuse under the paper's R = 5.
+//   - Append records are the incremental path: flatten only the batch
+//     through the generation's ClaimStream, extend the compiled graph with
+//     Append (bit-identical to the recompile), and re-fuse as online EM —
+//     one warm-started round carrying the previous generation's posteriors.
+//     Evaluation quality matches the cold R = 5 output within the bounds
+//     pinned by TestWarmStartQualityOnBenchDataset; the outputs are not
+//     pointwise-equal (POPACCU's EM oscillates rather than converges, so
+//     R-capped runs are truncations, not fixed points).
+//
+// claims/s counts the extractions SERVED after the batch lands (the whole
+// feed), so the Append/Recompile ratio is the cost ratio of keeping the
+// same corpus fresh. The base compile + base fuse run off the clock per
+// iteration (measureWithSetup): a production chain appends each generation
+// once, so the measured op starts from a warm chain.
+func benchAppend(out *benchFile, bench *exper.Dataset) {
+	xs := bench.Extractions
+	n := len(xs)
+	cut := n - n/10
+	units := float64(n)
+
+	cfg := fusion.PopAccuConfig()
+	fmt.Fprintf(os.Stderr, "benchmarking RecompileFusePopAccu (%d extractions)...\n", n)
+	out.Benchmarks["RecompileFusePopAccu"] = measure(units, func() {
+		fusion.MustCompile(fusion.Claims(xs, cfg.Granularity)).MustFuse(cfg)
+	})
+	warmCfg := cfg
+	warmCfg.Rounds = 1
+	prev := fusion.MustCompile(fusion.Claims(xs[:cut], cfg.Granularity)).MustFuse(cfg)
+	var base *fusion.Compiled
+	var stream *fusion.ClaimStream
+	fmt.Fprintf(os.Stderr, "benchmarking AppendFusePopAccu (10%% batch)...\n")
+	out.Benchmarks["AppendFusePopAccu"] = measureWithSetup(units, func() {
+		stream = fusion.NewClaimStream(cfg.Granularity)
+		base = fusion.MustCompile(stream.Add(xs[:cut]))
+	}, func() {
+		next := base.MustAppend(stream.Add(xs[cut:]))
+		next.MustFuseWarm(warmCfg, prev)
+	})
+
+	tcfg := twolayer.DefaultConfig()
+	tcfg.SiteLevel = true
+	fmt.Fprintf(os.Stderr, "benchmarking TwoLayerRecompile...\n")
+	out.Benchmarks["TwoLayerRecompile"] = measure(units, func() {
+		twolayer.MustFuseCompiled(extract.Compile(xs, true), tcfg)
+	})
+	twarm := tcfg
+	twarm.Rounds = 1
+	var tbase *extract.Compiled
+	var tstate *twolayer.State
+	fmt.Fprintf(os.Stderr, "benchmarking TwoLayerAppend (10%% batch)...\n")
+	out.Benchmarks["TwoLayerAppend"] = measureWithSetup(units, func() {
+		tbase = extract.Compile(xs[:cut], true)
+		_, tstate, _ = twolayer.FuseCompiledWarm(tbase, tcfg, nil)
+	}, func() {
+		next := tbase.Append(xs[cut:])
+		if _, _, err := twolayer.FuseCompiledWarm(next, twarm, tstate); err != nil {
+			panic(err)
+		}
 	})
 }
 
@@ -388,6 +476,7 @@ func writeBenchJSON(path string, seed int64) error {
 
 	benchConfigSweep(&out, bench)
 	benchTwoLayer(&out, bench)
+	benchAppend(&out, bench)
 	return writeBenchFile(path, out)
 }
 
@@ -556,6 +645,8 @@ var checkPairs = [][2]string{
 	{"FusePopAccu", "ReferenceFusePopAccu"},
 	{"ConfigSweepReuse", "ConfigSweepRecompile"},
 	{"TwoLayerFuse", "ReferenceTwoLayerFuse"},
+	{"AppendFusePopAccu", "RecompileFusePopAccu"},
+	{"TwoLayerAppend", "TwoLayerRecompile"},
 }
 
 // runCheck is the CI bench-regression gate: re-measure each checkPairs entry,
@@ -600,6 +691,7 @@ func runCheck(baselinePath, freshPath string, tol float64, seed int64) error {
 	benchFusePair(&fresh, "FusePopAccu", fusion.Claims(bench.Extractions, cfg.Granularity), cfg, true)
 	benchConfigSweep(&fresh, bench)
 	benchTwoLayer(&fresh, bench)
+	benchAppend(&fresh, bench)
 
 	fmt.Printf("bench-regression check vs %s (baseline: %s, GOMAXPROCS=%d; tolerance %.0f%%)\n",
 		baselinePath, baseline.Date, baseline.GOMAXPROCS, tol*100)

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -27,16 +28,6 @@ func main() {
 	)
 	flag.Parse()
 
-	ff, err := os.Open(*fusedIn)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := kfio.ReadFused(ff)
-	ff.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	gf, err := os.Open(*goldIn)
 	if err != nil {
 		log.Fatal(err)
@@ -47,11 +38,29 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Stream the fused triples instead of materializing the whole result:
+	// evaluation only needs (probability, label) pairs and counters, so
+	// arbitrarily large fused feeds evaluate in bounded memory (plus the
+	// retained pairs).
+	ff, err := os.Open(*fusedIn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fr := kfio.NewFusedReader(ff)
 	var preds []eval.Prediction
-	unlabeled := 0
 	var probs []float64
-	for _, f := range res.Triples {
+	total, unpredicted, unlabeled := 0, 0, 0
+	for {
+		f, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		total++
 		if !f.Predicted {
+			unpredicted++
 			continue
 		}
 		probs = append(probs, f.Probability)
@@ -62,10 +71,11 @@ func main() {
 		}
 		preds = append(preds, eval.Prediction{Prob: f.Probability, Label: label})
 	}
+	ff.Close()
 
 	curve := eval.Calibration(preds, *buckets)
 	fmt.Printf("triples: %d fused, %d without probability, %d labeled (%d gold labels on file)\n",
-		len(res.Triples), res.Unpredicted, len(preds), nLabels)
+		total, unpredicted, len(preds), nLabels)
 	fmt.Printf("deviation:          %.4f\n", curve.Deviation())
 	fmt.Printf("weighted deviation: %.4f\n", curve.WeightedDeviation())
 	fmt.Printf("AUC-PR:             %.4f\n", eval.AUCPR(preds))

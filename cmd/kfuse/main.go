@@ -4,17 +4,30 @@
 // Usage:
 //
 //	kfuse -in extractions.jsonl -out fused.jsonl -method popaccu+ -gold gold.jsonl
+//	kfuse -in feed.jsonl -append -chunk 50000 -method popaccu
 //
 // Methods: vote, accu, popaccu, popaccu+unsup, popaccu+ (the last requires
-// -gold for accuracy initialization).
+// -gold for accuracy initialization), twolayer, ltm.
+//
+// -append streams the input in -chunk-sized batches over ONE growing
+// compiled graph: the first chunk compiles, every later chunk appends
+// (incrementally interning only what is new — bit-identical to recompiling
+// the whole feed), and each chunk's fusion warm-starts from the previous
+// chunk's posteriors, so re-fusing after a batch costs a fraction of a cold
+// run. The final output covers the entire feed. Supported for every method
+// except ltm.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"time"
 
+	"kfusion/internal/extract"
 	"kfusion/internal/fusion"
 	"kfusion/internal/kbstore"
 	"kfusion/internal/kfio"
@@ -37,17 +50,26 @@ func main() {
 		quiet   = flag.Bool("q", false, "suppress the summary")
 		workers = flag.Int("workers", 0, "MapReduce workers (0 = all cores)")
 		kbOut   = flag.String("kb", "", "also persist the fused KB to this kbstore file")
+		appendM = flag.Bool("append", false, "stream the input in chunks over one growing graph (incremental compile + warm-start fusion)")
+		chunk   = flag.Int("chunk", 100000, "with -append: extractions per chunk")
 	)
 	flag.Parse()
 
-	f, err := os.Open(*in)
-	if err != nil {
-		log.Fatal(err)
+	if *appendM && *chunk <= 0 {
+		log.Fatalf("-chunk must be positive, got %d", *chunk)
 	}
-	xs, err := kfio.ReadExtractions(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
+
+	var xs []extract.Extraction
+	if !*appendM {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		xs, err = kfio.ReadExtractions(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var labeler fusion.Labeler
@@ -76,6 +98,11 @@ func main() {
 		if *rounds > 0 {
 			tcfg.Rounds = *rounds
 		}
+		if *appendM {
+			res, n := appendTwoLayer(*in, *chunk, tcfg, *quiet)
+			writeResult(res, *out, *kbOut, *quiet, *method, n)
+			return
+		}
 		res, err := twolayer.Fuse(xs, tcfg)
 		if err != nil {
 			log.Fatal(err)
@@ -83,6 +110,9 @@ func main() {
 		writeResult(res, *out, *kbOut, *quiet, *method, len(xs))
 		return
 	case "ltm":
+		if *appendM {
+			log.Fatal("-append is not supported with -method ltm")
+		}
 		mcfg := multitruth.DefaultConfig()
 		mcfg.Workers = *workers
 		if *rounds > 0 {
@@ -143,6 +173,12 @@ func main() {
 	}
 	cfg.Workers = *workers
 
+	if *appendM {
+		res, n := appendFuse(*in, *chunk, cfg, *quiet)
+		writeResult(res, *out, *kbOut, *quiet, *method, n)
+		return
+	}
+
 	claims := fusion.Claims(xs, cfg.Granularity)
 	res, err := fusion.Fuse(claims, cfg)
 	if err != nil {
@@ -154,6 +190,103 @@ func main() {
 			*method, len(xs), len(claims), cfg.Granularity)
 	}
 	writeResult(res, *out, *kbOut, *quiet, *method, len(xs))
+}
+
+// appendFuse is the streaming driver for the single-truth methods: chunks
+// flatten through one ClaimStream (cross-batch dedup), compile once, append
+// per chunk, and every chunk's fusion warm-starts from the previous chunk's
+// provenance accuracies.
+func appendFuse(in string, chunk int, cfg fusion.Config, quiet bool) (*fusion.Result, int) {
+	f, err := os.Open(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r := kfio.NewExtractionReader(f)
+	stream := fusion.NewClaimStream(cfg.Granularity)
+	var graph *fusion.Compiled
+	var res *fusion.Result
+	total := 0
+	for ci := 0; ; ci++ {
+		batch, rerr := r.ReadBatch(chunk)
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			log.Fatal(rerr)
+		}
+		if len(batch) > 0 {
+			total += len(batch)
+			t0 := time.Now()
+			claims := stream.Add(batch)
+			if graph == nil {
+				graph = fusion.MustCompile(claims)
+			} else {
+				graph = graph.MustAppend(claims)
+			}
+			res, err = graph.FuseWarm(cfg, res)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !quiet {
+				fmt.Printf("chunk %d: +%d extractions -> %d claims, %d triples, %d rounds (%v)\n",
+					ci, len(batch), graph.NumClaims(), len(res.Triples), res.Rounds,
+					time.Since(t0).Round(time.Millisecond))
+			}
+		}
+		if errors.Is(rerr, io.EOF) {
+			break
+		}
+	}
+	if res == nil {
+		log.Fatal("no extractions in input")
+	}
+	return res, total
+}
+
+// appendTwoLayer is the streaming driver for the §5.1 two-layer model: the
+// extraction graph grows by Append per chunk and each chunk's EM
+// warm-starts from the previous chunk's source accuracies and extractor
+// rates.
+func appendTwoLayer(in string, chunk int, cfg twolayer.Config, quiet bool) (*fusion.Result, int) {
+	f, err := os.Open(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r := kfio.NewExtractionReader(f)
+	var graph *extract.Compiled
+	var state *twolayer.State
+	var res *fusion.Result
+	total := 0
+	for ci := 0; ; ci++ {
+		batch, rerr := r.ReadBatch(chunk)
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			log.Fatal(rerr)
+		}
+		if len(batch) > 0 {
+			total += len(batch)
+			t0 := time.Now()
+			if graph == nil {
+				graph = extract.Compile(batch, cfg.SiteLevel)
+			} else {
+				graph = graph.Append(batch)
+			}
+			res, state, err = twolayer.FuseCompiledWarm(graph, cfg, state)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !quiet {
+				fmt.Printf("chunk %d: +%d extractions -> %d statements, %d triples, %d rounds (%v)\n",
+					ci, len(batch), graph.NumStatements(), len(res.Triples), res.Rounds,
+					time.Since(t0).Round(time.Millisecond))
+			}
+		}
+		if errors.Is(rerr, io.EOF) {
+			break
+		}
+	}
+	if res == nil {
+		log.Fatal("no extractions in input")
+	}
+	return res, total
 }
 
 // writeResult persists the fused output as JSONL and optionally as a kbstore

@@ -1,0 +1,134 @@
+package csr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestAppendByGroupMatchesByGroup pins the delta builder's contract: merging
+// new rows into an existing CSR produces exactly the adjacency ByGroup builds
+// over the concatenated assignment, for any worker count and for appends that
+// introduce new groups.
+func TestAppendByGroupMatchesByGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		nOld, nNew, oldGroups, newGroups int
+	}{
+		{0, 0, 0, 0},
+		{0, 10, 0, 3},
+		{100, 0, 7, 7},
+		{100, 37, 7, 7},
+		{1000, 250, 19, 31},     // new groups appear
+		{50000, 5000, 211, 307}, // past ParallelThreshold
+		{50000, 20000, 11, 11},  // dense groups
+	}
+	for _, tc := range cases {
+		oldOf := make([]int32, tc.nOld)
+		for i := range oldOf {
+			oldOf[i] = int32(rng.Intn(tc.oldGroups))
+		}
+		newOf := make([]int32, tc.nNew)
+		for i := range newOf {
+			newOf[i] = int32(rng.Intn(tc.newGroups))
+		}
+		oldStart, oldIds := ByGroup(oldOf, tc.oldGroups, 0)
+		all := append(append([]int32{}, oldOf...), newOf...)
+		wantStart, wantIds := ByGroup(all, tc.newGroups, 0)
+		for _, workers := range []int{1, 2, 3, 7, 8} {
+			gotStart, gotIds := AppendByGroup(oldStart, oldIds, newOf, tc.newGroups, workers)
+			if !reflect.DeepEqual(gotStart, wantStart) {
+				t.Fatalf("case %+v workers=%d: start mismatch", tc, workers)
+			}
+			if !equalIDs(gotIds, wantIds) {
+				t.Fatalf("case %+v workers=%d: ids mismatch", tc, workers)
+			}
+		}
+	}
+}
+
+// TestAppendByGroupLeavesInputsIntact guards the generational contract: the
+// previous generation's CSR must stay valid after an append builds the next.
+func TestAppendByGroupLeavesInputsIntact(t *testing.T) {
+	oldOf := []int32{2, 0, 1, 0, 2, 2}
+	oldStart, oldIds := ByGroup(oldOf, 3, 0)
+	startCopy := append([]int32{}, oldStart...)
+	idsCopy := append([]int32{}, oldIds...)
+	newOf := []int32{1, 3, 0, 1}
+	AppendByGroup(oldStart, oldIds, newOf, 4, 4)
+	if !reflect.DeepEqual(oldStart, startCopy) || !reflect.DeepEqual(oldIds, idsCopy) {
+		t.Fatal("AppendByGroup mutated its inputs")
+	}
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMergeKeysMatchesSequentialFold pins the pairwise merge's determinism
+// contract: the parallel tree must reproduce the sequential left-to-right
+// fold's global first-occurrence order for any shard and worker count.
+func TestMergeKeysMatchesSequentialFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, nShards := range []int{1, 2, 3, 5, 8, 13} {
+		shards := make([][]string, nShards)
+		for s := range shards {
+			n := rng.Intn(200)
+			seen := map[string]bool{}
+			for i := 0; i < n; i++ {
+				k := string(rune('a' + rng.Intn(26)))
+				k += string(rune('a' + rng.Intn(26)))
+				if !seen[k] {
+					seen[k] = true
+					shards[s] = append(shards[s], k)
+				}
+			}
+		}
+		// Sequential fold: walk shards in order, keep first occurrences.
+		var want []string
+		wantIdx := map[string]int32{}
+		for _, sh := range shards {
+			for _, k := range sh {
+				if _, ok := wantIdx[k]; !ok {
+					wantIdx[k] = int32(len(want))
+					want = append(want, k)
+				}
+			}
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			keys, idx := MergeKeys(shards, workers)
+			if !reflect.DeepEqual(keys, want) && !(len(keys) == 0 && len(want) == 0) {
+				t.Fatalf("nShards=%d workers=%d: keys mismatch:\n got %v\nwant %v", nShards, workers, keys, want)
+			}
+			if len(idx) != len(wantIdx) {
+				t.Fatalf("nShards=%d workers=%d: index size %d, want %d", nShards, workers, len(idx), len(wantIdx))
+			}
+			for k, id := range wantIdx {
+				if idx[k] != id {
+					t.Fatalf("nShards=%d workers=%d: idx[%q] = %d, want %d", nShards, workers, k, idx[k], id)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeKeysLeavesShardsIntact guards against the merge appending into a
+// shard's backing array.
+func TestMergeKeysLeavesShardsIntact(t *testing.T) {
+	a := make([]string, 2, 8)
+	a[0], a[1] = "x", "y"
+	b := []string{"y", "z"}
+	shards := [][]string{a, b}
+	MergeKeys(shards, 2)
+	if a[0] != "x" || a[1] != "y" || len(a) != 2 {
+		t.Fatal("MergeKeys mutated a shard")
+	}
+}

@@ -1,0 +1,78 @@
+package csr
+
+// Parallel ordered key merging for the shard-and-merge interning passes.
+//
+// Every compiled graph interns its key spaces (provenances, extractors,
+// sources, triples, statements) in first-occurrence order of the input
+// stream. The parallel interning passes shard the stream, intern each shard
+// locally, and then merge the shard-local key lists into the global ID
+// space. The merge used to be a single sequential walk over every shard's
+// keys — the bound ROADMAP called out on ExtractCompileParallel's scaling.
+//
+// MergeKeys replaces that walk with an ordered pairwise merge: adjacent
+// shard pairs are merged concurrently, halving the shard count per round
+// until one list remains. Merging two ordered key lists is dedup-preserving
+// concatenation — the left list's keys keep their order, the right list
+// contributes its unseen keys in order — which is associative, so the
+// pairwise tree produces exactly the sequential fold's global order: every
+// key lands at its overall first occurrence. The result is therefore
+// independent of the worker count, like every other parallel pass here.
+
+// keyList is one merge node: an ordered key list with its index (key ->
+// position). The index always covers exactly the keys in the list.
+type keyList[K comparable] struct {
+	keys []K
+	idx  map[K]int32
+}
+
+// MergeKeys merges shard-local key lists (each in shard-local
+// first-occurrence order, shards in stream order) into the global
+// first-occurrence key order, returning the merged list and its key -> ID
+// index. The merge runs as a pairwise tree with adjacent pairs merged in
+// parallel; the result is identical to a sequential left-to-right fold.
+// The input lists are only read.
+func MergeKeys[K comparable](shards [][]K, workers int) (keys []K, idx map[K]int32) {
+	if len(shards) == 0 {
+		return nil, map[K]int32{}
+	}
+	nodes := make([]keyList[K], len(shards))
+	ParallelRange(len(shards), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			// Clip capacity so mergePair's append never writes into the
+			// caller's backing array.
+			n := keyList[K]{keys: shards[i][:len(shards[i]):len(shards[i])], idx: make(map[K]int32, len(shards[i]))}
+			for j, k := range shards[i] {
+				n.idx[k] = int32(j)
+			}
+			nodes[i] = n
+		}
+	})
+	for len(nodes) > 1 {
+		nPairs := len(nodes) / 2
+		merged := make([]keyList[K], (len(nodes)+1)/2)
+		ParallelRange(nPairs, workers, func(_, lo, hi int) {
+			for p := lo; p < hi; p++ {
+				merged[p] = mergePair(nodes[2*p], nodes[2*p+1])
+			}
+		})
+		if len(nodes)%2 == 1 {
+			merged[len(merged)-1] = nodes[len(nodes)-1]
+		}
+		nodes = merged
+	}
+	return nodes[0].keys, nodes[0].idx
+}
+
+// mergePair merges two ordered key lists: a's keys keep their IDs, b's
+// unseen keys append in b order. a's list and index are extended in place —
+// safe because every merge node is consumed exactly once — so the left
+// spine's map is reused instead of rebuilt at every level.
+func mergePair[K comparable](a, b keyList[K]) keyList[K] {
+	for _, k := range b.keys {
+		if _, ok := a.idx[k]; !ok {
+			a.idx[k] = int32(len(a.keys))
+			a.keys = append(a.keys, k)
+		}
+	}
+	return a
+}

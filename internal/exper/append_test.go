@@ -1,0 +1,96 @@
+package exper
+
+import (
+	"testing"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/fusion"
+	"kfusion/internal/twolayer"
+)
+
+// TestAppendExtractionsGenerationAware pins the generation-aware caches:
+// after AppendExtractions, Compiled / ExtractionGraph return the next
+// generation built via Append from the cached previous generation (not a
+// recompile), results match a from-scratch compile of the grown feed
+// bit-identically, the previous generation's handles stay usable, and the
+// fusion result cache is generation-scoped.
+func TestAppendExtractionsGenerationAware(t *testing.T) {
+	ds := NewDataset(ScaleSmall, 99)
+	gran := fusion.GranExtractorURL
+	cfg := fusion.PopAccuConfig()
+
+	g0 := ds.Compiled(gran)
+	e0 := ds.ExtractionGraph(true)
+	res0 := ds.Fuse("append-test", cfg)
+	u0 := len(ds.Unique())
+	if ds.Generation() != 0 || g0.Generation() != 0 || e0.Generation() != 0 {
+		t.Fatalf("fresh dataset not at generation 0")
+	}
+
+	// The appended batch revisits the first pages under new URLs (new
+	// sources, same sites) so it adds provenances, claims and statements.
+	batch := make([]extract.Extraction, 60)
+	copy(batch, ds.Extractions[:60])
+	for i := range batch {
+		batch[i].URL += "?v2"
+	}
+	ds.AppendExtractions(batch)
+	if ds.Generation() != 1 {
+		t.Fatalf("Generation = %d, want 1", ds.Generation())
+	}
+
+	g1 := ds.Compiled(gran)
+	if g1.Generation() != 1 {
+		t.Fatalf("claim graph generation = %d, want 1 (should be built via Append)", g1.Generation())
+	}
+	if same := ds.Compiled(gran); same != g1 {
+		t.Fatal("repeated Compiled lookups at one generation must share the cached graph")
+	}
+	want := fusion.MustCompile(fusion.Claims(ds.Extractions, gran))
+	got := g1.MustFuse(cfg)
+	fresh := want.MustFuse(cfg)
+	if len(got.Triples) != len(fresh.Triples) {
+		t.Fatalf("%d triples, want %d", len(got.Triples), len(fresh.Triples))
+	}
+	for i := range got.Triples {
+		if got.Triples[i] != fresh.Triples[i] {
+			t.Fatalf("triple %d differs from recompile: %+v vs %+v", i, got.Triples[i], fresh.Triples[i])
+		}
+	}
+
+	e1 := ds.ExtractionGraph(true)
+	if e1.Generation() != 1 {
+		t.Fatalf("extraction graph generation = %d, want 1", e1.Generation())
+	}
+	tcfg := twolayer.DefaultConfig()
+	tcfg.SiteLevel = true
+	gotT := twolayer.MustFuseCompiled(e1, tcfg)
+	wantT := twolayer.MustFuseCompiled(extract.Compile(ds.Extractions, true), tcfg)
+	if len(gotT.Triples) != len(wantT.Triples) {
+		t.Fatalf("twolayer: %d triples, want %d", len(gotT.Triples), len(wantT.Triples))
+	}
+	for i := range gotT.Triples {
+		if gotT.Triples[i] != wantT.Triples[i] {
+			t.Fatalf("twolayer triple %d differs from recompile", i)
+		}
+	}
+
+	// The previous generation stays fully usable.
+	if g0.NumClaims() >= g1.NumClaims() {
+		t.Fatalf("appended generation did not grow: %d vs %d claims", g1.NumClaims(), g0.NumClaims())
+	}
+	g0.MustFuse(cfg)
+
+	// Fusion results are generation-scoped: the same key re-fuses on the
+	// grown feed instead of returning the stale result.
+	res1 := ds.Fuse("append-test", cfg)
+	if res1 == res0 {
+		t.Fatal("fuse cache returned the previous generation's result after an append")
+	}
+	if len(res1.Triples) != len(fresh.Triples) {
+		t.Fatalf("cached fuse has %d triples, want %d", len(res1.Triples), len(fresh.Triples))
+	}
+	if u1 := len(ds.Unique()); u1 < u0 {
+		t.Fatalf("Unique shrank across append: %d -> %d", u0, u1)
+	}
+}

@@ -1,0 +1,249 @@
+package extract
+
+// Append: the extraction graph as one generation of an append-only feed.
+//
+// The paper's setting is a continuously crawled Web — extraction feeds grow,
+// they are not recompiled from scratch. Append extends a compiled extraction
+// graph with a batch and returns the next generation, bit-identical to
+// CompileWorkers over the concatenated stream: every ID space is assigned in
+// first-occurrence order (an invariant of Compile since the beginning), so
+// the IDs of existing sources, extractors, triples, items and statements
+// never move — only the batch is hashed, against the interning index the
+// previous compilation left behind. The derived CSR arrays are rebuilt as
+// O(total) array passes: the per-source/per-triple/per-item statement spans
+// merge through csr.AppendByGroup (new statement IDs all exceed old ones, so
+// each span is oldSpan ++ newIDs), the flattened extractor lists re-flatten
+// around the batch's additions, and the ext→statement incidence — whose
+// rows can interleave old and new statements when a batch introduces a new
+// (extractor, source) pairing — is rebuilt by the same parallel pass a
+// fresh compile uses. No string or triple is re-hashed for the prefix.
+
+import (
+	"runtime"
+	"slices"
+
+	"kfusion/internal/csr"
+)
+
+// Append extends the compiled graph with an extraction batch and returns the
+// next generation, using all available cores. The result is bit-identical to
+// Compile over the concatenated extraction stream; existing IDs are stable.
+// The receiver stays fully usable (its arrays are never mutated); the
+// mutable interning index moves to the returned generation, so appends
+// should chain (g0 -> g1 -> g2 ...) — a second Append on the same generation
+// is correct but rebuilds the index first.
+func (g *Compiled) Append(xs []Extraction) *Compiled {
+	return g.AppendWorkers(xs, 0)
+}
+
+// AppendWorkers is Append with an explicit worker bound (0 = GOMAXPROCS).
+// The graph is identical for any workers value.
+func (g *Compiled) AppendWorkers(xs []Extraction, workers int) *Compiled {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	idx := g.takeIndex()
+	nStOld := len(g.stSource)
+	nSrcOld := len(g.sources)
+	nTriOld := len(g.triples)
+
+	next := &Compiled{
+		siteLevel: g.siteLevel,
+		gen:       g.gen + 1,
+		idx:       idx,
+
+		sources:      slices.Clip(g.sources),
+		extractors:   slices.Clip(g.extractors),
+		stSource:     slices.Clip(g.stSource),
+		stTriple:     slices.Clip(g.stTriple),
+		triples:      slices.Clip(g.triples),
+		itemOfTriple: slices.Clip(g.itemOfTriple),
+		items:        slices.Clip(g.items),
+	}
+
+	// Extractor-list growth: additions to existing statements/sources are
+	// keyed sparsely (most are untouched by a batch); new statements/sources
+	// get dense lists indexed from the old counts.
+	stAdd := map[int32][]int32{}
+	srcAdd := map[int32][]int32{}
+	var newStLists, newSrcLists [][]int32
+	stExts := func(si int32) ([]int32, []int32) { // old span + additions
+		if si < int32(nStOld) {
+			return g.stExts[g.stExtStart[si]:g.stExtStart[si+1]], stAdd[si]
+		}
+		return nil, newStLists[si-int32(nStOld)]
+	}
+	srcExts := func(s int32) ([]int32, []int32) {
+		if s < int32(nSrcOld) {
+			return g.srcExts[g.srcExtStart[s]:g.srcExtStart[s+1]], srcAdd[s]
+		}
+		return nil, newSrcLists[s-int32(nSrcOld)]
+	}
+
+	// ---- Intern the batch, continuing the retained maps ----
+	// This mirrors internSequential exactly; only the batch is hashed.
+	for i := range xs {
+		x := &xs[i]
+		key := x.URL
+		if next.siteLevel {
+			key = x.Site
+		}
+		src, ok := idx.src[key]
+		if !ok {
+			src = int32(len(next.sources))
+			idx.src[key] = src
+			next.sources = append(next.sources, key)
+			newSrcLists = append(newSrcLists, nil)
+		}
+		ext, ok := idx.ext[x.Extractor]
+		if !ok {
+			ext = int32(len(next.extractors))
+			idx.ext[x.Extractor] = ext
+			next.extractors = append(next.extractors, x.Extractor)
+		}
+		if old, add := srcExts(src); !containsID(old, ext) && !containsID(add, ext) {
+			if src < int32(nSrcOld) {
+				srcAdd[src] = append(srcAdd[src], ext)
+			} else {
+				newSrcLists[src-int32(nSrcOld)] = append(newSrcLists[src-int32(nSrcOld)], ext)
+			}
+		}
+		tri, ok := idx.tri[x.Triple]
+		if !ok {
+			tri = int32(len(next.triples))
+			idx.tri[x.Triple] = tri
+			next.triples = append(next.triples, x.Triple)
+			item, iok := idx.item[x.Triple.Item()]
+			if !iok {
+				item = int32(len(next.items))
+				idx.item[x.Triple.Item()] = item
+				next.items = append(next.items, x.Triple.Item())
+			}
+			next.itemOfTriple = append(next.itemOfTriple, item)
+		}
+		si, ok := idx.st[stKey{src, tri}]
+		if !ok {
+			si = int32(len(next.stSource))
+			idx.st[stKey{src, tri}] = si
+			next.stSource = append(next.stSource, src)
+			next.stTriple = append(next.stTriple, tri)
+			newStLists = append(newStLists, nil)
+		}
+		if old, add := stExts(si); !containsID(old, ext) && !containsID(add, ext) {
+			if si < int32(nStOld) {
+				stAdd[si] = append(stAdd[si], ext)
+			} else {
+				newStLists[si-int32(nStOld)] = append(newStLists[si-int32(nStOld)], ext)
+			}
+		}
+	}
+
+	nSt := len(next.stSource)
+	nSrc := len(next.sources)
+	nTriples := len(next.triples)
+	nItems := len(next.items)
+
+	// ---- Re-flatten the extractor lists around the additions ----
+	next.stExtStart, next.stExts = reflattenLists(g.stExtStart, g.stExts, stAdd, newStLists, nSt)
+	next.srcExtStart, next.srcExts = reflattenLists(g.srcExtStart, g.srcExts, srcAdd, newSrcLists, nSrc)
+
+	// ---- CSR adjacency by ordered span merge ----
+	next.srcStStart, next.srcSts = csr.AppendByGroup(g.srcStStart, g.srcSts, next.stSource[nStOld:], nSrc, workers)
+	next.tripleStStart, next.tripleSts = csr.AppendByGroup(g.tripleStStart, g.tripleSts, next.stTriple[nStOld:], nTriples, workers)
+	next.itemTripleStart, next.itemTriples = csr.AppendByGroup(g.itemTripleStart, g.itemTriples, next.itemOfTriple[nTriOld:], nItems, workers)
+	for i := 0; i < nItems; i++ {
+		if n := int(next.itemTripleStart[i+1] - next.itemTripleStart[i]); n > next.maxItemTriples {
+			next.maxItemTriples = n
+		}
+	}
+
+	// ---- Support counts: extend, then recount only what the batch touched ----
+	next.itemStatements = csr.ExtendInt32(g.itemStatements, nItems)
+	for si := nStOld; si < nSt; si++ {
+		next.itemStatements[next.itemOfTriple[next.stTriple[si]]]++
+	}
+	next.tripleExts = csr.ExtendInt32(g.tripleExts, nTriples)
+	seen := make([]int32, len(next.extractors))
+	for i := range seen {
+		seen[i] = -1
+	}
+	touched := make(map[int32]bool, nSt-nStOld+len(stAdd))
+	for si := nStOld; si < nSt; si++ {
+		touched[next.stTriple[si]] = true
+	}
+	for si := range stAdd {
+		touched[next.stTriple[si]] = true
+	}
+	for t := range touched {
+		next.recountTriple(t, seen)
+	}
+
+	// The ext→statement incidence interleaves old and new statement IDs when
+	// the batch adds an extractor to an existing source (every old statement
+	// of that source joins the extractor's span) — rebuild it with the
+	// compile pass's parallel builder.
+	next.buildExtStatements(workers)
+	return next
+}
+
+// takeIndex claims the generation's interning index, rebuilding it from the
+// immutable graph when another Append already took it. The rebuild hashes
+// each distinct key once (not once per extraction); it exists for
+// correctness — chained appends never hit it.
+func (g *Compiled) takeIndex() *extractIndex {
+	g.mu.Lock()
+	idx := g.idx
+	g.idx = nil
+	g.mu.Unlock()
+	if idx != nil {
+		return idx
+	}
+	idx = newExtractIndex(len(g.stSource))
+	for s, key := range g.sources {
+		idx.src[key] = int32(s)
+	}
+	for x, key := range g.extractors {
+		idx.ext[key] = int32(x)
+	}
+	for t := range g.triples {
+		idx.tri[g.triples[t]] = int32(t)
+	}
+	for i := range g.items {
+		idx.item[g.items[i]] = int32(i)
+	}
+	for si := range g.stSource {
+		idx.st[stKey{g.stSource[si], g.stTriple[si]}] = int32(si)
+	}
+	return idx
+}
+
+// reflattenLists rebuilds a flattened (start, flat) extractor-list pair
+// around sparse additions to old rows plus dense lists for new rows. Old row
+// contents keep their relative order with additions appended — exactly the
+// first-extraction order a full recompile would produce.
+func reflattenLists(oldStart, oldFlat []int32, add map[int32][]int32, newLists [][]int32, nRows int) (start, flat []int32) {
+	oldRows := len(oldStart) - 1
+	if oldRows < 0 {
+		oldRows = 0
+	}
+	total := len(oldFlat)
+	for _, l := range add {
+		total += len(l)
+	}
+	for _, l := range newLists {
+		total += len(l)
+	}
+	start = make([]int32, nRows+1)
+	flat = make([]int32, 0, total)
+	for r := 0; r < nRows; r++ {
+		start[r] = int32(len(flat))
+		if r < oldRows {
+			flat = append(flat, oldFlat[oldStart[r]:oldStart[r+1]]...)
+			flat = append(flat, add[int32(r)]...)
+		} else {
+			flat = append(flat, newLists[r-oldRows]...)
+		}
+	}
+	start[nRows] = int32(len(flat))
+	return start, flat
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 
 	"kfusion/internal/csr"
 	"kfusion/internal/kb"
@@ -85,6 +86,38 @@ type Compiled struct {
 	// maxItemTriples is the largest candidate count of any single item; it
 	// sizes per-worker scoring scratch.
 	maxItemTriples int
+
+	// gen counts the Appends that produced this handle (0 for a fresh
+	// Compile).
+	gen int
+
+	// idx is the interning byproduct Append consumes: the key -> ID maps of
+	// every interned space. The first Append on this generation takes it
+	// (and hands it to the generation it returns); a later Append on the
+	// same generation rebuilds it from the graph — correct, just slower.
+	// Guarded by mu; everything else in the struct is immutable.
+	mu  sync.Mutex
+	idx *extractIndex
+}
+
+// extractIndex is the mutable interning state a compilation leaves behind so
+// Append can extend the ID spaces without re-hashing the prefix.
+type extractIndex struct {
+	src  map[string]int32
+	ext  map[string]int32
+	tri  map[kb.Triple]int32
+	item map[kb.DataItem]int32
+	st   map[stKey]int32
+}
+
+func newExtractIndex(n int) *extractIndex {
+	return &extractIndex{
+		src:  make(map[string]int32, 1024),
+		ext:  make(map[string]int32, 32),
+		tri:  make(map[kb.Triple]int32, n),
+		item: make(map[kb.DataItem]int32, n),
+		st:   make(map[stKey]int32, n),
+	}
 }
 
 // Compile interns an extraction set into a reusable Compiled graph using all
@@ -103,16 +136,17 @@ func CompileWorkers(xs []Extraction, siteLevel bool, workers int) *Compiled {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	g := &Compiled{siteLevel: siteLevel}
+	g.idx = newExtractIndex(len(xs))
 
 	// Interning pass: every ID space is assigned in first-occurrence order of
 	// the extraction stream. Large inputs run a parallel shard-and-merge pass
 	// (internParallel); small ones intern sequentially — both produce the
-	// exact same graph.
+	// exact same graph and leave the same index behind for Append.
 	var stExtLists, srcExtLists [][]int32
 	if len(xs) >= internShardThreshold && workers > 1 {
-		stExtLists, srcExtLists = internParallel(g, xs, siteLevel, workers)
+		stExtLists, srcExtLists = internParallel(g, g.idx, xs, siteLevel, workers)
 	} else {
-		stExtLists, srcExtLists = internSequential(g, xs, siteLevel)
+		stExtLists, srcExtLists = internSequential(g, g.idx, xs, siteLevel)
 	}
 
 	// ---- Flatten the per-statement and per-source extractor lists ----
@@ -152,19 +186,28 @@ func CompileWorkers(xs []Extraction, siteLevel bool, workers int) *Compiled {
 			seen[i] = -1
 		}
 		for t := lo; t < hi; t++ {
-			for _, si := range g.tripleSts[g.tripleStStart[t]:g.tripleStStart[t+1]] {
-				for _, e := range g.stExts[g.stExtStart[si]:g.stExtStart[si+1]] {
-					if seen[e] != int32(t) {
-						seen[e] = int32(t)
-						g.tripleExts[t]++
-					}
-				}
-			}
+			g.recountTriple(int32(t), seen)
 		}
 	})
 
 	g.buildExtStatements(workers)
 	return g
+}
+
+// recountTriple recomputes one triple's distinct-extractor count using a
+// caller-owned seen-set stamped with the triple ID. Shared by the compile
+// pass and Append's touched-triple recount so both produce identical counts.
+func (g *Compiled) recountTriple(t int32, seen []int32) {
+	cnt := int32(0)
+	for _, si := range g.tripleSts[g.tripleStStart[t]:g.tripleStStart[t+1]] {
+		for _, e := range g.stExts[g.stExtStart[si]:g.stExtStart[si+1]] {
+			if seen[e] != t {
+				seen[e] = t
+				cnt++
+			}
+		}
+	}
+	g.tripleExts[t] = cnt
 }
 
 // buildExtStatements materializes the ext→statement incidence: for every
@@ -247,54 +290,50 @@ const internShardThreshold = csr.ParallelThreshold
 type stKey struct{ src, tri int32 }
 
 // internSequential interns the extraction stream in order with one map per
-// ID space. The per-statement and per-source extractor lists are
-// deduplicated here too; both are short (bounded by the extractor fleet), so
-// linear scans beat maps.
-func internSequential(g *Compiled, xs []Extraction, siteLevel bool) (stExtLists, srcExtLists [][]int32) {
-	srcIdx := make(map[string]int32, 1024)
-	extIdx := make(map[string]int32, 32)
-	triIdx := make(map[kb.Triple]int32, len(xs))
-	itemIdx := make(map[kb.DataItem]int32, len(xs))
-	stIdx := make(map[stKey]int32, len(xs))
+// ID space (the maps live in idx and are retained for Append). The
+// per-statement and per-source extractor lists are deduplicated here too;
+// both are short (bounded by the extractor fleet), so linear scans beat
+// maps.
+func internSequential(g *Compiled, idx *extractIndex, xs []Extraction, siteLevel bool) (stExtLists, srcExtLists [][]int32) {
 	for i := range xs {
 		x := &xs[i]
 		key := x.URL
 		if siteLevel {
 			key = x.Site
 		}
-		src, ok := srcIdx[key]
+		src, ok := idx.src[key]
 		if !ok {
 			src = int32(len(g.sources))
-			srcIdx[key] = src
+			idx.src[key] = src
 			g.sources = append(g.sources, key)
 			srcExtLists = append(srcExtLists, nil)
 		}
-		ext, ok := extIdx[x.Extractor]
+		ext, ok := idx.ext[x.Extractor]
 		if !ok {
 			ext = int32(len(g.extractors))
-			extIdx[x.Extractor] = ext
+			idx.ext[x.Extractor] = ext
 			g.extractors = append(g.extractors, x.Extractor)
 		}
 		if !containsID(srcExtLists[src], ext) {
 			srcExtLists[src] = append(srcExtLists[src], ext)
 		}
-		tri, ok := triIdx[x.Triple]
+		tri, ok := idx.tri[x.Triple]
 		if !ok {
 			tri = int32(len(g.triples))
-			triIdx[x.Triple] = tri
+			idx.tri[x.Triple] = tri
 			g.triples = append(g.triples, x.Triple)
-			item, iok := itemIdx[x.Triple.Item()]
+			item, iok := idx.item[x.Triple.Item()]
 			if !iok {
 				item = int32(len(g.items))
-				itemIdx[x.Triple.Item()] = item
+				idx.item[x.Triple.Item()] = item
 				g.items = append(g.items, x.Triple.Item())
 			}
 			g.itemOfTriple = append(g.itemOfTriple, item)
 		}
-		si, ok := stIdx[stKey{src, tri}]
+		si, ok := idx.st[stKey{src, tri}]
 		if !ok {
 			si = int32(len(g.stSource))
-			stIdx[stKey{src, tri}] = si
+			idx.st[stKey{src, tri}] = si
 			g.stSource = append(g.stSource, src)
 			g.stTriple = append(g.stTriple, tri)
 			stExtLists = append(stExtLists, nil)
@@ -307,24 +346,35 @@ func internSequential(g *Compiled, xs []Extraction, siteLevel bool) (stExtLists,
 }
 
 // extShard is one worker's shard-local interning output: every ID space in
-// shard-local first-occurrence order, plus the shard-local extractor lists.
+// shard-local first-occurrence order, plus the shard-local extractor lists
+// and (filled during the merge) the local -> global remaps.
 type extShard struct {
 	sources, extractors []string
 	triples             []kb.Triple
 	stSrc, stTri        []int32   // per local statement: local source/triple ID
 	stExtLists          [][]int32 // per local statement: local extractor IDs
 	srcExtLists         [][]int32 // per local source: local extractor IDs
+	srcRemap, extRemap  []int32   // local ID -> global ID (merge output)
 }
 
 // internParallel is the shard-and-merge interning pass: each worker interns
-// a contiguous extraction range into shard-local ID spaces, then a
-// sequential merge walks the shards in claim order and assigns global IDs —
-// because any key's first global occurrence lies in the earliest shard that
-// saw it, and shard-local lists preserve stream order, the merged ID spaces
-// (and the first-extraction-ordered extractor lists) are identical to
-// internSequential's. The merge touches only distinct keys per shard, not
-// every extraction, so the O(n) hashing runs fully parallel.
-func internParallel(g *Compiled, xs []Extraction, siteLevel bool, workers int) (stExtLists, srcExtLists [][]int32) {
+// a contiguous extraction range into shard-local ID spaces, the shard-local
+// key lists merge into the global first-occurrence order, and shard-local
+// IDs are remapped through the merged indexes. Because any key's first
+// global occurrence lies in the earliest shard that saw it, and shard-local
+// lists preserve stream order, the merged ID spaces (and the
+// first-extraction-ordered extractor lists) are identical to
+// internSequential's.
+//
+// The merges themselves run as csr.MergeKeys' ordered pairwise trees —
+// adjacent shard pairs merged concurrently — so the formerly sequential
+// key-merge walk (the bound ROADMAP called out on ExtractCompileParallel's
+// scaling) parallelizes too: sources, extractors and triples merge
+// concurrently with each other, then statements merge over globally-remapped
+// (source, triple) keys built in parallel per shard. Only the extractor-list
+// folds remain a sequential walk; their work per statement is bounded by the
+// extractor fleet, not the corpus.
+func internParallel(g *Compiled, idx *extractIndex, xs []Extraction, siteLevel bool, workers int) (stExtLists, srcExtLists [][]int32) {
 	n := len(xs)
 	if workers > n {
 		workers = n
@@ -378,76 +428,95 @@ func internParallel(g *Compiled, xs []Extraction, siteLevel bool, workers int) (
 		}
 	})
 
-	// Ordered merge. Items are interned here exactly as in the sequential
-	// pass: when a globally-new triple is appended, its item is interned if
-	// unseen — the first extraction carrying an item always carries a
-	// globally-new triple, so item IDs come out in stream first-occurrence
-	// order too.
-	srcIdx := make(map[string]int32, 1024)
-	extIdx := make(map[string]int32, 32)
-	triIdx := make(map[kb.Triple]int32, n)
-	itemIdx := make(map[kb.DataItem]int32, n)
-	stIdx := make(map[stKey]int32, n)
+	// Pairwise-merge the string/triple key spaces, concurrently with each
+	// other.
+	srcShards := make([][]string, workers)
+	extShards := make([][]string, workers)
+	triShards := make([][]kb.Triple, workers)
+	for w := range shards {
+		srcShards[w] = shards[w].sources
+		extShards[w] = shards[w].extractors
+		triShards[w] = shards[w].triples
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		g.sources, idx.src = csr.MergeKeys(srcShards, workers)
+	}()
+	go func() {
+		defer wg.Done()
+		g.extractors, idx.ext = csr.MergeKeys(extShards, workers)
+	}()
+	g.triples, idx.tri = csr.MergeKeys(triShards, workers)
+	wg.Wait()
+
+	// Items are interned from the merged triple list exactly as in the
+	// sequential pass: a globally-new triple interns its item if unseen, and
+	// the merged list is in stream first-occurrence order, so item IDs come
+	// out in stream first-occurrence order too.
+	for _, t := range g.triples {
+		item, ok := idx.item[t.Item()]
+		if !ok {
+			item = int32(len(g.items))
+			idx.item[t.Item()] = item
+			g.items = append(g.items, t.Item())
+		}
+		g.itemOfTriple = append(g.itemOfTriple, item)
+	}
+
+	// Remap each shard's statement keys to global (source, triple) IDs in
+	// parallel, then pairwise-merge the statement key space like the others.
+	stKeyShards := make([][]stKey, workers)
+	csr.ParallelRange(workers, workers, func(_, lo, hi int) {
+		for w := lo; w < hi; w++ {
+			s := &shards[w]
+			s.srcRemap = make([]int32, len(s.sources))
+			for li, key := range s.sources {
+				s.srcRemap[li] = idx.src[key]
+			}
+			s.extRemap = make([]int32, len(s.extractors))
+			for li, key := range s.extractors {
+				s.extRemap[li] = idx.ext[key]
+			}
+			triRemap := make([]int32, len(s.triples))
+			for li, t := range s.triples {
+				triRemap[li] = idx.tri[t]
+			}
+			keys := make([]stKey, len(s.stSrc))
+			for lsi := range s.stSrc {
+				keys[lsi] = stKey{s.srcRemap[s.stSrc[lsi]], triRemap[s.stTri[lsi]]}
+			}
+			stKeyShards[w] = keys
+		}
+	})
+	var stKeys []stKey
+	stKeys, idx.st = csr.MergeKeys(stKeyShards, workers)
+	g.stSource = make([]int32, len(stKeys))
+	g.stTriple = make([]int32, len(stKeys))
+	for si, k := range stKeys {
+		g.stSource[si] = k.src
+		g.stTriple[si] = k.tri
+	}
+
+	// Fold the per-statement and per-source extractor lists shard by shard
+	// (stream order), preserving first-extraction order across shards.
+	stExtLists = make([][]int32, len(stKeys))
+	srcExtLists = make([][]int32, len(g.sources))
 	for w := range shards {
 		s := &shards[w]
-		srcRemap := make([]int32, len(s.sources))
-		for li, key := range s.sources {
-			gid, ok := srcIdx[key]
-			if !ok {
-				gid = int32(len(g.sources))
-				srcIdx[key] = gid
-				g.sources = append(g.sources, key)
-				srcExtLists = append(srcExtLists, nil)
-			}
-			srcRemap[li] = gid
-		}
-		extRemap := make([]int32, len(s.extractors))
-		for li, key := range s.extractors {
-			gid, ok := extIdx[key]
-			if !ok {
-				gid = int32(len(g.extractors))
-				extIdx[key] = gid
-				g.extractors = append(g.extractors, key)
-			}
-			extRemap[li] = gid
-		}
-		triRemap := make([]int32, len(s.triples))
-		for li, t := range s.triples {
-			gid, ok := triIdx[t]
-			if !ok {
-				gid = int32(len(g.triples))
-				triIdx[t] = gid
-				g.triples = append(g.triples, t)
-				item, iok := itemIdx[t.Item()]
-				if !iok {
-					item = int32(len(g.items))
-					itemIdx[t.Item()] = item
-					g.items = append(g.items, t.Item())
-				}
-				g.itemOfTriple = append(g.itemOfTriple, item)
-			}
-			triRemap[li] = gid
-		}
 		for lsi := range s.stSrc {
-			k := stKey{srcRemap[s.stSrc[lsi]], triRemap[s.stTri[lsi]]}
-			gsi, ok := stIdx[k]
-			if !ok {
-				gsi = int32(len(g.stSource))
-				stIdx[k] = gsi
-				g.stSource = append(g.stSource, k.src)
-				g.stTriple = append(g.stTriple, k.tri)
-				stExtLists = append(stExtLists, nil)
-			}
+			gsi := idx.st[stKeyShards[w][lsi]]
 			for _, lx := range s.stExtLists[lsi] {
-				if gx := extRemap[lx]; !containsID(stExtLists[gsi], gx) {
+				if gx := s.extRemap[lx]; !containsID(stExtLists[gsi], gx) {
 					stExtLists[gsi] = append(stExtLists[gsi], gx)
 				}
 			}
 		}
 		for ls := range s.srcExtLists {
-			gs := srcRemap[ls]
+			gs := s.srcRemap[ls]
 			for _, lx := range s.srcExtLists[ls] {
-				if gx := extRemap[lx]; !containsID(srcExtLists[gs], gx) {
+				if gx := s.extRemap[lx]; !containsID(srcExtLists[gs], gx) {
 					srcExtLists[gs] = append(srcExtLists[gs], gx)
 				}
 			}
@@ -488,6 +557,10 @@ func flattenLists(lists [][]int32) (start, flat []int32) {
 
 // SiteLevel reports whether sources are keyed at site level.
 func (g *Compiled) SiteLevel() bool { return g.siteLevel }
+
+// Generation reports how many Appends produced this handle (0 for a fresh
+// Compile).
+func (g *Compiled) Generation() int { return g.gen }
 
 // NumStatements reports the number of distinct (source, triple) pairs.
 func (g *Compiled) NumStatements() int { return len(g.stSource) }

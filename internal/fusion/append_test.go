@@ -1,0 +1,289 @@
+package fusion
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/kb"
+)
+
+// graphsEqual compares every field of two compiled graphs. Empty and nil
+// slices are interchangeable (an append over an empty span materializes an
+// empty slice where a fresh compile may leave nil).
+func graphsEqual(t *testing.T, name string, got, want *graph) {
+	t.Helper()
+	eq := func(field string, g, w any) {
+		t.Helper()
+		gv, wv := reflect.ValueOf(g), reflect.ValueOf(w)
+		if gv.Kind() == reflect.Slice && gv.Len() == 0 && wv.Len() == 0 {
+			return
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("%s: graph field %s differs:\n got %v\nwant %v", name, field, g, w)
+		}
+	}
+	eq("claims", got.claims, want.claims)
+	eq("items", got.items, want.items)
+	eq("itemClaimStart", got.itemClaimStart, want.itemClaimStart)
+	eq("itemClaims", got.itemClaims, want.itemClaims)
+	eq("triples", got.triples, want.triples)
+	eq("itemCandStart", got.itemCandStart, want.itemCandStart)
+	eq("itemCands", got.itemCands, want.itemCands)
+	eq("itemOfTriple", got.itemOfTriple, want.itemOfTriple)
+	eq("localOfTriple", got.localOfTriple, want.localOfTriple)
+	eq("tripleOfClaim", got.tripleOfClaim, want.tripleOfClaim)
+	eq("localOfClaim", got.localOfClaim, want.localOfClaim)
+	eq("tripleClaimStart", got.tripleClaimStart, want.tripleClaimStart)
+	eq("tripleClaims", got.tripleClaims, want.tripleClaims)
+	eq("tripleExtractors", got.tripleExtractors, want.tripleExtractors)
+	eq("provKeys", got.provKeys, want.provKeys)
+	eq("provOfClaim", got.provOfClaim, want.provOfClaim)
+	eq("provClaimStart", got.provClaimStart, want.provClaimStart)
+	eq("provClaims", got.provClaims, want.provClaims)
+	eq("maxCandidates", got.maxCandidates, want.maxCandidates)
+}
+
+// TestAppendMatchesRecompile is the tentpole contract: appending a batch to a
+// compiled generation produces the exact graph a fresh compile of the
+// concatenated claim stream builds — same IDs for every pre-existing
+// provenance, item, triple and claim, same CSR bits — at several split points
+// and worker counts, including splits that add new provenances, new items,
+// new candidates on existing items, and duplicate claims of existing triples.
+func TestAppendMatchesRecompile(t *testing.T) {
+	claims := randomClaims(99, 600)
+	n := len(claims) // randomClaims dedups, so n < 600
+	for _, split := range []int{0, 1, n / 2, n - n/10, n - 1, n} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			base, err := CompileWorkers(claims[:split], workers, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			next, err := base.AppendWorkers(claims[split:], workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := compile(claims, workers, 0)
+			graphsEqual(t, fmt.Sprintf("split=%d workers=%d", split, workers), next.g, want)
+			if next.Generation() != 1 {
+				t.Fatalf("generation = %d, want 1", next.Generation())
+			}
+		}
+	}
+}
+
+// TestAppendChainMatchesRecompile appends in several batches — the streaming
+// shape — and requires the final generation to equal one big compile, with
+// fusion results bit-identical under every method.
+func TestAppendChainMatchesRecompile(t *testing.T) {
+	claims := shardedClaims(2000)
+	g := MustCompile(claims[:500])
+	for _, cut := range []int{800, 1200, 1999, 2000} {
+		prev := 0
+		switch cut {
+		case 800:
+			prev = 500
+		case 1200:
+			prev = 800
+		case 1999:
+			prev = 1200
+		case 2000:
+			prev = 1999
+		}
+		g = g.MustAppend(claims[prev:cut])
+	}
+	if g.Generation() != 4 {
+		t.Fatalf("generation = %d, want 4", g.Generation())
+	}
+	want, _ := compile(claims, 0, 0)
+	graphsEqual(t, "chain", g.g, want)
+
+	full := MustCompile(claims)
+	for _, cfg := range []Config{VoteConfig(), AccuConfig(), PopAccuConfig(), PopAccuPlusUnsupConfig()} {
+		assertBitIdentical(t, "chain/"+cfg.Method.String(), g.MustFuse(cfg), full.MustFuse(cfg))
+	}
+}
+
+// TestAppendAboveShardThreshold crosses the parallel interning threshold so
+// the appended generation extends a graph whose base was compiled by the
+// shard-and-merge path.
+func TestAppendAboveShardThreshold(t *testing.T) {
+	claims := shardedClaims(internShardThreshold + 4096)
+	split := internShardThreshold + 100
+	base, _ := CompileWorkers(claims[:split], 4, 0)
+	next, err := base.AppendWorkers(claims[split:], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := compile(claims, 4, 0)
+	graphsEqual(t, "sharded", next.g, want)
+}
+
+// TestAppendLeavesPreviousGenerationUsable pins the generational contract:
+// after an append, the base handle must still fuse to its own (pre-append)
+// results, bit-identically.
+func TestAppendLeavesPreviousGenerationUsable(t *testing.T) {
+	claims := randomClaims(3, 500)
+	n := len(claims)
+	base := MustCompile(claims[:n/2])
+	before := base.MustFuse(PopAccuConfig())
+	next := base.MustAppend(claims[n/2:])
+	after := base.MustFuse(PopAccuConfig())
+	assertBitIdentical(t, "base-after-append", after, before)
+	if next.NumClaims() != n {
+		t.Fatalf("appended generation has %d claims, want %d", next.NumClaims(), n)
+	}
+	// A second append on the consumed base rebuilds the index and must still
+	// match the recompile.
+	again := base.MustAppend(claims[n/2:])
+	want, _ := compile(claims, 0, 0)
+	graphsEqual(t, "rebuilt-index", again.g, want)
+}
+
+// TestClaimStreamMatchesClaims pins the incremental flattening: Add batches
+// concatenated reproduce Claims over the whole feed, including cross-batch
+// (provenance, triple) dedup.
+func TestClaimStreamMatchesClaims(t *testing.T) {
+	xs := benchExtractions(400)
+	for _, gran := range []Granularity{GranExtractorURL, GranExtractorSitePredPattern} {
+		want := Claims(xs, gran)
+		s := NewClaimStream(gran)
+		var got []Claim
+		for _, cut := range [][2]int{{0, 100}, {100, 101}, {101, 400}} {
+			got = append(got, s.Add(xs[cut[0]:cut[1]])...)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("gran %v: streamed claims diverge from Claims (%d vs %d)", gran, len(got), len(want))
+		}
+		if s.NumClaims() != len(want) {
+			t.Fatalf("gran %v: NumClaims = %d, want %d", gran, s.NumClaims(), len(want))
+		}
+	}
+}
+
+// convergingRaw builds a claim stream on which EM actually converges
+// (Epsilon-stopped, not Rounds-capped): a pool of mostly-accurate
+// provenances, each item with one dominant true value and occasional
+// per-provenance conflicts. This is the regime the WarmTol contract covers.
+func convergingRaw(n int) []Claim {
+	claims := make([]Claim, 0, n)
+	for i := 0; i < n; i++ {
+		item := fmt.Sprintf("s%d", i%(n/12+1))
+		prov := fmt.Sprintf("prov%d", i%37)
+		val := "true"
+		if (i*2654435761)%100 < 15 { // deterministic ~15% noise
+			val = fmt.Sprintf("f%d", i%3)
+		}
+		claims = append(claims, cl(item, "p", val, prov))
+	}
+	return claims
+}
+
+// dedupClaims removes duplicate (prov, triple) pairs, as Claims would.
+func dedupClaims(claims []Claim) []Claim {
+	seen := make(map[provTriple]bool, len(claims))
+	out := claims[:0:0]
+	for _, c := range claims {
+		k := provTriple{prov: c.Prov, triple: c.Triple}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// TestFuseWarmWithinToleranceOfCold pins the documented warm-start contract
+// in its converged regime: with Epsilon (not the Rounds cap) terminating
+// both runs, seeding from the previous generation's accuracies converges in
+// no more rounds than cold start and lands within WarmTol of the cold-start
+// output on every probability and accuracy.
+func TestFuseWarmWithinToleranceOfCold(t *testing.T) {
+	claims := dedupClaims(convergingRaw(4000))
+	split := len(claims) - len(claims)/10
+	base := MustCompile(claims[:split])
+	cfg := PopAccuConfig()
+	cfg.Rounds = 100 // let Epsilon terminate; the paper's R=5 is a forced cut
+	prev := base.MustFuse(cfg)
+
+	next := base.MustAppend(claims[split:])
+	cold := next.MustFuse(cfg)
+	warm := next.MustFuseWarm(cfg, prev)
+
+	if cold.Rounds >= cfg.Rounds {
+		t.Fatalf("cold start did not converge within %d rounds; test scenario broken", cfg.Rounds)
+	}
+	if warm.Rounds > cold.Rounds {
+		t.Errorf("warm start took %d rounds, cold %d — warm must not be slower to converge", warm.Rounds, cold.Rounds)
+	}
+	coldBy := cold.ByTriple()
+	maxDrift := 0.0
+	for _, f := range warm.Triples {
+		w := coldBy[f.Triple]
+		if f.Predicted != w.Predicted {
+			t.Fatalf("%v: Predicted %v vs cold %v", f.Triple, f.Predicted, w.Predicted)
+		}
+		if !f.Predicted {
+			continue
+		}
+		if d := math.Abs(f.Probability - w.Probability); d > maxDrift {
+			maxDrift = d
+		}
+	}
+	for p, a := range warm.ProvAccuracy {
+		if d := math.Abs(a - cold.ProvAccuracy[p]); d > maxDrift {
+			maxDrift = d
+		}
+	}
+	if maxDrift > WarmTol {
+		t.Errorf("warm-vs-cold drift %.2e exceeds WarmTol %.0e", maxDrift, WarmTol)
+	}
+	t.Logf("warm rounds %d vs cold %d; max drift %.2e", warm.Rounds, cold.Rounds, maxDrift)
+
+	// Nil previous result must degrade to a plain (cold) Fuse, bit-identically.
+	assertBitIdentical(t, "warm-nil", next.MustFuseWarm(cfg, nil), cold)
+}
+
+// TestFuseWarmDeterministicAcrossWorkers pins that warm start preserves the
+// worker-independence contract.
+func TestFuseWarmDeterministicAcrossWorkers(t *testing.T) {
+	claims := shardedClaims(800)
+	base := MustCompile(claims[:700])
+	prev := base.MustFuse(PopAccuConfig())
+	next := base.MustAppend(claims[700:])
+	var want *Result
+	for _, workers := range []int{1, 2, 4, 8} {
+		cfg := PopAccuConfig()
+		cfg.Workers = workers
+		got := next.MustFuseWarm(cfg, prev)
+		if want == nil {
+			want = got
+			continue
+		}
+		assertBitIdentical(t, fmt.Sprintf("warm workers=%d", workers), got, want)
+	}
+}
+
+// benchExtractions synthesizes a small deterministic extraction stream with
+// repeated (prov, triple) pairs across batch boundaries.
+func benchExtractions(n int) []extract.Extraction {
+	out := make([]extract.Extraction, n)
+	for i := range out {
+		out[i] = extract.Extraction{
+			Triple: kb.Triple{
+				Subject:   kb.EntityID(fmt.Sprintf("s%d", i%40)),
+				Predicate: "p",
+				Object:    kb.StringObject(fmt.Sprintf("v%d", i%5)),
+			},
+			Extractor:  fmt.Sprintf("X%d", i%4),
+			Pattern:    fmt.Sprintf("pat%d", i%3),
+			URL:        fmt.Sprintf("http://site%d.example/p%d", i%11, i%23),
+			Site:       fmt.Sprintf("site%d.example", i%11),
+			Confidence: -1,
+		}
+	}
+	return out
+}

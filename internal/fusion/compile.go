@@ -2,10 +2,11 @@ package fusion
 
 import (
 	"runtime"
+	"slices"
+	"sync"
 
 	"kfusion/internal/csr"
 	"kfusion/internal/kb"
-	"kfusion/internal/mapreduce"
 )
 
 // graph is the compiled, immutable form of a claim set: every provenance,
@@ -14,19 +15,22 @@ import (
 // (compile) and then every EM round of every fusion run over it iterates
 // flat slices — no maps, no string hashing, no re-shuffling.
 //
-// ID spaces and invariants:
+// ID spaces and invariants (all append-stable: extending the claim stream
+// never renumbers an existing ID, which is what makes Append a generation of
+// the same graph instead of a recompile):
 //
 //   - Claim IDs are the indexes of the input []Claim, unchanged.
-//   - Item IDs are assigned in the (deterministic) output order of the
-//     compile shuffle; itemClaims groups claim IDs by item, preserving
-//     claim-index order within an item — the same order the per-round
-//     shuffle of the seed engine produced, so reservoir sampling sees the
-//     identical stream.
-//   - Triple IDs are grouped by item: the candidates of item i occupy
-//     [itemTripleStart[i], itemTripleStart[i+1]), in first-occurrence
-//     order. localOfClaim maps a claim to its candidate's offset within
-//     that span, so per-item counting uses a dense scratch array.
+//   - Item IDs are assigned in first-occurrence order of the claim stream.
+//   - Triple IDs are assigned in global first-occurrence order of the claim
+//     stream. An item's candidates are reached through the itemCands CSR
+//     (ascending triple ID = per-item first-occurrence order); localOfTriple
+//     is a triple's offset within its item's candidate list, and
+//     localOfClaim maps a claim to its candidate's offset, so per-item
+//     counting uses a dense scratch array.
 //   - Provenance IDs are assigned in claim-index order of first use.
+//   - itemClaims groups claim IDs by item in ascending claim-index order —
+//     the same order the per-round shuffle of the seed engine produced, so
+//     reservoir sampling sees the identical stream.
 //
 // The graph holds no configuration-dependent state: provenance accuracies,
 // per-claim probabilities and scoring scratch all live in the per-run engine
@@ -39,10 +43,13 @@ type graph struct {
 	itemClaimStart []int32 // len nItems+1; span into itemClaims
 	itemClaims     []int32 // claim IDs grouped by item, claim-index order
 
-	// Candidate triples (the deduplicated Stage III output set).
+	// Candidate triples (the deduplicated Stage III output set), in global
+	// first-occurrence order.
 	triples          []kb.Triple
-	itemTripleStart  []int32 // len nItems+1; candidate span of each item
+	itemCandStart    []int32 // len nItems+1; span into itemCands
+	itemCands        []int32 // candidate triple IDs per item, ascending
 	itemOfTriple     []int32 // triple ID -> item ID
+	localOfTriple    []int32 // triple ID -> candidate offset within its item
 	tripleOfClaim    []int32 // claim ID -> triple ID
 	localOfClaim     []int32 // claim ID -> candidate offset within its item
 	tripleClaimStart []int32 // len nTriples+1; span into tripleClaims
@@ -60,9 +67,25 @@ type graph struct {
 	maxCandidates int
 }
 
+// claimIndex is the mutable interning state a compilation leaves behind so
+// Append can extend the ID spaces without re-hashing the prefix. It is
+// byproduct state, not part of the immutable graph: exactly one generation
+// owns it at a time (see Compiled.takeIndex).
+type claimIndex struct {
+	prov map[string]int32
+	ext  map[string]int32
+	tri  map[kb.Triple]int32
+	item map[kb.DataItem]int32
+	// extOfClaim and nExt cover the extractor axis, which the graph itself
+	// only keeps aggregated (tripleExtractors); Append needs the per-claim
+	// assignment to recount the triples a batch touches.
+	extOfClaim []int32
+	nExt       int
+}
+
 // Compiled is a compiled claim set: a reusable, immutable handle over the
 // interned claim graph. Compilation is the expensive part of a fusion run —
-// the only shuffle plus all interning — and it depends solely on the claims,
+// all interning plus the CSR builds — and it depends solely on the claims,
 // never on a Config, so one Compiled can serve any number of fusion
 // configurations:
 //
@@ -77,6 +100,13 @@ type graph struct {
 // Compiled are safe. The caller must not mutate the claim slice after
 // Compile.
 //
+// A Compiled is also one generation of an append-only claim feed: Append
+// extends the graph with a claim batch — incrementally interning only the
+// new provenances, extractors, items and triples — and returns the next
+// generation, bit-identical to recompiling the concatenated claim stream
+// (every ID space is assigned in first-occurrence order, so existing IDs
+// never move). The previous generation stays fully usable.
+//
 // A Compiled is bound to its claims' provenance granularity:
 // Config.Granularity acts when extractions are flattened into claims
 // (Claims), never afterwards, so fusing configs that differ only in
@@ -84,7 +114,15 @@ type graph struct {
 // sweep needs one Compile per granularity's claim set — exper.Dataset does
 // exactly that, caching one compiled graph per granularity.
 type Compiled struct {
-	g *graph
+	g   *graph
+	gen int
+
+	// idx is the interning byproduct Append consumes. The first Append on
+	// this generation takes it (and hands it to the generation it returns);
+	// a later Append on the same generation rebuilds it from the graph —
+	// correct, just slower. Guarded by mu; the graph itself is immutable.
+	mu  sync.Mutex
+	idx *claimIndex
 }
 
 // Compile interns a claim set into a reusable Compiled graph using all
@@ -98,13 +136,14 @@ func Compile(claims []Claim) (*Compiled, error) {
 }
 
 // CompileWorkers is Compile with explicit resource bounds: workers caps the
-// shuffle, interning and counting goroutines (0 = GOMAXPROCS) and
-// partitions sets the compile shuffle's partition count (0 = default). The
-// graph — and every result fused from it — is identical for any workers
-// value; partitions only permutes the item/triple ID order, exactly as it
-// does in fusion.Fuse.
+// interning and counting goroutines (0 = GOMAXPROCS). The graph — and every
+// result fused from it — is identical for any workers value. partitions is
+// retained for signature compatibility with the former shuffle-based
+// compiler and is inert: the first-occurrence ID assignment has no partition
+// axis.
 func CompileWorkers(claims []Claim, workers, partitions int) (*Compiled, error) {
-	return &Compiled{g: compile(claims, workers, partitions)}, nil
+	g, idx := compile(claims, workers, partitions)
+	return &Compiled{g: g, idx: idx}, nil
 }
 
 // MustCompile is Compile for callers without error plumbing.
@@ -135,6 +174,10 @@ func (c *Compiled) NumTriples() int { return len(c.g.triples) }
 // NumProvenances reports the number of distinct provenance keys.
 func (c *Compiled) NumProvenances() int { return len(c.g.provKeys) }
 
+// Generation reports how many Appends produced this handle (0 for a fresh
+// Compile).
+func (c *Compiled) Generation() int { return c.gen }
+
 // Claims returns the compiled claim slice (claim ID -> Claim).
 func (c *Compiled) Claims() []Claim { return c.g.claims }
 
@@ -147,10 +190,10 @@ func (c *Compiled) Item(i int) kb.DataItem { return c.g.items[i] }
 // ProvKey returns the provenance key with the given provenance ID.
 func (c *Compiled) ProvKey(p int) string { return c.g.provKeys[p] }
 
-// ItemTripleSpan returns the half-open triple-ID range [lo, hi) holding the
-// candidate triples of item i.
-func (c *Compiled) ItemTripleSpan(i int) (lo, hi int32) {
-	return c.g.itemTripleStart[i], c.g.itemTripleStart[i+1]
+// ItemTriples returns the candidate triple IDs of item i in ascending
+// (first-occurrence) order.
+func (c *Compiled) ItemTriples(i int) []int32 {
+	return c.g.itemCands[c.g.itemCandStart[i]:c.g.itemCandStart[i+1]]
 }
 
 // ItemClaims returns the claim IDs of item i in claim-index order.
@@ -166,198 +209,283 @@ func (c *Compiled) TripleClaims(t int) []int32 {
 // ClaimProv returns the provenance ID of a claim.
 func (c *Compiled) ClaimProv(claim int32) int32 { return c.g.provOfClaim[claim] }
 
-// itemGroup is the compile shuffle's per-item output: the item's claims and
-// its deduplicated candidate triples.
-type itemGroup struct {
-	item   kb.DataItem
-	claims []int32     // claim IDs in claim-index order
-	local  []int32     // per claim, candidate offset within cands
-	cands  []kb.Triple // distinct triples in first-occurrence order
-}
-
-// compile interns a claim set into a graph. It runs the only shuffle of the
-// whole fusion run: claims are grouped by data item on the mapreduce
-// substrate (partitioned by the cheap field-wise kb.DataItem.Hash), and the
-// per-item candidate dedup — Figure 8's Stage III grouping — happens inside
-// the reducers. Provenance and extractor interning runs as a parallel
-// shard-and-merge pass; everything else is sequential O(n) array assembly.
-// The result is deterministic for a fixed input order and independent of
-// workers.
-func compile(claims []Claim, workers, partitions int) *graph {
-	n := len(claims)
-	g := &graph{claims: claims}
-
-	job := mapreduce.Job[int32, kb.DataItem, int32, itemGroup]{
-		Name: "fusion-compile",
-		Map: func(idx int32, emit func(kb.DataItem, int32)) {
-			emit(claims[idx].Triple.Item(), idx)
-		},
-		Reduce: func(item kb.DataItem, idxs []int32, emit func(itemGroup)) {
-			emit(dedupItem(claims, item, idxs))
-		},
-		KeyHash:       kb.DataItem.Hash,
-		EmitsPerInput: 1,
-		Workers:       workers,
-		Partitions:    partitions,
-	}
-	groups := mapreduce.MustRun(job, claimIndexes(n))
-
-	// ---- Assemble the item/triple side of the graph ----
-	nItems := len(groups)
-	nTriples := 0
-	for i := range groups {
-		nTriples += len(groups[i].cands)
-	}
-	g.items = make([]kb.DataItem, nItems)
-	g.itemClaimStart = make([]int32, nItems+1)
-	g.itemClaims = make([]int32, n)
-	g.itemTripleStart = make([]int32, nItems+1)
-	g.triples = make([]kb.Triple, 0, nTriples)
-	g.itemOfTriple = make([]int32, nTriples)
-	g.tripleOfClaim = make([]int32, n)
-	g.localOfClaim = make([]int32, n)
-	pos := int32(0)
-	for gi := range groups {
-		grp := &groups[gi]
-		g.items[gi] = grp.item
-		g.itemClaimStart[gi] = pos
-		base := int32(len(g.triples))
-		g.itemTripleStart[gi] = base
-		g.triples = append(g.triples, grp.cands...)
-		for k := range grp.cands {
-			g.itemOfTriple[base+int32(k)] = int32(gi)
-		}
-		if len(grp.cands) > g.maxCandidates {
-			g.maxCandidates = len(grp.cands)
-		}
-		for k, c := range grp.claims {
-			g.itemClaims[pos] = c
-			g.localOfClaim[c] = grp.local[k]
-			g.tripleOfClaim[c] = base + grp.local[k]
-			pos++
-		}
-	}
-	g.itemClaimStart[nItems] = pos
-	g.itemTripleStart[nItems] = int32(len(g.triples))
-
-	// ---- Intern provenances and extractors (claim-index order) ----
-	var extOfClaim []int32
-	var extKeys int
-	g.provOfClaim, g.provKeys, extOfClaim, extKeys = internClaims(claims, workers)
-
-	// ---- CSR adjacency by counting sort ----
-	g.provClaimStart, g.provClaims = csrByGroup(g.provOfClaim, len(g.provKeys), workers)
-	g.tripleClaimStart, g.tripleClaims = csrByGroup(g.tripleOfClaim, nTriples, workers)
-
-	g.tripleExtractors = countTripleExtractors(g, extOfClaim, extKeys, workers)
-	return g
-}
-
 // internShardThreshold is the claim count below which interning runs
 // sequentially: per-shard map setup and the merge pass only pay off once the
 // single-threaded hashing loop dominates (the shared cutoff of every
 // shard-and-merge pass; tuned in internal/csr).
 const internShardThreshold = csr.ParallelThreshold
 
-// internClaims interns provenance and extractor keys into dense int32 IDs in
-// claim-index order of first use. Large inputs run a parallel shard pass —
-// each worker interns a contiguous claim range into shard-local IDs — then a
-// sequential ordered merge assigns global IDs and a parallel remap rewrites
-// the local IDs in place. Processing shards in claim order makes the global
-// assignment identical to the sequential one, so results never depend on the
-// worker count.
-func internClaims(claims []Claim, workers int) (provOfClaim []int32, provKeys []string, extOfClaim []int32, nExt int) {
+// compile interns a claim set into a graph plus the interning index Append
+// consumes. Every ID space is assigned in first-occurrence order of the
+// claim stream; large inputs intern with a parallel shard pass whose
+// shard-local key lists fold through csr.MergeKeys' ordered pairwise merge,
+// which reproduces the sequential order exactly. CSR adjacency builds with
+// the parallel counting sort of csr.ByGroup. The result is deterministic for
+// a fixed input order and independent of workers; the partitions parameter
+// of the former shuffle-based compiler is inert.
+func compile(claims []Claim, workers, _ int) (*graph, *claimIndex) {
 	n := len(claims)
-	provOfClaim = make([]int32, n)
-	extOfClaim = make([]int32, n)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	g := &graph{claims: claims}
+	idx := &claimIndex{
+		prov:       make(map[string]int32, 256),
+		ext:        make(map[string]int32, 32),
+		tri:        make(map[kb.Triple]int32, n),
+		item:       make(map[kb.DataItem]int32, n),
+		extOfClaim: make([]int32, n),
+	}
+	g.provOfClaim = make([]int32, n)
+	g.tripleOfClaim = make([]int32, n)
+
+	// ---- Intern provenances, extractors and triples ----
 	if n < internShardThreshold || workers == 1 {
-		provID := make(map[string]int32, 256)
-		extID := make(map[string]int32, 32)
 		for i := range claims {
-			id, ok := provID[claims[i].Prov]
+			c := &claims[i]
+			pid, ok := idx.prov[c.Prov]
 			if !ok {
-				id = int32(len(provKeys))
-				provID[claims[i].Prov] = id
-				provKeys = append(provKeys, claims[i].Prov)
+				pid = int32(len(g.provKeys))
+				idx.prov[c.Prov] = pid
+				g.provKeys = append(g.provKeys, c.Prov)
 			}
-			provOfClaim[i] = id
-			xid, ok := extID[claims[i].Extractor]
+			g.provOfClaim[i] = pid
+			xid, ok := idx.ext[c.Extractor]
 			if !ok {
-				xid = int32(nExt)
-				extID[claims[i].Extractor] = xid
-				nExt++
+				xid = int32(idx.nExt)
+				idx.ext[c.Extractor] = xid
+				idx.nExt++
 			}
-			extOfClaim[i] = xid
+			idx.extOfClaim[i] = xid
+			tid, ok := idx.tri[c.Triple]
+			if !ok {
+				tid = int32(len(g.triples))
+				idx.tri[c.Triple] = tid
+				g.triples = append(g.triples, c.Triple)
+			}
+			g.tripleOfClaim[i] = tid
 		}
-		return provOfClaim, provKeys, extOfClaim, nExt
+	} else {
+		internClaimsParallel(g, idx, claims, workers)
 	}
 
+	// ---- Intern items and per-item candidate offsets (triple-ID order) ----
+	// A triple belongs to exactly one item, so walking the triples in ID
+	// (first-occurrence) order interns items in stream first-occurrence order
+	// too, and hashes each distinct item once per candidate instead of once
+	// per claim.
+	internItems(g, idx, 0)
+
+	assembleGraph(g, idx, 0, workers)
+	return g, idx
+}
+
+// internClaimsParallel is the shard-and-merge interning pass: each worker
+// interns a contiguous claim range into shard-local ID spaces, the
+// shard-local key lists merge into the global first-occurrence order with
+// csr.MergeKeys' ordered pairwise merge (bit-identical to a sequential
+// fold), and a parallel remap rewrites the shard-local IDs in place.
+func internClaimsParallel(g *graph, idx *claimIndex, claims []Claim, workers int) {
+	n := len(claims)
+	if workers > n {
+		workers = n
+	}
 	type shard struct {
-		provKeys, extKeys   []string // shard-local first-use order
-		provRemap, extRemap []int32  // shard-local ID -> global ID
+		provKeys, extKeys []string
+		triKeys           []kb.Triple
 	}
 	shards := make([]shard, workers)
-	ParallelRange(n, workers, func(w, lo, hi int) {
+	csr.ParallelRange(n, workers, func(w, lo, hi int) {
 		s := &shards[w]
 		provID := make(map[string]int32, 256)
 		extID := make(map[string]int32, 32)
+		triID := make(map[kb.Triple]int32, hi-lo)
 		for i := lo; i < hi; i++ {
-			id, ok := provID[claims[i].Prov]
+			c := &claims[i]
+			pid, ok := provID[c.Prov]
 			if !ok {
-				id = int32(len(s.provKeys))
-				provID[claims[i].Prov] = id
-				s.provKeys = append(s.provKeys, claims[i].Prov)
+				pid = int32(len(s.provKeys))
+				provID[c.Prov] = pid
+				s.provKeys = append(s.provKeys, c.Prov)
 			}
-			provOfClaim[i] = id
-			xid, ok := extID[claims[i].Extractor]
+			g.provOfClaim[i] = pid
+			xid, ok := extID[c.Extractor]
 			if !ok {
 				xid = int32(len(s.extKeys))
-				extID[claims[i].Extractor] = xid
-				s.extKeys = append(s.extKeys, claims[i].Extractor)
+				extID[c.Extractor] = xid
+				s.extKeys = append(s.extKeys, c.Extractor)
 			}
-			extOfClaim[i] = xid
+			idx.extOfClaim[i] = xid
+			tid, ok := triID[c.Triple]
+			if !ok {
+				tid = int32(len(s.triKeys))
+				triID[c.Triple] = tid
+				s.triKeys = append(s.triKeys, c.Triple)
+			}
+			g.tripleOfClaim[i] = tid
 		}
 	})
 
-	// Ordered merge: walking shards (and their local key lists) in claim
-	// order assigns each key its global ID at its overall first use.
-	globalProv := make(map[string]int32, 256)
-	globalExt := make(map[string]int32, 32)
+	provShards := make([][]string, workers)
+	extShards := make([][]string, workers)
+	triShards := make([][]kb.Triple, workers)
 	for w := range shards {
-		s := &shards[w]
-		s.provRemap = make([]int32, len(s.provKeys))
-		for li, key := range s.provKeys {
-			gid, ok := globalProv[key]
-			if !ok {
-				gid = int32(len(provKeys))
-				globalProv[key] = gid
-				provKeys = append(provKeys, key)
-			}
-			s.provRemap[li] = gid
-		}
-		s.extRemap = make([]int32, len(s.extKeys))
-		for li, key := range s.extKeys {
-			gid, ok := globalExt[key]
-			if !ok {
-				gid = int32(len(globalExt))
-				globalExt[key] = gid
-			}
-			s.extRemap[li] = gid
-		}
+		provShards[w] = shards[w].provKeys
+		extShards[w] = shards[w].extKeys
+		triShards[w] = shards[w].triKeys
 	}
+	var provKeys, extKeys []string
+	var triKeys []kb.Triple
+	// The three key spaces merge concurrently; each merge is itself a
+	// parallel pairwise tree, and each reproduces the sequential fold's
+	// global first-occurrence order exactly.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		provKeys, idx.prov = csr.MergeKeys(provShards, workers)
+	}()
+	go func() {
+		defer wg.Done()
+		extKeys, idx.ext = csr.MergeKeys(extShards, workers)
+	}()
+	triKeys, idx.tri = csr.MergeKeys(triShards, workers)
+	wg.Wait()
+	g.provKeys = provKeys
+	g.triples = triKeys
+	idx.nExt = len(extKeys)
+
 	// Same (n, workers) split as the intern pass, so chunk w rewrites
 	// exactly the IDs shard w assigned.
-	ParallelRange(n, workers, func(w, lo, hi int) {
+	csr.ParallelRange(n, workers, func(w, lo, hi int) {
 		s := &shards[w]
+		provRemap := make([]int32, len(s.provKeys))
+		for li, key := range s.provKeys {
+			provRemap[li] = idx.prov[key]
+		}
+		extRemap := make([]int32, len(s.extKeys))
+		for li, key := range s.extKeys {
+			extRemap[li] = idx.ext[key]
+		}
+		triRemap := make([]int32, len(s.triKeys))
+		for li, key := range s.triKeys {
+			triRemap[li] = idx.tri[key]
+		}
 		for i := lo; i < hi; i++ {
-			provOfClaim[i] = s.provRemap[provOfClaim[i]]
-			extOfClaim[i] = s.extRemap[extOfClaim[i]]
+			g.provOfClaim[i] = provRemap[g.provOfClaim[i]]
+			idx.extOfClaim[i] = extRemap[idx.extOfClaim[i]]
+			g.tripleOfClaim[i] = triRemap[g.tripleOfClaim[i]]
 		}
 	})
-	return provOfClaim, provKeys, extOfClaim, len(globalExt)
+}
+
+// internItems extends the item ID space and per-item candidate offsets over
+// the triples from firstTriple on, walking them in ID order (the stream's
+// first-occurrence order). candCounts in g.itemCandStart form is not yet
+// available for new items, so offsets derive from a per-item running count
+// seeded from the existing spans.
+func internItems(g *graph, idx *claimIndex, firstTriple int) {
+	candCount := make([]int32, len(g.items), len(g.items)+len(g.triples)-firstTriple)
+	for i := range candCount {
+		candCount[i] = g.itemCandStart[i+1] - g.itemCandStart[i]
+	}
+	for t := firstTriple; t < len(g.triples); t++ {
+		item := g.triples[t].Item()
+		iid, ok := idx.item[item]
+		if !ok {
+			iid = int32(len(g.items))
+			idx.item[item] = iid
+			g.items = append(g.items, item)
+			candCount = append(candCount, 0)
+		}
+		g.itemOfTriple = append(g.itemOfTriple, iid)
+		g.localOfTriple = append(g.localOfTriple, candCount[iid])
+		candCount[iid]++
+	}
+}
+
+// assembleGraph builds every derived CSR and count of the graph from the
+// interned ID assignments, reusing the previous generation's arrays from an
+// old graph when appending (old != nil means g extends old's ID spaces and
+// the new elements start at old's sizes). Exact for any workers value.
+func assembleGraph(g *graph, idx *claimIndex, firstClaim int, workers int) {
+	n := len(g.claims)
+	nItems := len(g.items)
+	nTriples := len(g.triples)
+
+	// Claim -> item and claim -> local candidate offset, elementwise.
+	g.localOfClaim = csr.ExtendInt32(g.localOfClaim, n)
+	itemOfClaim := make([]int32, n-firstClaim)
+	ew := workers
+	if n-firstClaim < internShardThreshold {
+		ew = 1
+	}
+	csr.ParallelRange(n-firstClaim, ew, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t := g.tripleOfClaim[firstClaim+i]
+			g.localOfClaim[firstClaim+i] = g.localOfTriple[t]
+			itemOfClaim[i] = g.itemOfTriple[t]
+		}
+	})
+
+	if firstClaim == 0 {
+		g.itemCandStart, g.itemCands = csr.ByGroup(g.itemOfTriple, nItems, workers)
+		g.itemClaimStart, g.itemClaims = csr.ByGroup(itemOfClaim, nItems, workers)
+		g.provClaimStart, g.provClaims = csr.ByGroup(g.provOfClaim, len(g.provKeys), workers)
+		g.tripleClaimStart, g.tripleClaims = csr.ByGroup(g.tripleOfClaim, nTriples, workers)
+	} else {
+		g.itemCandStart, g.itemCands = csr.AppendByGroup(
+			g.itemCandStart, g.itemCands, g.itemOfTriple[len(g.itemCands):], nItems, workers)
+		g.itemClaimStart, g.itemClaims = csr.AppendByGroup(
+			g.itemClaimStart, g.itemClaims, itemOfClaim, nItems, workers)
+		g.provClaimStart, g.provClaims = csr.AppendByGroup(
+			g.provClaimStart, g.provClaims, g.provOfClaim[firstClaim:], len(g.provKeys), workers)
+		g.tripleClaimStart, g.tripleClaims = csr.AppendByGroup(
+			g.tripleClaimStart, g.tripleClaims, g.tripleOfClaim[firstClaim:], nTriples, workers)
+	}
+
+	g.maxCandidates = 0
+	for i := 0; i < nItems; i++ {
+		if c := int(g.itemCandStart[i+1] - g.itemCandStart[i]); c > g.maxCandidates {
+			g.maxCandidates = c
+		}
+	}
+
+	if firstClaim == 0 {
+		g.tripleExtractors = countTripleExtractors(g, idx.extOfClaim, idx.nExt, workers)
+	} else {
+		// Only triples asserted by the appended claims can change their
+		// distinct-extractor count; recount exactly those.
+		g.tripleExtractors = csr.ExtendInt32(g.tripleExtractors, nTriples)
+		recountTouchedTriples(g, idx, firstClaim)
+	}
+}
+
+// recountTouchedTriples recomputes the distinct-extractor count of every
+// triple asserted by the claims from firstClaim on, with the same span walk
+// and stamping scheme as countTripleExtractors, so the appended graph's
+// counts match a full recompile's exactly.
+func recountTouchedTriples(g *graph, idx *claimIndex, firstClaim int) {
+	seen := make([]int32, idx.nExt)
+	for i := range seen {
+		seen[i] = -1
+	}
+	done := make(map[int32]bool, len(g.claims)-firstClaim)
+	for i := firstClaim; i < len(g.claims); i++ {
+		t := g.tripleOfClaim[i]
+		if done[t] {
+			continue
+		}
+		done[t] = true
+		cnt := int32(0)
+		for _, c := range g.tripleClaims[g.tripleClaimStart[t]:g.tripleClaimStart[t+1]] {
+			if x := idx.extOfClaim[c]; seen[x] != t {
+				seen[x] = t
+				cnt++
+			}
+		}
+		g.tripleExtractors[t] = cnt
+	}
 }
 
 // countTripleExtractors computes the distinct extractor count of every
@@ -387,51 +515,150 @@ func countTripleExtractors(g *graph, extOfClaim []int32, extKeys, workers int) [
 	return out
 }
 
-// dedupItem builds one item's group: its claims plus the deduplicated
-// candidate list. Small items use a linear candidate scan; items with many
-// distinct values switch to a map.
-func dedupItem(claims []Claim, item kb.DataItem, idxs []int32) itemGroup {
-	grp := itemGroup{item: item, claims: idxs, local: make([]int32, len(idxs))}
-	var candIdx map[kb.Triple]int32 // lazily built past the scan threshold
-	for k, c := range idxs {
-		t := claims[c].Triple
-		l := int32(-1)
-		if candIdx == nil {
-			for j := range grp.cands {
-				if grp.cands[j] == t {
-					l = int32(j)
-					break
-				}
-			}
-			if l < 0 && len(grp.cands) >= 32 {
-				candIdx = make(map[kb.Triple]int32, 2*len(grp.cands))
-				for j := range grp.cands {
-					candIdx[grp.cands[j]] = int32(j)
-				}
-			}
-		}
-		if candIdx != nil {
-			if j, ok := candIdx[t]; ok {
-				l = j
-			}
-		}
-		if l < 0 {
-			l = int32(len(grp.cands))
-			grp.cands = append(grp.cands, t)
-			if candIdx != nil {
-				candIdx[t] = l
-			}
-		}
-		grp.local[k] = l
-	}
-	return grp
+// ---- Append: the next generation of the graph ----
+
+// Append extends the compiled graph with a claim batch and returns the next
+// generation, using all available cores. The result is bit-identical to
+// Compile over the concatenated claim stream — every ID space is assigned in
+// first-occurrence order, so the IDs of existing provenances, items, triples
+// and claims are unchanged and only the batch is interned — but skips
+// re-hashing the prefix: the work is the batch's interning plus O(total)
+// array assembly. The receiver stays fully usable (its arrays are never
+// mutated); the mutable interning index moves to the returned generation, so
+// appending repeatedly should chain (g0 -> g1 -> g2 ...). A second Append on
+// the same generation is correct but rebuilds the index first. The caller
+// must not mutate either claim slice afterwards.
+func (c *Compiled) Append(claims []Claim) (*Compiled, error) {
+	return c.AppendWorkers(claims, 0)
 }
 
-// csrByGroup builds a CSR adjacency from a dense group assignment: start has
-// one span per group, and ids lists the element indexes of each group in
-// ascending order. Large inputs run csr.ByGroup's parallel counting sort
-// (per-worker counts + prefix-sum merge + parallel scatter), which is exact:
-// the adjacency is identical for every workers value.
-func csrByGroup(groupOf []int32, nGroups, workers int) (start, ids []int32) {
-	return csr.ByGroup(groupOf, nGroups, workers)
+// AppendWorkers is Append with an explicit worker bound (0 = GOMAXPROCS).
+// The graph is identical for any workers value.
+func (c *Compiled) AppendWorkers(newClaims []Claim, workers int) (*Compiled, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	idx := c.takeIndex()
+	old := c.g
+	nOld := len(old.claims)
+	n := nOld + len(newClaims)
+
+	g := &graph{
+		claims:        append(append(make([]Claim, 0, n), old.claims...), newClaims...),
+		items:         slices.Clip(old.items),
+		triples:       slices.Clip(old.triples),
+		itemOfTriple:  slices.Clip(old.itemOfTriple),
+		localOfTriple: slices.Clip(old.localOfTriple),
+		provKeys:      slices.Clip(old.provKeys),
+
+		provOfClaim:   csr.ExtendInt32(old.provOfClaim, n),
+		tripleOfClaim: csr.ExtendInt32(old.tripleOfClaim, n),
+		localOfClaim:  old.localOfClaim,
+
+		itemCandStart:    old.itemCandStart,
+		itemCands:        old.itemCands,
+		itemClaimStart:   old.itemClaimStart,
+		itemClaims:       old.itemClaims,
+		provClaimStart:   old.provClaimStart,
+		provClaims:       old.provClaims,
+		tripleClaimStart: old.tripleClaimStart,
+		tripleClaims:     old.tripleClaims,
+		tripleExtractors: old.tripleExtractors,
+	}
+	idx.extOfClaim = csr.ExtendInt32(idx.extOfClaim, n)
+
+	// Intern the batch exactly as the sequential compile pass would have,
+	// continuing the retained maps. Batches are typically a fraction of the
+	// accumulated stream, so this stays sequential; the O(total) assembly
+	// below is the parallel part.
+	nTriOld := len(g.triples)
+	for i := range newClaims {
+		cl := &newClaims[i]
+		ci := nOld + i
+		pid, ok := idx.prov[cl.Prov]
+		if !ok {
+			pid = int32(len(g.provKeys))
+			idx.prov[cl.Prov] = pid
+			g.provKeys = append(g.provKeys, cl.Prov)
+		}
+		g.provOfClaim[ci] = pid
+		xid, ok := idx.ext[cl.Extractor]
+		if !ok {
+			xid = int32(idx.nExt)
+			idx.ext[cl.Extractor] = xid
+			idx.nExt++
+		}
+		idx.extOfClaim[ci] = xid
+		tid, ok := idx.tri[cl.Triple]
+		if !ok {
+			tid = int32(len(g.triples))
+			idx.tri[cl.Triple] = tid
+			g.triples = append(g.triples, cl.Triple)
+		}
+		g.tripleOfClaim[ci] = tid
+	}
+	internItems(g, idx, nTriOld)
+
+	assembleGraph(g, idx, nOld, workers)
+	return &Compiled{g: g, gen: c.gen + 1, idx: idx}, nil
 }
+
+// MustAppend is Append for callers without error plumbing.
+func (c *Compiled) MustAppend(claims []Claim) *Compiled {
+	next, err := c.Append(claims)
+	if err != nil {
+		panic(err)
+	}
+	return next
+}
+
+// takeIndex claims the generation's interning index, rebuilding it from the
+// immutable graph when another Append already took it. The rebuild re-interns
+// only the extractor axis per claim (the graph keeps every other space's key
+// list); it exists for correctness — chained appends never hit it.
+func (c *Compiled) takeIndex() *claimIndex {
+	c.mu.Lock()
+	idx := c.idx
+	c.idx = nil
+	c.mu.Unlock()
+	if idx != nil {
+		return idx
+	}
+	g := c.g
+	idx = &claimIndex{
+		prov:       make(map[string]int32, len(g.provKeys)),
+		ext:        make(map[string]int32, 32),
+		tri:        make(map[kb.Triple]int32, len(g.triples)),
+		item:       make(map[kb.DataItem]int32, len(g.items)),
+		extOfClaim: make([]int32, len(g.claims)),
+	}
+	for p, key := range g.provKeys {
+		idx.prov[key] = int32(p)
+	}
+	for t := range g.triples {
+		idx.tri[g.triples[t]] = int32(t)
+	}
+	for i := range g.items {
+		idx.item[g.items[i]] = int32(i)
+	}
+	for i := range g.claims {
+		xid, ok := idx.ext[g.claims[i].Extractor]
+		if !ok {
+			xid = int32(idx.nExt)
+			idx.ext[g.claims[i].Extractor] = xid
+			idx.nExt++
+		}
+		idx.extOfClaim[i] = xid
+	}
+	return idx
+}
+
+// clipInt32 (and siblings) return the slice with capacity clipped to its
+// length, so a later append in the next generation can never write into this
+// generation's backing array.
+func clipInt32(s []int32) []int32     { return s[:len(s):len(s)] }
+func clipStrings(s []string) []string { return s[:len(s):len(s)] }
+func clipTriples(s []kb.Triple) []kb.Triple {
+	return s[:len(s):len(s)]
+}
+func clipDataItems(s []kb.DataItem) []kb.DataItem { return s[:len(s):len(s)] }

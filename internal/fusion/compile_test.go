@@ -9,7 +9,7 @@ import (
 // claim-index order, and every interning round-trips to the original claim.
 func TestCompileGraphInvariants(t *testing.T) {
 	claims := randomClaims(1234, 300)
-	g := compile(claims, 0, 0)
+	g, _ := compile(claims, 0, 0)
 
 	n := len(claims)
 	if len(g.itemClaims) != n || len(g.provClaims) != n || len(g.tripleClaims) != n {
@@ -18,8 +18,8 @@ func TestCompileGraphInvariants(t *testing.T) {
 	if got := int(g.itemClaimStart[len(g.items)]); got != n {
 		t.Fatalf("itemClaimStart tiles %d claims, want %d", got, n)
 	}
-	if got := int(g.itemTripleStart[len(g.items)]); got != len(g.triples) {
-		t.Fatalf("itemTripleStart tiles %d triples, want %d", got, len(g.triples))
+	if got := int(g.itemCandStart[len(g.items)]); got != len(g.triples) {
+		t.Fatalf("itemCandStart tiles %d triples, want %d", got, len(g.triples))
 	}
 
 	// Per-item claims keep ascending claim-index order (the reservoir
@@ -44,9 +44,21 @@ func TestCompileGraphInvariants(t *testing.T) {
 			t.Fatalf("claim %d: interned provenance mismatch", i)
 		}
 		item := g.itemOfTriple[tid]
-		base := g.itemTripleStart[item]
-		if base+g.localOfClaim[i] != tid {
+		if g.itemCands[g.itemCandStart[item]+g.localOfClaim[i]] != tid {
 			t.Fatalf("claim %d: local candidate offset inconsistent", i)
+		}
+	}
+	// Triple IDs are global first-occurrence order: within every item's
+	// candidate span they ascend, and localOfTriple indexes into the span.
+	for item := range g.items {
+		span := g.itemCands[g.itemCandStart[item]:g.itemCandStart[item+1]]
+		for k, tid := range span {
+			if k > 0 && span[k-1] >= tid {
+				t.Fatalf("item %d: candidate IDs not ascending: %v", item, span)
+			}
+			if g.localOfTriple[tid] != int32(k) {
+				t.Fatalf("triple %d: localOfTriple = %d, want %d", tid, g.localOfTriple[tid], k)
+			}
 		}
 	}
 
@@ -69,15 +81,15 @@ func TestCompileGraphInvariants(t *testing.T) {
 	}
 }
 
-// TestCompileManyValuedItem exercises the map fallback in the per-item
-// candidate dedup (items with > 32 distinct values).
+// TestCompileManyValuedItem exercises candidate dedup on an item with many
+// distinct values (one global triple interning pass, no per-item maps).
 func TestCompileManyValuedItem(t *testing.T) {
 	var claims []Claim
 	for i := 0; i < 100; i++ {
 		v := string(rune('a'+i%50)) + string(rune('a'+i/50))
 		claims = append(claims, cl("s", "p", v, "prov"+v))
 	}
-	g := compile(claims, 0, 0)
+	g, _ := compile(claims, 0, 0)
 	if len(g.items) != 1 {
 		t.Fatalf("%d items, want 1", len(g.items))
 	}

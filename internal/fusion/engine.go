@@ -69,7 +69,8 @@ func Fuse(claims []Claim, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return (&Compiled{g: compile(claims, cfg.Workers, cfg.Partitions)}).fuse(cfg), nil
+	g, idx := compile(claims, cfg.Workers, cfg.Partitions)
+	return (&Compiled{g: g, idx: idx}).fuse(cfg), nil
 }
 
 // MustFuse is Fuse for statically-valid configurations.
@@ -101,6 +102,72 @@ func (c *Compiled) Fuse(cfg Config) (*Result, error) {
 // MustFuse is Compiled.Fuse for statically-valid configurations.
 func (c *Compiled) MustFuse(cfg Config) *Result {
 	r, err := c.Fuse(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// WarmTol is the documented warm-start-vs-cold-start tolerance, and it
+// applies in the converged regime: when both the warm and the cold run stop
+// because the per-round accuracy delta fell below Config.Epsilon (rather
+// than hitting the Rounds cap), they halt in Epsilon-sized neighborhoods of
+// the same EM fixed point approached from different sides, and every
+// probability and provenance accuracy (all in [0,1]) agrees within this
+// absolute bound — a small multiple of the default 1e-4 Epsilon, pinned by
+// the warm-start equivalence tests. When the Rounds cap bites first (the
+// paper's R = 5 is a forced cut-off, not convergence), warm and cold are
+// different truncations of the same iteration and can differ up to the
+// remaining convergence distance; callers who need the bound on appended
+// batches should let Epsilon terminate (the whole point of warm start is
+// that it then stops after one or two rounds).
+const WarmTol = 5e-3
+
+// FuseWarm is Fuse seeded from a previous fusion result — the warm start of
+// the append pipeline. Every provenance whose key appears in prev's
+// ProvAccuracy starts at that accuracy (and counts as evaluated for the
+// coverage filter) instead of Config.DefaultAccuracy; provenances new to
+// this generation start cold. Two regimes:
+//
+//   - Converged (Epsilon-stopped) data: seeding near the fixed point makes
+//     the per-round delta start small, so EM stops after a round or two and
+//     the output stays within the documented WarmTol of cold start.
+//
+//   - Round-capped streaming (the paper's forced R; real POPACCU runs
+//     oscillate rather than converge): run FuseWarm as online EM — carry
+//     the accuracies batch to batch with cfg.Rounds = 1 — for a fraction
+//     of the cold-start cost. The output is then a different truncation of
+//     the same non-converging iteration, not pointwise-close to cold
+//     start; the documented equivalence is in evaluation quality (WDev and
+//     AUC-PR within small bounds of the cold R=5 recompile, pinned by the
+//     bench-scale warm-quality test and measured by kfbench's
+//     AppendVsRecompile records).
+//
+// A nil or empty prev degrades to Fuse. Gold-standard initialization
+// (Config.GoldLabeler), when configured, runs after seeding and overrides
+// it for labeled provenances, exactly as it overrides the default.
+func (c *Compiled) FuseWarm(cfg Config, prev *Result) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 1e-4
+	}
+	e := newEngine(c.g, cfg)
+	if prev != nil && len(prev.ProvAccuracy) > 0 {
+		for p, key := range c.g.provKeys {
+			if a, ok := prev.ProvAccuracy[key]; ok {
+				e.provAcc[p] = a
+				e.provDefault[p] = false
+			}
+		}
+	}
+	return e.run(), nil
+}
+
+// MustFuseWarm is FuseWarm for statically-valid configurations.
+func (c *Compiled) MustFuseWarm(cfg Config, prev *Result) *Result {
+	r, err := c.FuseWarm(cfg, prev)
 	if err != nil {
 		panic(err)
 	}
@@ -282,8 +349,7 @@ func (e *engine) scoreItem(sc *scoreScratch, item int32, round int) {
 	if len(claims) > e.cfg.SampleL {
 		claims = e.sampleClaims(g.items[item], claims)
 	}
-	candBase := g.itemTripleStart[item]
-	nCand := int(g.itemTripleStart[item+1] - candBase)
+	nCand := int(g.itemCandStart[item+1] - g.itemCandStart[item])
 	counts := sc.counts[:nCand]
 	stamp := int32(round + 1)
 

@@ -136,30 +136,42 @@ func shardedClaims(n int) []Claim {
 }
 
 // TestInternClaimsParallelMatchesSequential pins the shard-and-merge
-// interning against the sequential loop: identical IDs, identical key
-// tables, for any worker count.
+// interning (pairwise-merged key lists + parallel remap) against the
+// sequential loop: identical IDs, identical key tables, for any worker
+// count.
 func TestInternClaimsParallelMatchesSequential(t *testing.T) {
 	claims := shardedClaims(internShardThreshold + internShardThreshold/2)
-	seqProv, seqKeys, seqExt, seqN := internClaims(claims, 1)
+	seq, seqIdx := compile(claims, 1, 0)
 	for _, workers := range []int{2, 3, 8} {
-		parProv, parKeys, parExt, parN := internClaims(claims, workers)
-		if parN != seqN {
-			t.Fatalf("workers=%d: %d extractor keys, want %d", workers, parN, seqN)
+		par, parIdx := compile(claims, workers, 0)
+		if parIdx.nExt != seqIdx.nExt {
+			t.Fatalf("workers=%d: %d extractor keys, want %d", workers, parIdx.nExt, seqIdx.nExt)
 		}
-		if len(parKeys) != len(seqKeys) {
-			t.Fatalf("workers=%d: %d prov keys, want %d", workers, len(parKeys), len(seqKeys))
+		if len(par.provKeys) != len(seq.provKeys) {
+			t.Fatalf("workers=%d: %d prov keys, want %d", workers, len(par.provKeys), len(seq.provKeys))
 		}
-		for i := range seqKeys {
-			if parKeys[i] != seqKeys[i] {
-				t.Fatalf("workers=%d: provKeys[%d] = %q, want %q", workers, i, parKeys[i], seqKeys[i])
+		for i := range seq.provKeys {
+			if par.provKeys[i] != seq.provKeys[i] {
+				t.Fatalf("workers=%d: provKeys[%d] = %q, want %q", workers, i, par.provKeys[i], seq.provKeys[i])
 			}
 		}
-		for i := range seqProv {
-			if parProv[i] != seqProv[i] {
-				t.Fatalf("workers=%d: provOfClaim[%d] = %d, want %d", workers, i, parProv[i], seqProv[i])
+		if len(par.triples) != len(seq.triples) {
+			t.Fatalf("workers=%d: %d triples, want %d", workers, len(par.triples), len(seq.triples))
+		}
+		for i := range seq.triples {
+			if par.triples[i] != seq.triples[i] {
+				t.Fatalf("workers=%d: triples[%d] differs", workers, i)
 			}
-			if parExt[i] != seqExt[i] {
-				t.Fatalf("workers=%d: extOfClaim[%d] = %d, want %d", workers, i, parExt[i], seqExt[i])
+		}
+		for i := range claims {
+			if par.provOfClaim[i] != seq.provOfClaim[i] {
+				t.Fatalf("workers=%d: provOfClaim[%d] = %d, want %d", workers, i, par.provOfClaim[i], seq.provOfClaim[i])
+			}
+			if parIdx.extOfClaim[i] != seqIdx.extOfClaim[i] {
+				t.Fatalf("workers=%d: extOfClaim[%d] = %d, want %d", workers, i, parIdx.extOfClaim[i], seqIdx.extOfClaim[i])
+			}
+			if par.tripleOfClaim[i] != seq.tripleOfClaim[i] {
+				t.Fatalf("workers=%d: tripleOfClaim[%d] = %d, want %d", workers, i, par.tripleOfClaim[i], seq.tripleOfClaim[i])
 			}
 		}
 	}

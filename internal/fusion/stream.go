@@ -1,0 +1,50 @@
+package fusion
+
+import "kfusion/internal/extract"
+
+// ClaimStream incrementally flattens an append-only extraction feed into
+// claims under one provenance granularity. Claims deduplicates (provenance,
+// triple) pairs across the whole stream, so converting an appended batch in
+// isolation would re-emit pairs the prefix already asserted; the stream
+// carries the dedup set forward instead, and Add returns exactly the claims
+// a full Claims call over the concatenated feed would have appended:
+//
+//	s := fusion.NewClaimStream(gran)
+//	g := fusion.MustCompile(s.Add(batch0))
+//	g = g.MustAppend(s.Add(batch1)) // == MustCompile(Claims(batch0+batch1))
+//
+// A ClaimStream is single-writer state: Add calls must not race.
+type ClaimStream struct {
+	gran Granularity
+	seen map[provTriple]bool
+	n    int
+}
+
+// NewClaimStream returns an empty stream flattening under g.
+func NewClaimStream(g Granularity) *ClaimStream {
+	return &ClaimStream{gran: g, seen: make(map[provTriple]bool, 1024)}
+}
+
+// Granularity reports the stream's provenance granularity.
+func (s *ClaimStream) Granularity() Granularity { return s.gran }
+
+// NumClaims reports the total claims emitted so far.
+func (s *ClaimStream) NumClaims() int { return s.n }
+
+// Add flattens one appended extraction batch and returns only the claims new
+// to the stream, in batch order. Appending the returned slices in call order
+// reproduces Claims over the concatenated feed exactly.
+func (s *ClaimStream) Add(xs []extract.Extraction) []Claim {
+	out := make([]Claim, 0, len(xs))
+	for _, x := range xs {
+		prov := s.gran.Key(x)
+		k := provTriple{prov: prov, triple: x.Triple}
+		if s.seen[k] {
+			continue
+		}
+		s.seen[k] = true
+		out = append(out, Claim{Triple: x.Triple, Prov: prov, Conf: x.Confidence, Extractor: x.Extractor})
+	}
+	s.n += len(out)
+	return out
+}

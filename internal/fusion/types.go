@@ -17,12 +17,12 @@
 // into a one-time compilation and allocation-free rounds:
 //
 //   - compile (compile.go) interns provenances, extractors, data items and
-//     candidate triples into dense int32 IDs and builds CSR adjacency
+//     candidate triples into dense int32 IDs — every space in
+//     first-occurrence order of the claim stream, with no key strings
+//     built — and builds CSR adjacency with a parallel counting sort
 //     (item → claim spans, provenance → claim spans, triple → claim spans,
-//     claim → prov/candidate IDs). This is the run's only shuffle; it rides
-//     the mapreduce substrate, partitioned by the field-wise kb.DataItem.Hash
-//     — no key strings are built. Figure 8's Stage III dedup (grouping
-//     claims into unique triples) happens inside the compile reducers.
+//     claim → prov/candidate IDs). Figure 8's Stage III dedup (grouping
+//     claims into unique triples) is the triple interning itself.
 //   - Stage I scores items by walking flat CSR spans with provenance
 //     accuracies in a []float64 indexed by prov ID; per-item candidate
 //     state lives in dense per-worker scratch arrays.
@@ -34,7 +34,7 @@
 // the original shuffle-per-round engine as the golden oracle the compiled
 // engine is regression-tested against (see equivalence_test.go).
 //
-// # Compile/Fuse split
+// # Compile/Fuse split, append-only generations
 //
 // The compiled graph is a first-class, reusable artifact: Compile interns a
 // claim set once into a Compiled handle, and (*Compiled).Fuse runs any
@@ -43,9 +43,18 @@
 // Fuse call builds — so multi-config workloads (method comparisons,
 // θ/coverage sweeps, the ablation suite) pay for interning once and results
 // stay bit-identical to compile-per-config fusion.Fuse calls. Interning
-// itself is parallel on large inputs (per-worker shard interning with an
-// ordered merge). fusion.Fuse remains the one-shot compile-then-fuse
-// convenience.
+// itself is parallel on large inputs (per-worker shard interning with
+// csr.MergeKeys' ordered pairwise merge). fusion.Fuse remains the one-shot
+// compile-then-fuse convenience.
+//
+// Because every ID space is assigned in first-occurrence order, a Compiled
+// is also one generation of an append-only claim feed: (*Compiled).Append
+// extends the graph with a batch — re-hashing nothing but the batch —
+// bit-identically to recompiling the concatenated stream, and
+// (*Compiled).FuseWarm re-fuses the grown graph seeded from the previous
+// generation's accuracies (one warm round per batch in streaming use; see
+// FuseWarm for the two-regime equivalence contract). ClaimStream carries
+// the (provenance, triple) dedup across batches.
 package fusion
 
 import (
@@ -153,18 +162,23 @@ type Claim struct {
 	Extractor string
 }
 
+// provTriple is the (provenance, triple) dedup key shared by Claims and
+// ClaimStream.
+type provTriple struct {
+	prov   string
+	triple kb.Triple
+}
+
 // Claims converts extractions to claims under granularity g, deduplicating
-// (provenance, triple) pairs: a provenance asserts a triple once.
+// (provenance, triple) pairs: a provenance asserts a triple once. For an
+// append-only feed converted batch by batch, use ClaimStream, which carries
+// the dedup set across batches.
 func Claims(xs []extract.Extraction, g Granularity) []Claim {
-	type pk struct {
-		prov   string
-		triple kb.Triple
-	}
-	seen := make(map[pk]bool, len(xs))
+	seen := make(map[provTriple]bool, len(xs))
 	out := make([]Claim, 0, len(xs))
 	for _, x := range xs {
 		prov := g.Key(x)
-		k := pk{prov: prov, triple: x.Triple}
+		k := provTriple{prov: prov, triple: x.Triple}
 		if seen[k] {
 			continue
 		}

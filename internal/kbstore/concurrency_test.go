@@ -1,0 +1,123 @@
+package kbstore
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+)
+
+func concurrencyTriples(n int) []fusion.FusedTriple {
+	out := make([]fusion.FusedTriple, n)
+	for i := range out {
+		out[i] = fusion.FusedTriple{
+			Triple: kb.Triple{
+				Subject:   kb.EntityID(fmt.Sprintf("/m/%03d", i%40)),
+				Predicate: kb.PredicateID(fmt.Sprintf("/p/%d", i%5)),
+				Object:    kb.StringObject(fmt.Sprintf("v%d", i)),
+			},
+			Probability: float64(i%97) / 97,
+			Predicted:   i%11 != 0,
+			Provenances: i % 9,
+			Extractors:  i % 4,
+		}
+	}
+	return out
+}
+
+// TestConcurrentReaders pins the read-side concurrency contract: a KB opened
+// once is immutable, so any number of goroutines may run lookups and scans
+// simultaneously. Run under -race in CI, this is the pin that the read path
+// stays free of hidden mutable state.
+func TestConcurrentReaders(t *testing.T) {
+	triples := concurrencyTriples(500)
+	path := filepath.Join(t.TempDir(), "conc.kb")
+	if err := Write(path, triples); err != nil {
+		t.Fatal(err)
+	}
+	k, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				subj := kb.EntityID(fmt.Sprintf("/m/%03d", (w*7+i)%40))
+				if len(k.BySubject(subj)) == 0 {
+					t.Errorf("worker %d: subject %s missing", w, subj)
+					return
+				}
+				k.ByItem(kb.DataItem{Subject: subj, Predicate: kb.PredicateID(fmt.Sprintf("/p/%d", i%5))})
+				n := 0
+				k.Above(0.5, func(fusion.FusedTriple) bool { n++; return n < 10 })
+				if _, _, pred := k.Stats(); pred == 0 {
+					t.Errorf("worker %d: no predicted triples", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentWritersAndReaders exercises the full store lifecycle under
+// concurrency: several goroutines write distinct snapshot files while others
+// repeatedly open and scan already-written ones. Write is write-once per
+// path (the snapshot model), so distinct paths are the supported concurrent
+// shape; this pins that no package-level state is shared between writers.
+func TestConcurrentWritersAndReaders(t *testing.T) {
+	dir := t.TempDir()
+	triples := concurrencyTriples(300)
+
+	// Seed one snapshot for the readers to hammer while writers run.
+	seedPath := filepath.Join(dir, "seed.kb")
+	if err := Write(seedPath, triples); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			path := filepath.Join(dir, fmt.Sprintf("writer%d.kb", w))
+			for i := 0; i < 5; i++ {
+				if err := Write(path, triples); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				k, err := Open(path)
+				if err != nil {
+					t.Errorf("writer %d reopen: %v", w, err)
+					return
+				}
+				if k.Len() != len(triples) {
+					t.Errorf("writer %d: %d records, want %d", w, k.Len(), len(triples))
+					return
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				k, err := Open(seedPath)
+				if err != nil {
+					t.Errorf("reader %d: %v", w, err)
+					return
+				}
+				if len(k.Predicates()) == 0 || k.Len() != len(triples) {
+					t.Errorf("reader %d: bad snapshot", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

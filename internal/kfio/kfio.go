@@ -68,26 +68,37 @@ func WriteExtractions(w io.Writer, xs []extract.Extraction) error {
 	return bw.Flush()
 }
 
-// ReadExtractions parses JSONL extractions. Error attribution is hidden in
-// files (it is simulator ground truth), so Extraction.Error is always
-// ErrNone after a round trip.
-func ReadExtractions(r io.Reader) ([]extract.Extraction, error) {
-	var out []extract.Extraction
-	sc := newScanner(r)
-	for sc.Scan() {
-		line := sc.Bytes()
+// ExtractionReader iterates a JSONL extraction stream without loading the
+// whole file — the reader side of an append-only extraction feed. Next
+// returns one extraction at a time (io.EOF at end); ReadBatch chunks the
+// stream for the incremental compile pipeline (kfuse -append). Error
+// attribution is hidden in files (it is simulator ground truth), so
+// Extraction.Error is always ErrNone after a round trip.
+type ExtractionReader struct {
+	sc *lineScanner
+}
+
+// NewExtractionReader returns a streaming reader over r.
+func NewExtractionReader(r io.Reader) *ExtractionReader {
+	return &ExtractionReader{sc: newScanner(r)}
+}
+
+// Next returns the next extraction, or io.EOF after the last one.
+func (r *ExtractionReader) Next() (extract.Extraction, error) {
+	for r.sc.Scan() {
+		line := r.sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
 		var rec ExtractionRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
-			return nil, fmt.Errorf("kfio: parse extraction line %d: %w", sc.line, err)
+			return extract.Extraction{}, fmt.Errorf("kfio: parse extraction line %d: %w", r.sc.line, err)
 		}
 		obj, err := kb.ParseObject(rec.Object)
 		if err != nil {
-			return nil, fmt.Errorf("kfio: extraction line %d: %w", sc.line, err)
+			return extract.Extraction{}, fmt.Errorf("kfio: extraction line %d: %w", r.sc.line, err)
 		}
-		out = append(out, extract.Extraction{
+		return extract.Extraction{
 			Triple: kb.Triple{
 				Subject:   kb.EntityID(rec.Subject),
 				Predicate: kb.PredicateID(rec.Predicate),
@@ -98,9 +109,52 @@ func ReadExtractions(r io.Reader) ([]extract.Extraction, error) {
 			URL:        rec.URL,
 			Site:       rec.Site,
 			Confidence: rec.Conf,
-		})
+		}, nil
 	}
-	return out, sc.Err()
+	if err := r.sc.Err(); err != nil {
+		return extract.Extraction{}, err
+	}
+	return extract.Extraction{}, io.EOF
+}
+
+// ReadBatch returns up to max extractions (at least one unless the stream is
+// exhausted). It returns io.EOF — possibly alongside a final short batch —
+// when the stream ends; any other error aborts the batch. max must be
+// positive: a non-positive max would return an empty batch without ever
+// reaching io.EOF, turning any read-until-EOF loop into a spin.
+func (r *ExtractionReader) ReadBatch(max int) ([]extract.Extraction, error) {
+	if max <= 0 {
+		return nil, fmt.Errorf("kfio: ReadBatch size must be positive, got %d", max)
+	}
+	out := make([]extract.Extraction, 0, max)
+	for len(out) < max {
+		x, err := r.Next()
+		if err == io.EOF {
+			return out, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, x)
+	}
+	return out, nil
+}
+
+// ReadExtractions parses a whole JSONL extraction stream (see
+// ExtractionReader for chunked iteration).
+func ReadExtractions(r io.Reader) ([]extract.Extraction, error) {
+	var out []extract.Extraction
+	er := NewExtractionReader(r)
+	for {
+		x, err := er.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, x)
+	}
 }
 
 // WriteGold writes gold labels for the given triples.
@@ -176,24 +230,33 @@ func WriteFused(w io.Writer, res *fusion.Result) error {
 	return bw.Flush()
 }
 
-// ReadFused parses JSONL fused triples.
-func ReadFused(r io.Reader) (*fusion.Result, error) {
-	res := &fusion.Result{}
-	sc := newScanner(r)
-	for sc.Scan() {
-		line := sc.Bytes()
+// FusedReader iterates a JSONL fused-triple stream without loading the whole
+// file, so evaluation (kfeval) streams instead of materializing the result.
+type FusedReader struct {
+	sc *lineScanner
+}
+
+// NewFusedReader returns a streaming reader over r.
+func NewFusedReader(r io.Reader) *FusedReader {
+	return &FusedReader{sc: newScanner(r)}
+}
+
+// Next returns the next fused triple, or io.EOF after the last one.
+func (r *FusedReader) Next() (fusion.FusedTriple, error) {
+	for r.sc.Scan() {
+		line := r.sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
 		var rec FusedRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
-			return nil, fmt.Errorf("kfio: parse fused line %d: %w", sc.line, err)
+			return fusion.FusedTriple{}, fmt.Errorf("kfio: parse fused line %d: %w", r.sc.line, err)
 		}
 		obj, err := kb.ParseObject(rec.Object)
 		if err != nil {
-			return nil, fmt.Errorf("kfio: fused line %d: %w", sc.line, err)
+			return fusion.FusedTriple{}, fmt.Errorf("kfio: fused line %d: %w", r.sc.line, err)
 		}
-		f := fusion.FusedTriple{
+		return fusion.FusedTriple{
 			Triple: kb.Triple{
 				Subject:   kb.EntityID(rec.Subject),
 				Predicate: kb.PredicateID(rec.Predicate),
@@ -203,13 +266,32 @@ func ReadFused(r io.Reader) (*fusion.Result, error) {
 			Predicted:   rec.Predicted,
 			Provenances: rec.Provenances,
 			Extractors:  rec.Extractors,
+		}, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return fusion.FusedTriple{}, err
+	}
+	return fusion.FusedTriple{}, io.EOF
+}
+
+// ReadFused parses a whole JSONL fused-triple stream (see FusedReader for
+// chunked iteration).
+func ReadFused(r io.Reader) (*fusion.Result, error) {
+	res := &fusion.Result{}
+	fr := NewFusedReader(r)
+	for {
+		f, err := fr.Next()
+		if err == io.EOF {
+			return res, nil
+		}
+		if err != nil {
+			return nil, err
 		}
 		if !f.Predicted {
 			res.Unpredicted++
 		}
 		res.Triples = append(res.Triples, f)
 	}
-	return res, sc.Err()
 }
 
 // lineScanner wraps bufio.Scanner with a line counter and a generous buffer.

@@ -1,0 +1,164 @@
+package kfio
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+)
+
+// manyExtractions builds a deterministic stream larger than any batch size
+// used in the tests.
+func manyExtractions(n int) []extract.Extraction {
+	out := make([]extract.Extraction, n)
+	for i := range out {
+		out[i] = extract.Extraction{
+			Triple: kb.Triple{
+				Subject:   kb.EntityID(fmt.Sprintf("/m/%d", i%50)),
+				Predicate: "/p/a",
+				Object:    kb.StringObject(fmt.Sprintf("v%d", i%7)),
+			},
+			Extractor:  fmt.Sprintf("X%d", i%3),
+			URL:        fmt.Sprintf("http://s%d/p%d", i%9, i),
+			Site:       fmt.Sprintf("s%d", i%9),
+			Confidence: -1,
+		}
+	}
+	return out
+}
+
+// TestExtractionStreamingRoundTrip pins the chunked reader against the batch
+// writer: iterating per-record and per-batch must reproduce the written
+// stream exactly, with a final short batch signalled by io.EOF.
+func TestExtractionStreamingRoundTrip(t *testing.T) {
+	want := manyExtractions(257)
+	var buf bytes.Buffer
+	if err := WriteExtractions(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Per-record iteration.
+	r := NewExtractionReader(bytes.NewReader(raw))
+	var got []extract.Extraction
+	for {
+		x, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, x)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Next: %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Next: record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+
+	// Batched iteration: 257 records in batches of 100 -> 100, 100, 57+EOF.
+	r = NewExtractionReader(bytes.NewReader(raw))
+	var batches [][]extract.Extraction
+	for {
+		batch, err := r.ReadBatch(100)
+		if len(batch) > 0 {
+			batches = append(batches, batch)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(batches) != 3 || len(batches[0]) != 100 || len(batches[2]) != 57 {
+		t.Fatalf("batch shapes wrong: %d batches", len(batches))
+	}
+	var joined []extract.Extraction
+	for _, b := range batches {
+		joined = append(joined, b...)
+	}
+	for i := range want {
+		if joined[i] != want[i] {
+			t.Fatalf("ReadBatch: record %d differs", i)
+		}
+	}
+}
+
+// TestFusedStreamingRoundTrip pins the fused-triple streaming reader against
+// the writer and the batch ReadFused.
+func TestFusedStreamingRoundTrip(t *testing.T) {
+	res := &fusion.Result{}
+	for i := 0; i < 123; i++ {
+		f := fusion.FusedTriple{
+			Triple: kb.Triple{
+				Subject:   kb.EntityID(fmt.Sprintf("/m/%d", i)),
+				Predicate: "/p/a",
+				Object:    kb.NumberObject(float64(i)),
+			},
+			Probability: float64(i) / 123,
+			Predicted:   i%5 != 0,
+			Provenances: i % 7,
+			Extractors:  i % 3,
+		}
+		if !f.Predicted {
+			f.Probability = -1
+			res.Unpredicted++
+		}
+		res.Triples = append(res.Triples, f)
+	}
+	var buf bytes.Buffer
+	if err := WriteFused(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	fr := NewFusedReader(bytes.NewReader(raw))
+	n := 0
+	for {
+		f, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Triple != res.Triples[n].Triple || f.Predicted != res.Triples[n].Predicted {
+			t.Fatalf("record %d differs", n)
+		}
+		n++
+	}
+	if n != len(res.Triples) {
+		t.Fatalf("streamed %d records, want %d", n, len(res.Triples))
+	}
+	batch, err := ReadFused(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Triples) != len(res.Triples) || batch.Unpredicted != res.Unpredicted {
+		t.Fatalf("batch ReadFused diverged: %d/%d vs %d/%d",
+			len(batch.Triples), batch.Unpredicted, len(res.Triples), res.Unpredicted)
+	}
+}
+
+// TestStreamingReaderErrors pins error propagation through the streaming
+// path: malformed JSON and bad objects surface with line attribution.
+func TestStreamingReaderErrors(t *testing.T) {
+	r := NewExtractionReader(strings.NewReader("{bad json\n"))
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatal("want parse error, got", err)
+	}
+	fr := NewFusedReader(strings.NewReader(`{"s":"a","p":"b","o":"garbage"}` + "\n"))
+	if _, err := fr.Next(); err == nil || err == io.EOF {
+		t.Fatal("want object error, got", err)
+	}
+}

@@ -139,8 +139,7 @@ func FuseCompiled(c *fusion.Compiled, cfg Config) (*fusion.Result, error) {
 		parallelItems(nItems, cfg.Workers, func(lo, hi int) {
 			claimed := make([]int32, nProvs) // stamp: triple ID + 1
 			for i := lo; i < hi; i++ {
-				tLo, tHi := c.ItemTripleSpan(i)
-				for t := tLo; t < tHi; t++ {
+				for _, t := range c.ItemTriples(i) {
 					for _, p := range tripleProvs[t] {
 						claimed[p] = t + 1
 					}
@@ -172,8 +171,7 @@ func FuseCompiled(c *fusion.Compiled, cfg Config) (*fusion.Result, error) {
 		sawFalse := make([]float64, nProvs)
 		claimed := make([]int32, nProvs) // stamp: triple ID + 1
 		for i := 0; i < nItems; i++ {
-			tLo, tHi := c.ItemTripleSpan(i)
-			for t := tLo; t < tHi; t++ {
+			for _, t := range c.ItemTriples(i) {
 				for _, p := range tripleProvs[t] {
 					claimed[p] = t + 1
 				}
@@ -221,8 +219,7 @@ func FuseCompiled(c *fusion.Compiled, cfg Config) (*fusion.Result, error) {
 	res.Triples = make([]fusion.FusedTriple, 0, nTriples)
 	for i := 0; i < nItems; i++ {
 		itemClaims := len(c.ItemClaims(i))
-		tLo, tHi := c.ItemTripleSpan(i)
-		for t := tLo; t < tHi; t++ {
+		for _, t := range c.ItemTriples(i) {
 			res.Triples = append(res.Triples, fusion.FusedTriple{
 				Triple:          c.Triple(int(t)),
 				Probability:     probs[t],
