@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race bench-smoke bench-json bench-check bench-scaling
+.PHONY: verify build vet test race fault fuzz-smoke bench-smoke bench-json bench-check bench-scaling
 
 # verify is the tier-1 gate: vet, build, full tests, and a 1-iteration
 # benchmark smoke so perf-critical paths cannot silently rot.
@@ -21,24 +21,40 @@ test:
 race:
 	$(GO) test -race ./...
 
+# fault runs the durability suite under the race detector: the genstore
+# crash-consistency property sweep (recovery after a crash at every sampled
+# I/O step is bit-identical to the uncrashed run, clean and torn-rename),
+# the degradation-ladder tests, and the faultfs crash model itself.
+fault:
+	$(GO) test -race ./internal/genstore/ ./internal/faultfs/ ./internal/kbstore/ ./internal/kfio/
+
+# fuzz-smoke gives each corruption-facing fuzz target a short budget — long
+# enough to catch a decoder regression on mutated snapshot/journal/JSONL
+# bytes, short enough for every CI push.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 15s ./internal/genstore/
+	$(GO) test -run '^$$' -fuzz FuzzJournalParse -fuzztime 15s ./internal/genstore/
+	$(GO) test -run '^$$' -fuzz FuzzExtractionStream -fuzztime 15s ./internal/kfio/
+	$(GO) test -run '^$$' -fuzz FuzzReadExtractions -fuzztime 15s ./internal/kfio/
+
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFusePopAccu$$|BenchmarkFuseReferencePopAccu$$|BenchmarkLargeScaleFusion$$|BenchmarkConfigSweep|BenchmarkTwoLayerFuse|BenchmarkTwoLayerScaling|BenchmarkExtractCompileGraph|BenchmarkAppendBatch' -benchtime 1x -benchmem .
 
 # bench-json regenerates the machine-readable perf record (see BENCH_<n>.json;
 # bump N per PR that moves performance).
 bench-json:
-	$(GO) run ./cmd/kfbench -benchjson BENCH_5.json
+	$(GO) run ./cmd/kfbench -benchjson BENCH_6.json
 
 # bench-check is the CI perf-regression gate: re-measure the fast/slow
 # benchmark pairs — compiled vs reference engines, compiled-graph reuse vs
 # recompile, and the append-only feed pairs (Append + warm-start re-fuse vs
 # full recompile + cold fuse) — and fail if any pair's claims/s speedup
-# ratio dropped more than 30% below the committed BENCH_5.json baseline
+# ratio dropped more than 30% below the committed BENCH_6.json baseline
 # (ratios cancel machine speed, so the gate is meaningful on any runner).
 # The fresh measurements land in bench-fresh.json, which CI uploads as a
 # workflow artifact.
 bench-check:
-	$(GO) run ./cmd/kfbench -check BENCH_5.json -checkjson bench-fresh.json
+	$(GO) run ./cmd/kfbench -check BENCH_6.json -checkjson bench-fresh.json
 
 # bench-scaling mirrors the CI bench-scaling/scaling-check jobs locally: one
 # kfbench -scaling cell per GOMAXPROCS value, then the speedup gate — on a

@@ -62,7 +62,9 @@ import (
 
 	"kfusion/internal/exper"
 	"kfusion/internal/extract"
+	"kfusion/internal/faultfs"
 	"kfusion/internal/fusion"
+	"kfusion/internal/genstore"
 	"kfusion/internal/twolayer"
 )
 
@@ -384,6 +386,68 @@ func benchAppend(out *benchFile, bench *exper.Dataset) {
 	})
 }
 
+// benchWarmBoot measures the durable-state boot pair on the bench dataset:
+// restoring the compiled claim graph and fused result from a generation
+// store snapshot (the kfuse -append -state restart path: read, checksum,
+// decode, validate) vs recompiling the feed and cold-fusing. claims/s counts
+// the extractions served once the process is back up, so the
+// Restore/Recompile ratio is the warm-boot win of persisting generations.
+func benchWarmBoot(out *benchFile, bench *exper.Dataset) {
+	xs := bench.Extractions
+	units := float64(len(xs))
+	cfg := fusion.PopAccuConfig()
+
+	apply := func(st *genstore.State, batch []extract.Extraction) error {
+		stream := fusion.NewClaimStream(cfg.Granularity)
+		if st.Claim != nil {
+			stream = fusion.SeedClaimStream(cfg.Granularity, st.Claim)
+		}
+		claims := stream.Add(batch)
+		if st.Claim == nil {
+			st.Claim = fusion.MustCompile(claims)
+		} else {
+			st.Claim = st.Claim.MustAppend(claims)
+		}
+		res, err := st.Claim.FuseWarm(cfg, st.Result)
+		if err != nil {
+			return err
+		}
+		st.Method = "popaccu"
+		st.Gran = cfg.Granularity
+		st.Result = res
+		return nil
+	}
+
+	mem := faultfs.NewMem()
+	store, st, err := genstore.OpenFS(mem, apply)
+	if err != nil {
+		panic(err)
+	}
+	if err := store.Append(st, xs); err != nil {
+		panic(err)
+	}
+	if err := store.Snapshot(st); err != nil {
+		panic(err)
+	}
+	store.Close()
+
+	fmt.Fprintf(os.Stderr, "benchmarking WarmBootRestore (%d extractions)...\n", len(xs))
+	out.Benchmarks["WarmBootRestore"] = measure(units, func() {
+		s2, st2, err := genstore.OpenFS(mem, apply)
+		if err != nil {
+			panic(err)
+		}
+		if st2.Claim == nil || st2.Result == nil {
+			panic("warm boot restored an empty state")
+		}
+		s2.Close()
+	})
+	fmt.Fprintf(os.Stderr, "benchmarking WarmBootRecompile...\n")
+	out.Benchmarks["WarmBootRecompile"] = measure(units, func() {
+		fusion.MustCompile(fusion.Claims(xs, cfg.Granularity)).MustFuse(cfg)
+	})
+}
+
 // benchConfigSweep measures the multi-config sweep pair over the bench
 // dataset into out: one compiled claim graph serving every sweep config vs
 // the per-config claims+compile the experiment layer used to do. claims/s
@@ -477,6 +541,7 @@ func writeBenchJSON(path string, seed int64) error {
 	benchConfigSweep(&out, bench)
 	benchTwoLayer(&out, bench)
 	benchAppend(&out, bench)
+	benchWarmBoot(&out, bench)
 	return writeBenchFile(path, out)
 }
 
@@ -647,6 +712,7 @@ var checkPairs = [][2]string{
 	{"TwoLayerFuse", "ReferenceTwoLayerFuse"},
 	{"AppendFusePopAccu", "RecompileFusePopAccu"},
 	{"TwoLayerAppend", "TwoLayerRecompile"},
+	{"WarmBootRestore", "WarmBootRecompile"},
 }
 
 // runCheck is the CI bench-regression gate: re-measure each checkPairs entry,

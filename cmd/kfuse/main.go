@@ -16,6 +16,11 @@
 // chunk's posteriors, so re-fusing after a batch costs a fraction of a cold
 // run. The final output covers the entire feed. Supported for every method
 // except ltm.
+//
+// -state DIR makes -append durable: every batch is journaled before it is
+// applied and the compiled graph is snapshotted at the end of the run, so a
+// crashed or killed run resumes exactly where it left off — the restarted
+// chain produces byte-identical fused output to an uninterrupted run.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 
 	"kfusion/internal/extract"
 	"kfusion/internal/fusion"
+	"kfusion/internal/genstore"
 	"kfusion/internal/kbstore"
 	"kfusion/internal/kfio"
 	"kfusion/internal/multitruth"
@@ -52,11 +58,15 @@ func main() {
 		kbOut   = flag.String("kb", "", "also persist the fused KB to this kbstore file")
 		appendM = flag.Bool("append", false, "stream the input in chunks over one growing graph (incremental compile + warm-start fusion)")
 		chunk   = flag.Int("chunk", 100000, "with -append: extractions per chunk")
+		state   = flag.String("state", "", "with -append: durable state directory (journal + snapshots; a restarted run resumes from it)")
 	)
 	flag.Parse()
 
 	if *appendM && *chunk <= 0 {
 		log.Fatalf("-chunk must be positive, got %d", *chunk)
+	}
+	if *state != "" && !*appendM {
+		log.Fatal("-state requires -append")
 	}
 
 	var xs []extract.Extraction
@@ -99,7 +109,7 @@ func main() {
 			tcfg.Rounds = *rounds
 		}
 		if *appendM {
-			res, n := appendTwoLayer(*in, *chunk, tcfg, *quiet)
+			res, n := appendTwoLayer(*in, *chunk, tcfg, *quiet, *state)
 			writeResult(res, *out, *kbOut, *quiet, *method, n)
 			return
 		}
@@ -174,7 +184,7 @@ func main() {
 	cfg.Workers = *workers
 
 	if *appendM {
-		res, n := appendFuse(*in, *chunk, cfg, *quiet)
+		res, n := appendFuse(*in, *chunk, cfg, *quiet, *state, *method)
 		writeResult(res, *out, *kbOut, *quiet, *method, n)
 		return
 	}
@@ -195,98 +205,175 @@ func main() {
 // appendFuse is the streaming driver for the single-truth methods: chunks
 // flatten through one ClaimStream (cross-batch dedup), compile once, append
 // per chunk, and every chunk's fusion warm-starts from the previous chunk's
-// provenance accuracies.
-func appendFuse(in string, chunk int, cfg fusion.Config, quiet bool) (*fusion.Result, int) {
-	f, err := os.Open(in)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	r := kfio.NewExtractionReader(f)
-	stream := fusion.NewClaimStream(cfg.Granularity)
-	var graph *fusion.Compiled
-	var res *fusion.Result
-	total := 0
-	for ci := 0; ; ci++ {
-		batch, rerr := r.ReadBatch(chunk)
-		if rerr != nil && !errors.Is(rerr, io.EOF) {
-			log.Fatal(rerr)
-		}
-		if len(batch) > 0 {
-			total += len(batch)
-			t0 := time.Now()
-			claims := stream.Add(batch)
-			if graph == nil {
-				graph = fusion.MustCompile(claims)
+// provenance accuracies. With a state directory the same apply chain runs
+// through the generation store, which journals each batch before applying
+// it and snapshots the graph at the end.
+func appendFuse(in string, chunk int, cfg fusion.Config, quiet bool, stateDir, method string) (*fusion.Result, int) {
+	var stream *fusion.ClaimStream
+	apply := func(st *genstore.State, batch []extract.Extraction) error {
+		if stream == nil {
+			if st.Claim != nil {
+				stream = fusion.SeedClaimStream(cfg.Granularity, st.Claim)
 			} else {
-				graph = graph.MustAppend(claims)
-			}
-			res, err = graph.FuseWarm(cfg, res)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if !quiet {
-				fmt.Printf("chunk %d: +%d extractions -> %d claims, %d triples, %d rounds (%v)\n",
-					ci, len(batch), graph.NumClaims(), len(res.Triples), res.Rounds,
-					time.Since(t0).Round(time.Millisecond))
+				stream = fusion.NewClaimStream(cfg.Granularity)
 			}
 		}
-		if errors.Is(rerr, io.EOF) {
-			break
+		claims := stream.Add(batch)
+		if st.Claim == nil {
+			st.Claim = fusion.MustCompile(claims)
+		} else {
+			st.Claim = st.Claim.MustAppend(claims)
+		}
+		res, err := st.Claim.FuseWarm(cfg, st.Result)
+		if err != nil {
+			return err
+		}
+		st.Method = method
+		st.Gran = cfg.Granularity
+		st.Result = res
+		return nil
+	}
+	progress := func(st *genstore.State, added int, elapsed time.Duration) {
+		if !quiet {
+			fmt.Printf("chunk %d: +%d extractions -> %d claims, %d triples, %d rounds (%v)\n",
+				st.Batches-1, added, st.Claim.NumClaims(), len(st.Result.Triples), st.Result.Rounds,
+				elapsed.Round(time.Millisecond))
 		}
 	}
-	if res == nil {
-		log.Fatal("no extractions in input")
+	check := func(st *genstore.State) {
+		if st.Method != "" && st.Method != method {
+			log.Fatalf("state directory holds method %q, running %q", st.Method, method)
+		}
+		if st.Claim != nil && st.Gran != cfg.Granularity {
+			log.Fatalf("state directory holds granularity %s, running %s", st.Gran, cfg.Granularity)
+		}
 	}
-	return res, total
+	return runAppend(in, chunk, stateDir, apply, check, progress)
 }
 
 // appendTwoLayer is the streaming driver for the §5.1 two-layer model: the
 // extraction graph grows by Append per chunk and each chunk's EM
 // warm-starts from the previous chunk's source accuracies and extractor
 // rates.
-func appendTwoLayer(in string, chunk int, cfg twolayer.Config, quiet bool) (*fusion.Result, int) {
+func appendTwoLayer(in string, chunk int, cfg twolayer.Config, quiet bool, stateDir string) (*fusion.Result, int) {
+	apply := func(st *genstore.State, batch []extract.Extraction) error {
+		if st.Ext == nil {
+			st.Ext = extract.Compile(batch, cfg.SiteLevel)
+		} else {
+			st.Ext = st.Ext.Append(batch)
+		}
+		res, tl, err := twolayer.FuseCompiledWarm(st.Ext, cfg, st.TL)
+		if err != nil {
+			return err
+		}
+		st.Method = "twolayer"
+		st.SiteLevel = cfg.SiteLevel
+		st.Result = res
+		st.TL = tl
+		return nil
+	}
+	progress := func(st *genstore.State, added int, elapsed time.Duration) {
+		if !quiet {
+			fmt.Printf("chunk %d: +%d extractions -> %d statements, %d triples, %d rounds (%v)\n",
+				st.Batches-1, added, st.Ext.NumStatements(), len(st.Result.Triples), st.Result.Rounds,
+				elapsed.Round(time.Millisecond))
+		}
+	}
+	check := func(st *genstore.State) {
+		if st.Method != "" && st.Method != "twolayer" {
+			log.Fatalf("state directory holds method %q, running %q", st.Method, "twolayer")
+		}
+		if st.Ext != nil && st.SiteLevel != cfg.SiteLevel {
+			log.Fatalf("state directory holds site-level=%v, running site-level=%v", st.SiteLevel, cfg.SiteLevel)
+		}
+	}
+	return runAppend(in, chunk, stateDir, apply, check, progress)
+}
+
+// runAppend is the shared chunked-append loop. With stateDir it opens (or
+// resumes) a generation store, reports any recovery degradations, skips the
+// feed records the recovered state already consumed, and journals each new
+// batch before applying; without it the apply chain runs in memory only. A
+// partial final line (a producer appending right now) ends the run cleanly.
+// In a durable chain the incomplete chunk's records are deferred to the next
+// run rather than applied as a short batch: warm-start fusion is sensitive to
+// batch boundaries, so keeping Consumed chunk-aligned is what makes a resumed
+// chain byte-identical to one that read the finished feed in one go.
+func runAppend(in string, chunk int, stateDir string, apply genstore.ApplyFunc,
+	check func(*genstore.State), progress func(*genstore.State, int, time.Duration)) (*fusion.Result, int) {
+	var store *genstore.Store
+	var st *genstore.State
+	if stateDir != "" {
+		var err error
+		store, st, err = genstore.Open(stateDir, apply)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+		for _, d := range store.Degradations() {
+			log.Printf("state recovery: %s", d)
+		}
+		check(st)
+	} else {
+		st = &genstore.State{}
+	}
+
 	f, err := os.Open(in)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer f.Close()
 	r := kfio.NewExtractionReader(f)
-	var graph *extract.Compiled
-	var state *twolayer.State
-	var res *fusion.Result
-	total := 0
-	for ci := 0; ; ci++ {
+	for i := 0; i < st.Consumed; i++ {
+		if _, err := r.Next(); err != nil {
+			log.Fatalf("state has consumed %d records but the feed ends after %d: %v", st.Consumed, i, err)
+		}
+	}
+
+	for {
 		batch, rerr := r.ReadBatch(chunk)
-		if rerr != nil && !errors.Is(rerr, io.EOF) {
+		var partial *kfio.ErrPartialLine
+		isPartial := errors.As(rerr, &partial)
+		if rerr != nil && !errors.Is(rerr, io.EOF) && !isPartial {
 			log.Fatal(rerr)
 		}
-		if len(batch) > 0 {
-			total += len(batch)
+		deferring := isPartial && store != nil && len(batch) > 0
+		if len(batch) > 0 && !deferring {
 			t0 := time.Now()
-			if graph == nil {
-				graph = extract.Compile(batch, cfg.SiteLevel)
+			if store != nil {
+				if err := store.Append(st, batch); err != nil {
+					log.Fatal(err)
+				}
 			} else {
-				graph = graph.Append(batch)
+				if err := apply(st, batch); err != nil {
+					log.Fatal(err)
+				}
+				st.Batches++
+				st.Consumed += len(batch)
 			}
-			res, state, err = twolayer.FuseCompiledWarm(graph, cfg, state)
-			if err != nil {
-				log.Fatal(err)
+			progress(st, len(batch), time.Since(t0))
+		}
+		if isPartial {
+			if deferring {
+				log.Printf("feed ends mid-record at byte %d; deferring %d complete records so the next run re-chunks them identically",
+					partial.Offset, len(batch))
 			}
-			if !quiet {
-				fmt.Printf("chunk %d: +%d extractions -> %d statements, %d triples, %d rounds (%v)\n",
-					ci, len(batch), graph.NumStatements(), len(res.Triples), res.Rounds,
-					time.Since(t0).Round(time.Millisecond))
-			}
+			log.Printf("stopping after %d complete records (rerun to pick up the rest)", st.Consumed)
+			break
 		}
 		if errors.Is(rerr, io.EOF) {
 			break
 		}
 	}
-	if res == nil {
-		log.Fatal("no extractions in input")
+	if store != nil {
+		if err := store.Snapshot(st); err != nil {
+			log.Fatal(err)
+		}
 	}
-	return res, total
+	if st.Result == nil {
+		log.Fatal("no extractions fused: input is empty or ends mid-record before its first complete chunk")
+	}
+	return st.Result, st.Consumed
 }
 
 // writeResult persists the fused output as JSONL and optionally as a kbstore

@@ -6,6 +6,7 @@
 package exper
 
 import (
+	"fmt"
 	"sync"
 
 	"kfusion/internal/eval"
@@ -388,4 +389,45 @@ func (ds *Dataset) LabeledAccuracy(triples []kb.Triple) (float64, int) {
 		return 0, 0
 	}
 	return float64(trueN) / float64(labeled), labeled
+}
+
+// HydrateClaimGraph seeds the generation-0 claim graph for a granularity
+// with a graph restored from persistent state (a genstore snapshot), so an
+// experiment run warm-boots instead of recompiling the feed. The caller owns
+// the correspondence: c must be the compiled form of the dataset's current
+// extraction feed at g. The granularity's ClaimStream is reconstructed from
+// the graph, so later AppendExtractions generations dedup and append exactly
+// as if the graph had been compiled in-process. Fails if a graph for g was
+// already built or the dataset has advanced past generation 0.
+func (ds *Dataset) HydrateClaimGraph(g fusion.Granularity, c *fusion.Compiled) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.gen != 0 {
+		return fmt.Errorf("exper: hydrate at generation %d, want 0", ds.gen)
+	}
+	if _, ok := ds.compiled[g]; ok {
+		return fmt.Errorf("exper: claim graph at granularity %s already built", g)
+	}
+	chain := &claimGraphChain{stream: fusion.SeedClaimStream(g, c)}
+	chain.snapshot(0)[0].Get(func() *fusion.Compiled { return c })
+	ds.compiled[g] = chain
+	return nil
+}
+
+// HydrateExtractionGraph seeds the generation-0 extraction graph for a
+// source level with a graph restored from persistent state — the
+// extraction-layer sibling of HydrateClaimGraph, under the same contract.
+func (ds *Dataset) HydrateExtractionGraph(siteLevel bool, g *extract.Compiled) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.gen != 0 {
+		return fmt.Errorf("exper: hydrate at generation %d, want 0", ds.gen)
+	}
+	if _, ok := ds.extGraph[siteLevel]; ok {
+		return fmt.Errorf("exper: extraction graph at site-level=%v already built", siteLevel)
+	}
+	chain := &graphChain[*extract.Compiled]{}
+	chain.snapshot(0)[0].Get(func() *extract.Compiled { return g })
+	ds.extGraph[siteLevel] = chain
+	return nil
 }

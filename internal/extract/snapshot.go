@@ -1,0 +1,168 @@
+package extract
+
+import (
+	"fmt"
+	"io"
+
+	"kfusion/internal/csr"
+	"kfusion/internal/kb"
+	"kfusion/internal/wire"
+)
+
+// snapshotVersion versions the Compiled wire encoding (see the fusion
+// counterpart for the contract).
+const snapshotVersion = 1
+
+// EncodeSnapshot serializes the compiled extraction graph — every ID table
+// and CSR span verbatim — so a decoded graph is field-identical and
+// Append/FuseCompiled behave bit-identically. extBlocks is the only derived
+// field: it is a pure function of extStStart and is rebuilt on decode. The
+// interning index is not serialized; the first Append rebuilds it.
+func (g *Compiled) EncodeSnapshot(out io.Writer) error {
+	w := wire.NewWriter(out)
+	w.U8(snapshotVersion)
+	w.Int(g.gen)
+	w.Bool(g.siteLevel)
+
+	w.Strings(g.sources)
+	w.Strings(g.extractors)
+	kb.EncodeTriples(w, g.triples)
+	kb.EncodeItems(w, g.items)
+
+	w.Int32s(g.stSource)
+	w.Int32s(g.stTriple)
+	w.Int32s(g.stExtStart)
+	w.Int32s(g.stExts)
+
+	w.Int32s(g.srcExtStart)
+	w.Int32s(g.srcExts)
+	w.Int32s(g.srcStStart)
+	w.Int32s(g.srcSts)
+
+	w.Int32s(g.tripleStStart)
+	w.Int32s(g.tripleSts)
+	w.Int32s(g.tripleExts)
+	w.Int32s(g.itemOfTriple)
+	w.Int32s(g.itemTripleStart)
+	w.Int32s(g.itemTriples)
+	w.Int32s(g.itemStatements)
+
+	w.Int32s(g.extStStart)
+	w.Int32s(g.extSts)
+	w.Bools(g.extHits)
+
+	w.Int(g.maxItemTriples)
+	return w.Err()
+}
+
+// DecodeSnapshot reconstructs a Compiled from EncodeSnapshot bytes, with
+// every length, ID and CSR span validated first so corrupt input errors
+// instead of panicking.
+func DecodeSnapshot(data []byte) (*Compiled, error) {
+	r := wire.NewReader(data)
+	if v := r.U8(); r.Err() == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("extract: snapshot version %d, want %d", v, snapshotVersion)
+	}
+	g := &Compiled{}
+	g.gen = r.Int()
+	g.siteLevel = r.Bool()
+
+	g.sources = r.Strings()
+	g.extractors = r.Strings()
+	var err error
+	g.triples, err = kb.DecodeTriples(r)
+	if err != nil {
+		return nil, fmt.Errorf("extract: snapshot: %w", err)
+	}
+	g.items, err = kb.DecodeItems(r)
+	if err != nil {
+		return nil, fmt.Errorf("extract: snapshot: %w", err)
+	}
+
+	g.stSource = r.Int32s()
+	g.stTriple = r.Int32s()
+	g.stExtStart = r.Int32s()
+	g.stExts = r.Int32s()
+
+	g.srcExtStart = r.Int32s()
+	g.srcExts = r.Int32s()
+	g.srcStStart = r.Int32s()
+	g.srcSts = r.Int32s()
+
+	g.tripleStStart = r.Int32s()
+	g.tripleSts = r.Int32s()
+	g.tripleExts = r.Int32s()
+	g.itemOfTriple = r.Int32s()
+	g.itemTripleStart = r.Int32s()
+	g.itemTriples = r.Int32s()
+	g.itemStatements = r.Int32s()
+
+	g.extStStart = r.Int32s()
+	g.extSts = r.Int32s()
+	g.extHits = r.Bools()
+
+	g.maxItemTriples = r.Int()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("extract: snapshot: %w", err)
+	}
+
+	nSrc := len(g.sources)
+	nExt := len(g.extractors)
+	nTriples := len(g.triples)
+	nItems := len(g.items)
+	nSt := len(g.stSource)
+	if len(g.stTriple) != nSt {
+		return nil, fmt.Errorf("extract: snapshot: stTriple has %d entries, want %d statements", len(g.stTriple), nSt)
+	}
+	if len(g.itemOfTriple) != nTriples || len(g.tripleExts) != nTriples {
+		return nil, fmt.Errorf("extract: snapshot: triple column lengths disagree with %d triples", nTriples)
+	}
+	if len(g.itemStatements) != nItems {
+		return nil, fmt.Errorf("extract: snapshot: itemStatements has %d entries, want %d items", len(g.itemStatements), nItems)
+	}
+	if len(g.extHits) != len(g.extSts) {
+		return nil, fmt.Errorf("extract: snapshot: extHits has %d entries, want %d", len(g.extHits), len(g.extSts))
+	}
+	for _, c := range []struct {
+		name string
+		ids  []int32
+		n    int
+	}{
+		{"stSource", g.stSource, nSrc},
+		{"stTriple", g.stTriple, nTriples},
+		{"stExts", g.stExts, nExt},
+		{"srcExts", g.srcExts, nExt},
+		{"srcSts", g.srcSts, nSt},
+		{"tripleSts", g.tripleSts, nSt},
+		{"itemOfTriple", g.itemOfTriple, nItems},
+		{"itemTriples", g.itemTriples, nTriples},
+		{"extSts", g.extSts, nSt},
+	} {
+		if err := wire.CheckIDs(c.name, c.ids, c.n); err != nil {
+			return nil, fmt.Errorf("extract: snapshot: %w", err)
+		}
+	}
+	for _, c := range []struct {
+		name    string
+		start   []int32
+		groups  int
+		flatLen int
+	}{
+		{"stExtStart", g.stExtStart, nSt, len(g.stExts)},
+		{"srcExtStart", g.srcExtStart, nSrc, len(g.srcExts)},
+		{"srcStStart", g.srcStStart, nSrc, len(g.srcSts)},
+		{"tripleStStart", g.tripleStStart, nTriples, len(g.tripleSts)},
+		{"itemTripleStart", g.itemTripleStart, nItems, len(g.itemTriples)},
+		{"extStStart", g.extStStart, nExt, len(g.extSts)},
+	} {
+		if err := wire.CheckCSR(c.name, c.start, c.groups, c.flatLen); err != nil {
+			return nil, fmt.Errorf("extract: snapshot: %w", err)
+		}
+	}
+
+	if len(g.extStStart) > 0 {
+		g.extBlocks = csr.SpanBlocks(g.extStStart)
+	}
+	// idx stays nil: the first Append rebuilds it from the graph.
+	return g, nil
+}

@@ -1,0 +1,85 @@
+package extract
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestExtractSnapshotRoundTrip checks the durability contract at the
+// extraction layer: a decoded snapshot is field-identical to the encoded
+// graph (including the rebuilt extBlocks partition) and re-encodes to the
+// same bytes.
+func TestExtractSnapshotRoundTrip(t *testing.T) {
+	for _, siteLevel := range []bool{false, true} {
+		xs := appendStream(400)
+		g := Compile(xs, siteLevel)
+
+		var buf bytes.Buffer
+		if err := g.EncodeSnapshot(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		dec, err := DecodeSnapshot(buf.Bytes())
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		appendGraphsEqual(t, "decoded", dec, g)
+		if dec.gen != g.gen {
+			t.Fatalf("gen = %d, want %d", dec.gen, g.gen)
+		}
+
+		var buf2 bytes.Buffer
+		if err := dec.EncodeSnapshot(&buf2); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("re-encoding a decoded snapshot changed the bytes")
+		}
+	}
+}
+
+// TestExtractSnapshotAppendMatchesOriginal checks that a decoded generation
+// accepts Append (rebuilding the interning index) and produces the exact
+// graph the in-memory generation does.
+func TestExtractSnapshotAppendMatchesOriginal(t *testing.T) {
+	xs := appendStream(500)
+	split := len(xs) / 2
+	base := Compile(xs[:split], true)
+
+	var buf bytes.Buffer
+	if err := base.EncodeSnapshot(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, err := DecodeSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	want := base.Append(xs[split:])
+	got := dec.Append(xs[split:])
+	appendGraphsEqual(t, "appended", got, want)
+	if got.gen != want.gen {
+		t.Fatalf("gen = %d, want %d", got.gen, want.gen)
+	}
+}
+
+// TestExtractSnapshotDecodeCorrupt truncates and bit-flips an encoded
+// snapshot and asserts decode never panics (checksums above this layer catch
+// silent corruption; this is about decoder memory safety).
+func TestExtractSnapshotDecodeCorrupt(t *testing.T) {
+	g := Compile(appendStream(150), false)
+	var buf bytes.Buffer
+	if err := g.EncodeSnapshot(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := DecodeSnapshot(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+	for off := 0; off < len(full); off += 11 {
+		mut := append([]byte(nil), full...)
+		mut[off] ^= 0x41
+		_, _ = DecodeSnapshot(mut) // must not panic
+	}
+}

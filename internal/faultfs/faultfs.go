@@ -1,0 +1,390 @@
+// Package faultfs is the failpoint filesystem layer the generation store's
+// crash-recovery property tests stand on. It abstracts the handful of
+// filesystem operations genstore needs (FS), provides a real implementation
+// with durability barriers (OS), an in-memory one for tests (Mem), and a
+// fault-injecting wrapper (Faulty) that kills the world after a configurable
+// number of I/O steps — including halfway through a Write, which models a
+// torn page, and during a Rename, which models a non-atomic rename.
+//
+// The crash model: every successfully written byte is durable immediately
+// (the Mem map IS the disk), and the step budget decides where the crash
+// lands. A property test records a full run to count its steps, then replays
+// it once per possible crash point, asserting recovery from the survived
+// bytes reproduces the uncrashed state.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrInjected is the error every operation returns once a Faulty budget is
+// exhausted — the moment "the process dies" in the crash model.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// File is a writable file handle.
+type File interface {
+	io.Writer
+	// Sync flushes written bytes to durable storage.
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the generation store writes through. All
+// paths are names relative to the store directory (no separators).
+type FS interface {
+	// ReadFile returns the full contents of a file.
+	ReadFile(name string) ([]byte, error)
+	// Create truncates/creates a file for writing.
+	Create(name string) (File, error)
+	// OpenAppend opens a file for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Rename atomically replaces newname with oldname's file.
+	Rename(oldname, newname string) error
+	// Remove deletes a file (no error if absent).
+	Remove(name string) error
+	// List returns the file names in the store, sorted.
+	List() ([]string, error)
+	// SyncDir flushes directory metadata (renames, removals).
+	SyncDir() error
+}
+
+// ---- OS: the real filesystem rooted at a directory ----
+
+// OS is the production FS: files in one directory, fsync on File.Sync, and
+// directory fsync on SyncDir so renames are durable.
+type OS struct{ Dir string }
+
+// NewOS returns an OS filesystem rooted at dir, creating it if needed.
+func NewOS(dir string) (*OS, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("faultfs: mkdir: %w", err)
+	}
+	return &OS{Dir: dir}, nil
+}
+
+func (o *OS) path(name string) string { return filepath.Join(o.Dir, name) }
+
+func (o *OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(o.path(name)) }
+
+func (o *OS) Create(name string) (File, error) { return os.Create(o.path(name)) }
+
+func (o *OS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(o.path(name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+}
+
+func (o *OS) Rename(oldname, newname string) error {
+	return os.Rename(o.path(oldname), o.path(newname))
+}
+
+func (o *OS) Remove(name string) error {
+	err := os.Remove(o.path(name))
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+func (o *OS) List() ([]string, error) {
+	ents, err := os.ReadDir(o.Dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (o *OS) SyncDir() error {
+	d, err := os.Open(o.Dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// ---- Mem: in-memory filesystem for tests ----
+
+// Mem is an in-memory FS whose map is "the disk": whatever a crashed run
+// managed to write is exactly what recovery sees. Safe for concurrent use.
+type Mem struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewMem returns an empty in-memory filesystem.
+func NewMem() *Mem { return &Mem{files: make(map[string][]byte)} }
+
+func (m *Mem) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[name]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), b...), nil
+}
+
+func (m *Mem) Create(name string) (File, error) {
+	m.mu.Lock()
+	m.files[name] = nil
+	m.mu.Unlock()
+	return &memFile{m: m, name: name}, nil
+}
+
+func (m *Mem) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	if _, ok := m.files[name]; !ok {
+		m.files[name] = nil
+	}
+	m.mu.Unlock()
+	return &memFile{m: m, name: name}, nil
+}
+
+func (m *Mem) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	m.files[newname] = b
+	delete(m.files, oldname)
+	return nil
+}
+
+func (m *Mem) Remove(name string) error {
+	m.mu.Lock()
+	delete(m.files, name)
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *Mem) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for n := range m.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *Mem) SyncDir() error { return nil }
+
+// Clone deep-copies the filesystem — the "disk image at the crash" a
+// recovery run opens.
+func (m *Mem) Clone() *Mem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMem()
+	for n, b := range m.files {
+		c.files[n] = append([]byte(nil), b...)
+	}
+	return c
+}
+
+// FlipBit XORs one bit of a stored file, simulating silent media corruption.
+func (m *Mem) FlipBit(name string, byteOff int, bit uint) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[name]
+	if !ok {
+		return &os.PathError{Op: "flipbit", Path: name, Err: os.ErrNotExist}
+	}
+	if byteOff < 0 || byteOff >= len(b) {
+		return fmt.Errorf("faultfs: flip offset %d outside %q (%d bytes)", byteOff, name, len(b))
+	}
+	b[byteOff] ^= 1 << (bit % 8)
+	return nil
+}
+
+// Truncate cuts a stored file to n bytes, simulating a torn tail.
+func (m *Mem) Truncate(name string, n int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[name]
+	if !ok {
+		return &os.PathError{Op: "truncate", Path: name, Err: os.ErrNotExist}
+	}
+	if n < 0 || n > len(b) {
+		return fmt.Errorf("faultfs: truncate length %d outside %q (%d bytes)", n, name, len(b))
+	}
+	m.files[name] = b[:n]
+	return nil
+}
+
+// Size reports a stored file's length in bytes.
+func (m *Mem) Size(name string) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[name]
+	if !ok {
+		return 0, &os.PathError{Op: "size", Path: name, Err: os.ErrNotExist}
+	}
+	return len(b), nil
+}
+
+type memFile struct {
+	m    *Mem
+	name string
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.m.mu.Lock()
+	f.m.files[f.name] = append(f.m.files[f.name], p...)
+	f.m.mu.Unlock()
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error  { return nil }
+func (f *memFile) Close() error { return nil }
+
+// ---- Faulty: step-budget fault injection ----
+
+// Faulty wraps an FS and kills every operation after a step budget runs out.
+// Costs: writing n bytes costs n steps — a Write that crosses the boundary
+// writes only the bytes the budget covers and then fails (a torn write) —
+// and Create, OpenAppend, Rename, Remove, Sync and SyncDir cost 1 step each.
+// Reads and List are free: the crash model only schedules the mutating ops.
+//
+// TornRename makes an out-of-budget Rename destroy the source file without
+// creating the destination — the pathological non-atomic rename a journaling
+// filesystem prevents but a naive one does not.
+type Faulty struct {
+	FS
+	TornRename bool
+
+	mu     sync.Mutex
+	budget int64
+	spent  int64
+	dead   bool
+}
+
+// NewFaulty wraps fs with a step budget. A negative budget never expires.
+func NewFaulty(fs FS, budget int64) *Faulty { return &Faulty{FS: fs, budget: budget} }
+
+// Spent reports the total steps charged so far. A recorder pass runs with a
+// negative (infinite) budget and reads Spent to learn the crash-point count
+// the property test sweeps.
+func (f *Faulty) Spent() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.spent
+}
+
+// charge consumes up to n steps; it returns how many were granted and
+// whether the budget survived the full charge.
+func (f *Faulty) charge(n int64) (granted int64, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.spent += n
+	if f.budget < 0 {
+		return n, true
+	}
+	if f.dead {
+		return 0, false
+	}
+	if f.budget >= n {
+		f.budget -= n
+		return n, true
+	}
+	granted = f.budget
+	f.budget = 0
+	f.dead = true
+	return granted, false
+}
+
+func (f *Faulty) Create(name string) (File, error) {
+	if _, ok := f.charge(1); !ok {
+		return nil, ErrInjected
+	}
+	file, err := f.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, file: file}, nil
+}
+
+func (f *Faulty) OpenAppend(name string) (File, error) {
+	if _, ok := f.charge(1); !ok {
+		return nil, ErrInjected
+	}
+	file, err := f.FS.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, file: file}, nil
+}
+
+func (f *Faulty) Rename(oldname, newname string) error {
+	if _, ok := f.charge(1); !ok {
+		if f.TornRename {
+			// The crash interrupted the rename after unlinking the source:
+			// both names gone.
+			_ = f.FS.Remove(oldname)
+		}
+		return ErrInjected
+	}
+	return f.FS.Rename(oldname, newname)
+}
+
+func (f *Faulty) Remove(name string) error {
+	if _, ok := f.charge(1); !ok {
+		return ErrInjected
+	}
+	return f.FS.Remove(name)
+}
+
+func (f *Faulty) SyncDir() error {
+	if _, ok := f.charge(1); !ok {
+		return ErrInjected
+	}
+	return f.FS.SyncDir()
+}
+
+type faultyFile struct {
+	f    *Faulty
+	file File
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	granted, ok := ff.f.charge(int64(len(p)))
+	if ok {
+		return ff.file.Write(p)
+	}
+	// Torn write: the bytes the budget covered made it to disk.
+	if granted > 0 {
+		if _, err := ff.file.Write(p[:granted]); err != nil {
+			return 0, err
+		}
+	}
+	return int(granted), ErrInjected
+}
+
+func (ff *faultyFile) Sync() error {
+	if _, ok := ff.f.charge(1); !ok {
+		return ErrInjected
+	}
+	return ff.file.Sync()
+}
+
+func (ff *faultyFile) Close() error {
+	if _, ok := ff.f.charge(1); !ok {
+		_ = ff.file.Close()
+		return ErrInjected
+	}
+	return ff.file.Close()
+}

@@ -1,0 +1,171 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestMemBasics(t *testing.T) {
+	m := NewMem()
+	f, err := m.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.OpenAppend("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write([]byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.ReadFile("a")
+	if err != nil || string(b) != "hello world" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if err := m.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadFile("a"); err == nil {
+		t.Fatal("old name still readable after rename")
+	}
+	names, err := m.List()
+	if err != nil || len(names) != 1 || names[0] != "b" {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+
+	clone := m.Clone()
+	if err := m.Truncate("b", 5); err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := clone.ReadFile("b")
+	if string(cb) != "hello world" {
+		t.Fatal("Clone shares storage with the original")
+	}
+	if err := m.FlipBit("b", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = m.ReadFile("b")
+	if string(b) == "hello" {
+		t.Fatal("FlipBit had no effect")
+	}
+}
+
+// TestFaultyTornWrite checks the byte-granular crash model: a Write crossing
+// the budget boundary persists exactly the covered prefix, and every later
+// operation fails with ErrInjected.
+func TestFaultyTornWrite(t *testing.T) {
+	mem := NewMem()
+	// 1 step for Create + 3 bytes of budget.
+	ffs := NewFaulty(mem, 4)
+	f, err := ffs.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write = %d, %v; want 3, ErrInjected", n, err)
+	}
+	b, _ := mem.ReadFile("x")
+	if !bytes.Equal(b, []byte("abc")) {
+		t.Fatalf("disk has %q, want %q", b, "abc")
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Sync after death = %v", err)
+	}
+	if _, err := ffs.Create("y"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Create after death = %v", err)
+	}
+	// Reads stay free even after death: recovery reads the survived bytes.
+	if _, err := ffs.ReadFile("x"); err != nil {
+		t.Fatalf("ReadFile after death = %v", err)
+	}
+}
+
+func TestFaultySpentRecorder(t *testing.T) {
+	ffs := NewFaulty(NewMem(), -1)
+	f, _ := ffs.Create("x")     // 1
+	f.Write([]byte("abcdefgh")) // 8
+	f.Sync()                    // 1
+	f.Close()                   // 1
+	ffs.Rename("x", "y")        // 1
+	if got := ffs.Spent(); got != 12 {
+		t.Fatalf("Spent = %d, want 12", got)
+	}
+}
+
+func TestTornRename(t *testing.T) {
+	mem := NewMem()
+	f, _ := mem.Create("src")
+	f.Write([]byte("data"))
+
+	ffs := NewFaulty(mem, 0)
+	ffs.TornRename = true
+	if err := ffs.Rename("src", "dst"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Rename = %v", err)
+	}
+	if _, err := mem.ReadFile("src"); err == nil {
+		t.Fatal("torn rename left the source file")
+	}
+	if _, err := mem.ReadFile("dst"); err == nil {
+		t.Fatal("torn rename created the destination")
+	}
+
+	// Without TornRename the out-of-budget rename is a clean no-op.
+	mem2 := NewMem()
+	f2, _ := mem2.Create("src")
+	f2.Write([]byte("data"))
+	ffs2 := NewFaulty(mem2, 0)
+	if err := ffs2.Rename("src", "dst"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Rename = %v", err)
+	}
+	if _, err := mem2.ReadFile("src"); err != nil {
+		t.Fatal("clean crash lost the source file")
+	}
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	o, err := NewOS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := o.Create("tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Rename("tmp", "final"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SyncDir(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.ReadFile("final")
+	if err != nil || string(b) != "payload" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	names, err := o.List()
+	if err != nil || len(names) != 1 || names[0] != "final" {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+	if err := o.Remove("final"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Remove("final"); err != nil {
+		t.Fatalf("Remove of absent file = %v", err)
+	}
+}

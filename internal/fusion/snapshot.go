@@ -1,0 +1,347 @@
+package fusion
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"kfusion/internal/kb"
+	"kfusion/internal/wire"
+)
+
+// snapshotVersion versions the Compiled wire encoding. Bump on any layout
+// change; DecodeSnapshot rejects mismatches so a store written by a newer
+// binary degrades to recompile instead of misparsing.
+const snapshotVersion = 1
+
+// EncodeSnapshot serializes the compiled claim graph — every dense ID table
+// and CSR span verbatim, no recomputation on decode — so a restored graph is
+// field-identical to the encoded one and Append/Fuse behave bit-identically.
+// The encoding is canonical: one graph always produces the same bytes.
+//
+// The interning index (the Append byproduct) is NOT serialized; a decoded
+// generation rebuilds it on first Append (see takeIndex), trading one linear
+// rebuild for a format free of map iteration order.
+func (c *Compiled) EncodeSnapshot(out io.Writer) error {
+	g := c.g
+	w := wire.NewWriter(out)
+	w.U8(snapshotVersion)
+	w.Int(c.gen)
+
+	// Key tables. The extractor axis is aggregated in the graph, so its key
+	// table and per-claim assignment are re-interned here in claim order —
+	// the same first-occurrence order compile assigns, hence canonical.
+	extKeys, extOfClaim := internExtractors(g.claims)
+	w.Strings(g.provKeys)
+	w.Strings(extKeys)
+	kb.EncodeTriples(w, g.triples)
+	kb.EncodeItems(w, g.items)
+
+	// Per-claim columns; Triple and Prov are recovered through the ID maps.
+	conf := make([]float64, len(g.claims))
+	for i := range g.claims {
+		conf[i] = g.claims[i].Conf
+	}
+	w.F64s(conf)
+	w.Int32s(extOfClaim)
+	w.Int32s(g.provOfClaim)
+	w.Int32s(g.tripleOfClaim)
+	w.Int32s(g.localOfClaim)
+
+	// Item and triple structure.
+	w.Int32s(g.itemClaimStart)
+	w.Int32s(g.itemClaims)
+	w.Int32s(g.itemCandStart)
+	w.Int32s(g.itemCands)
+	w.Int32s(g.itemOfTriple)
+	w.Int32s(g.localOfTriple)
+	w.Int32s(g.tripleClaimStart)
+	w.Int32s(g.tripleClaims)
+	w.Int32s(g.tripleExtractors)
+
+	// Provenance structure.
+	w.Int32s(g.provClaimStart)
+	w.Int32s(g.provClaims)
+
+	w.Int(g.maxCandidates)
+	return w.Err()
+}
+
+// internExtractors assigns extractor IDs in claim-order first occurrence —
+// the exact assignment compile produces.
+func internExtractors(claims []Claim) (keys []string, ofClaim []int32) {
+	idx := make(map[string]int32, 32)
+	ofClaim = make([]int32, len(claims))
+	for i := range claims {
+		x := claims[i].Extractor
+		id, ok := idx[x]
+		if !ok {
+			id = int32(len(keys))
+			idx[x] = id
+			keys = append(keys, x)
+		}
+		ofClaim[i] = id
+	}
+	return keys, ofClaim
+}
+
+// DecodeSnapshot reconstructs a Compiled from EncodeSnapshot bytes. Every
+// length, ID and CSR span is validated before use, so corrupt or truncated
+// input returns an error instead of panicking; the checks make the function
+// safe as a fuzz target over raw bytes.
+func DecodeSnapshot(data []byte) (*Compiled, error) {
+	r := wire.NewReader(data)
+	if v := r.U8(); r.Err() == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("fusion: snapshot version %d, want %d", v, snapshotVersion)
+	}
+	gen := r.Int()
+
+	provKeys := r.Strings()
+	extKeys := r.Strings()
+	triples, err := kb.DecodeTriples(r)
+	if err != nil {
+		return nil, fmt.Errorf("fusion: snapshot: %w", err)
+	}
+	items, err := kb.DecodeItems(r)
+	if err != nil {
+		return nil, fmt.Errorf("fusion: snapshot: %w", err)
+	}
+
+	conf := r.F64s()
+	extOfClaim := r.Int32s()
+	g := &graph{
+		provKeys:      provKeys,
+		triples:       triples,
+		items:         items,
+		provOfClaim:   r.Int32s(),
+		tripleOfClaim: r.Int32s(),
+		localOfClaim:  r.Int32s(),
+
+		itemClaimStart:   r.Int32s(),
+		itemClaims:       r.Int32s(),
+		itemCandStart:    r.Int32s(),
+		itemCands:        r.Int32s(),
+		itemOfTriple:     r.Int32s(),
+		localOfTriple:    r.Int32s(),
+		tripleClaimStart: r.Int32s(),
+		tripleClaims:     r.Int32s(),
+		tripleExtractors: r.Int32s(),
+
+		provClaimStart: r.Int32s(),
+		provClaims:     r.Int32s(),
+	}
+	g.maxCandidates = r.Int()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("fusion: snapshot: %w", err)
+	}
+
+	n := len(conf)
+	nTriples := len(triples)
+	nItems := len(items)
+	nProvs := len(provKeys)
+	for _, c := range []struct {
+		name string
+		got  int
+	}{
+		{"extOfClaim", len(extOfClaim)},
+		{"provOfClaim", len(g.provOfClaim)},
+		{"tripleOfClaim", len(g.tripleOfClaim)},
+		{"localOfClaim", len(g.localOfClaim)},
+	} {
+		if c.got != n {
+			return nil, fmt.Errorf("fusion: snapshot: %s has %d entries, want %d claims", c.name, c.got, n)
+		}
+	}
+	for _, c := range []struct {
+		name string
+		ids  []int32
+		n    int
+	}{
+		{"extOfClaim", extOfClaim, len(extKeys)},
+		{"provOfClaim", g.provOfClaim, nProvs},
+		{"tripleOfClaim", g.tripleOfClaim, nTriples},
+		{"itemOfTriple", g.itemOfTriple, nItems},
+		{"itemClaims", g.itemClaims, n},
+		{"itemCands", g.itemCands, nTriples},
+		{"tripleClaims", g.tripleClaims, n},
+		{"provClaims", g.provClaims, n},
+	} {
+		if err := wire.CheckIDs(c.name, c.ids, c.n); err != nil {
+			return nil, fmt.Errorf("fusion: snapshot: %w", err)
+		}
+	}
+	if len(g.itemOfTriple) != nTriples || len(g.localOfTriple) != nTriples || len(g.tripleExtractors) != nTriples {
+		return nil, fmt.Errorf("fusion: snapshot: triple column lengths disagree with %d triples", nTriples)
+	}
+	for _, c := range []struct {
+		name    string
+		start   []int32
+		groups  int
+		flatLen int
+	}{
+		{"itemClaimStart", g.itemClaimStart, nItems, len(g.itemClaims)},
+		{"itemCandStart", g.itemCandStart, nItems, len(g.itemCands)},
+		{"tripleClaimStart", g.tripleClaimStart, nTriples, len(g.tripleClaims)},
+		{"provClaimStart", g.provClaimStart, nProvs, len(g.provClaims)},
+	} {
+		if err := wire.CheckCSR(c.name, c.start, c.groups, c.flatLen); err != nil {
+			return nil, fmt.Errorf("fusion: snapshot: %w", err)
+		}
+	}
+
+	// Deep structural invariants. The fusion engine indexes candidate scratch
+	// by these relations without bounds checks, so a decoded graph must
+	// satisfy them exactly, not just stay in ID range.
+	for t := 0; t < nTriples; t++ {
+		i := g.itemOfTriple[t]
+		lo, hi := g.itemCandStart[i], g.itemCandStart[i+1]
+		l := g.localOfTriple[t]
+		if l < 0 || l >= hi-lo || g.itemCands[lo+l] != int32(t) {
+			return nil, fmt.Errorf("fusion: snapshot: triple %d has inconsistent candidate position", t)
+		}
+	}
+	for i := 0; i < nItems; i++ {
+		for _, tc := range g.itemCands[g.itemCandStart[i]:g.itemCandStart[i+1]] {
+			if g.itemOfTriple[tc] != int32(i) {
+				return nil, fmt.Errorf("fusion: snapshot: triple %d listed under item %d, belongs to %d", tc, i, g.itemOfTriple[tc])
+			}
+		}
+		for _, cl := range g.itemClaims[g.itemClaimStart[i]:g.itemClaimStart[i+1]] {
+			if g.itemOfTriple[g.tripleOfClaim[cl]] != int32(i) {
+				return nil, fmt.Errorf("fusion: snapshot: claim %d grouped under item %d, belongs to %d", cl, i, g.itemOfTriple[g.tripleOfClaim[cl]])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if g.localOfClaim[i] != g.localOfTriple[g.tripleOfClaim[i]] {
+			return nil, fmt.Errorf("fusion: snapshot: claim %d candidate offset disagrees with its triple", i)
+		}
+	}
+	maxCand := 0
+	for i := 0; i < nItems; i++ {
+		if c := int(g.itemCandStart[i+1] - g.itemCandStart[i]); c > maxCand {
+			maxCand = c
+		}
+	}
+	if g.maxCandidates != maxCand {
+		return nil, fmt.Errorf("fusion: snapshot: maxCandidates %d, computed %d", g.maxCandidates, maxCand)
+	}
+
+	g.claims = make([]Claim, n)
+	for i := range g.claims {
+		g.claims[i] = Claim{
+			Triple:    triples[g.tripleOfClaim[i]],
+			Prov:      provKeys[g.provOfClaim[i]],
+			Conf:      conf[i],
+			Extractor: extKeys[extOfClaim[i]],
+		}
+	}
+	// idx stays nil: the first Append rebuilds it from the graph.
+	return &Compiled{g: g, gen: gen}, nil
+}
+
+// EncodeResult serializes a fusion Result (the warm-start payload plus the
+// fused triples, so a resumed run can re-emit output without re-fusing).
+// ProvAccuracy is written in sorted key order, making the bytes canonical.
+func EncodeResult(out io.Writer, res *Result) error {
+	w := wire.NewWriter(out)
+	w.U8(snapshotVersion)
+	w.Int(res.Rounds)
+	w.Int(res.Unpredicted)
+
+	keys := make([]string, 0, len(res.ProvAccuracy))
+	for k := range res.ProvAccuracy {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Int(len(keys))
+	for _, k := range keys {
+		w.String(k)
+		w.F64(res.ProvAccuracy[k])
+	}
+
+	w.Int(len(res.Triples))
+	for i := range res.Triples {
+		f := &res.Triples[i]
+		w.String(string(f.Triple.Subject))
+		w.String(string(f.Triple.Predicate))
+		w.String(f.Triple.Object.String())
+		w.F64(f.Probability)
+		w.Bool(f.Predicted)
+		w.Int(f.Provenances)
+		w.Int(f.ItemProvenances)
+		w.Int(f.Extractors)
+	}
+	return w.Err()
+}
+
+// DecodeResult reconstructs a Result from EncodeResult bytes.
+func DecodeResult(data []byte) (*Result, error) {
+	r := wire.NewReader(data)
+	if v := r.U8(); r.Err() == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("fusion: result version %d, want %d", v, snapshotVersion)
+	}
+	res := &Result{Rounds: r.Int(), Unpredicted: r.Int()}
+
+	nAcc := r.Int()
+	if r.Err() == nil && nAcc > r.Remaining() {
+		return nil, fmt.Errorf("fusion: result: accuracy count %d exceeds input: %w", nAcc, wire.ErrTruncated)
+	}
+	if r.Err() == nil {
+		res.ProvAccuracy = make(map[string]float64, nAcc)
+		for i := 0; i < nAcc; i++ {
+			k := r.String()
+			v := r.F64()
+			if r.Err() != nil {
+				break
+			}
+			res.ProvAccuracy[k] = v
+		}
+	}
+
+	nTriples := r.Int()
+	if r.Err() == nil && nTriples > r.Remaining() {
+		return nil, fmt.Errorf("fusion: result: triple count %d exceeds input: %w", nTriples, wire.ErrTruncated)
+	}
+	if r.Err() == nil && nTriples > 0 {
+		res.Triples = make([]FusedTriple, 0, nTriples)
+		for i := 0; i < nTriples; i++ {
+			subj := r.String()
+			pred := r.String()
+			objStr := r.String()
+			if r.Err() != nil {
+				break
+			}
+			obj, err := kb.ParseObject(objStr)
+			if err != nil {
+				return nil, fmt.Errorf("fusion: result triple %d: %w", i, err)
+			}
+			res.Triples = append(res.Triples, FusedTriple{
+				Triple:          kb.Triple{Subject: kb.EntityID(subj), Predicate: kb.PredicateID(pred), Object: obj},
+				Probability:     r.F64(),
+				Predicted:       r.Bool(),
+				Provenances:     r.Int(),
+				ItemProvenances: r.Int(),
+				Extractors:      r.Int(),
+			})
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("fusion: result: %w", err)
+	}
+	return res, nil
+}
+
+// SeedClaimStream rebuilds the claim-stream dedup state of an append-only
+// feed from a restored generation: the compiled claims are exactly the
+// (provenance, triple) pairs the uncrashed stream had seen, so Add calls on
+// the returned stream continue it bit-identically.
+func SeedClaimStream(g Granularity, c *Compiled) *ClaimStream {
+	s := NewClaimStream(g)
+	for i := range c.g.claims {
+		cl := &c.g.claims[i]
+		s.seen[provTriple{prov: cl.Prov, triple: cl.Triple}] = true
+	}
+	s.n = len(c.g.claims)
+	return s
+}

@@ -1,0 +1,469 @@
+package genstore
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/faultfs"
+	"kfusion/internal/fusion"
+	"kfusion/internal/kb"
+	"kfusion/internal/twolayer"
+)
+
+// testFeed synthesizes a deterministic extraction stream with repeated
+// (prov, triple) pairs across batch boundaries and a growing extractor
+// fleet, so appends rename nothing but do extend every ID space.
+func testFeed(n int) []extract.Extraction {
+	out := make([]extract.Extraction, n)
+	for i := range out {
+		out[i] = extract.Extraction{
+			Triple: kb.Triple{
+				Subject:   kb.EntityID(fmt.Sprintf("s%d", i%23)),
+				Predicate: kb.PredicateID(fmt.Sprintf("p%d", i%3)),
+				Object:    kb.StringObject(fmt.Sprintf("v%d", (i*7)%5)),
+			},
+			Extractor:  fmt.Sprintf("X%d", (i*13)%4),
+			Pattern:    fmt.Sprintf("pat%d", i%3),
+			URL:        fmt.Sprintf("http://site%d.example/p%d", i%9, i%17),
+			Site:       fmt.Sprintf("site%d.example", i%9),
+			Confidence: float64(i%10) / 10,
+			Error:      extract.ErrorKind(i % 5),
+		}
+	}
+	return out
+}
+
+// claimDriver is the claim-layer pipeline the store persists: claim-stream
+// dedup, compile/append, warm fuse — the same shape kfuse -append runs.
+type claimDriver struct {
+	gran   fusion.Granularity
+	cfg    fusion.Config
+	stream *fusion.ClaimStream
+}
+
+func newClaimDriver() *claimDriver {
+	return &claimDriver{gran: fusion.GranExtractorSitePred, cfg: fusion.PopAccuConfig()}
+}
+
+func (d *claimDriver) apply(st *State, batch []extract.Extraction) error {
+	if d.stream == nil {
+		if st.Claim != nil {
+			d.stream = fusion.SeedClaimStream(d.gran, st.Claim)
+		} else {
+			d.stream = fusion.NewClaimStream(d.gran)
+		}
+	}
+	claims := d.stream.Add(batch)
+	if st.Claim == nil {
+		st.Claim = fusion.MustCompile(claims)
+	} else {
+		st.Claim = st.Claim.MustAppend(claims)
+	}
+	res, err := st.Claim.FuseWarm(d.cfg, st.Result)
+	if err != nil {
+		return err
+	}
+	st.Method = "popaccu"
+	st.Gran = d.gran
+	st.Result = res
+	return nil
+}
+
+// runPipeline drives a full append run over fsys: open (recovering whatever
+// state survives), append the unconsumed feed suffix in chunks, snapshot
+// every snapEvery batches and at the end. Any error is "the crash".
+func runPipeline(fsys faultfs.FS, feed []extract.Extraction, chunk, snapEvery int) (*State, error) {
+	d := newClaimDriver()
+	store, st, err := OpenFS(fsys, d.apply)
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+	for off := st.Consumed; off < len(feed); {
+		end := min(off+chunk, len(feed))
+		if err := store.Append(st, feed[off:end]); err != nil {
+			return nil, err
+		}
+		off = end
+		if snapEvery > 0 && st.Batches%snapEvery == 0 {
+			if err := store.Snapshot(st); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := store.Snapshot(st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// stateFingerprint reduces a state to comparable bytes: the canonical claim
+// graph encoding plus the result encoding.
+func stateFingerprint(t *testing.T, st *State) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "consumed=%d batches=%d\n", st.Consumed, st.Batches)
+	if st.Claim != nil {
+		if err := st.Claim.EncodeSnapshot(&buf); err != nil {
+			t.Fatalf("encode claim graph: %v", err)
+		}
+	}
+	if st.Result != nil {
+		if err := fusion.EncodeResult(&buf, st.Result); err != nil {
+			t.Fatalf("encode result: %v", err)
+		}
+	}
+	return buf.Bytes()
+}
+
+const (
+	feedLen   = 120
+	chunkLen  = 25
+	snapEvery = 2
+)
+
+// uncrashedFingerprint runs the pipeline once with no faults and returns the
+// reference final state.
+func uncrashedFingerprint(t *testing.T) []byte {
+	t.Helper()
+	st, err := runPipeline(faultfs.NewMem(), testFeed(feedLen), chunkLen, snapEvery)
+	if err != nil {
+		t.Fatalf("uncrashed run failed: %v", err)
+	}
+	return stateFingerprint(t, st)
+}
+
+// crashPoints picks the step budgets the sweep injects: every boundary early
+// on (metadata writes, journal header, first records) and a dense stride
+// across the rest of the run.
+func crashPoints(t *testing.T, total int64) []int64 {
+	t.Helper()
+	dense := int64(150)
+	stride := int64(1)
+	if total > 600 {
+		stride = total / 300
+	}
+	if testing.Short() {
+		dense = 40
+		stride = total / 60
+		if stride == 0 {
+			stride = 1
+		}
+	}
+	var pts []int64
+	for b := int64(0); b < total && b < dense; b++ {
+		pts = append(pts, b)
+	}
+	for b := dense; b < total; b += stride {
+		pts = append(pts, b)
+	}
+	return pts
+}
+
+// TestCrashRecoveryEveryStep is the tentpole property test: crash the
+// pipeline after b I/O steps for a sweep of b across the whole run, recover
+// on the surviving bytes, finish the run, and require the final state to be
+// bit-identical to the uncrashed run's — for clean crashes and torn renames.
+func TestCrashRecoveryEveryStep(t *testing.T) {
+	feed := testFeed(feedLen)
+	want := uncrashedFingerprint(t)
+
+	// Recorder pass counts the total step budget of a full run.
+	rec := faultfs.NewFaulty(faultfs.NewMem(), -1)
+	if _, err := runPipeline(rec, feed, chunkLen, snapEvery); err != nil {
+		t.Fatalf("recorder run failed: %v", err)
+	}
+	total := rec.Spent()
+
+	for _, torn := range []bool{false, true} {
+		name := "clean"
+		if torn {
+			name = "torn-rename"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, b := range crashPoints(t, total) {
+				mem := faultfs.NewMem()
+				ffs := faultfs.NewFaulty(mem, b)
+				ffs.TornRename = torn
+				if _, err := runPipeline(ffs, feed, chunkLen, snapEvery); err == nil {
+					t.Fatalf("budget %d: run did not crash", b)
+				}
+
+				// The Mem map is the disk at the moment of death; recover on
+				// it with no faults and finish the run.
+				st, err := runPipeline(mem, feed, chunkLen, snapEvery)
+				if err != nil {
+					t.Fatalf("budget %d: recovery run failed: %v", b, err)
+				}
+				if got := stateFingerprint(t, st); !bytes.Equal(got, want) {
+					t.Fatalf("budget %d: recovered state differs from uncrashed run", b)
+				}
+			}
+		})
+	}
+}
+
+// TestCleanReopenWarmBoots checks the warm-boot path: a completed run
+// reopens with zero degradations and the exact final state, without
+// reapplying any batch.
+func TestCleanReopenWarmBoots(t *testing.T) {
+	mem := faultfs.NewMem()
+	feed := testFeed(feedLen)
+	st, err := runPipeline(mem, feed, chunkLen, snapEvery)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := stateFingerprint(t, st)
+
+	applied := 0
+	store, st2, err := OpenFS(mem, func(st *State, batch []extract.Extraction) error {
+		applied++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer store.Close()
+	if applied != 0 {
+		t.Fatalf("clean reopen replayed %d batches", applied)
+	}
+	if d := store.Degradations(); len(d) != 0 {
+		t.Fatalf("clean reopen degraded: %v", d)
+	}
+	if got := stateFingerprint(t, st2); !bytes.Equal(got, want) {
+		t.Fatal("reopened state differs from final in-memory state")
+	}
+}
+
+// corruptNewestSnapshot flips one byte in the body of the newest snapshot.
+func corruptNewestSnapshot(t *testing.T, mem *faultfs.Mem) string {
+	t.Helper()
+	names, err := mem.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := snapNames(names)
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots on disk")
+	}
+	sz, err := mem.Size(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.FlipBit(snaps[0], sz/2, 3); err != nil {
+		t.Fatal(err)
+	}
+	return snaps[0]
+}
+
+// TestBitFlipFallsBackToPreviousSnapshot checks degradation rung one: a
+// checksum-failing newest snapshot falls back to the previous snapshot plus
+// journal replay, reproducing the exact state, with the degradation
+// reported.
+func TestBitFlipFallsBackToPreviousSnapshot(t *testing.T) {
+	mem := faultfs.NewMem()
+	feed := testFeed(feedLen)
+	st, err := runPipeline(mem, feed, chunkLen, snapEvery)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := stateFingerprint(t, st)
+	corruptNewestSnapshot(t, mem)
+
+	d := newClaimDriver()
+	store, st2, err := OpenFS(mem, d.apply)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer store.Close()
+	if len(store.Degradations()) == 0 {
+		t.Fatal("corrupt snapshot not reported")
+	}
+	if got := stateFingerprint(t, st2); !bytes.Equal(got, want) {
+		t.Fatal("fallback recovery differs from uncrashed state")
+	}
+}
+
+// TestAllSnapshotsLostRecompilesFromFeed checks the last degradation rung:
+// with every snapshot corrupt, Open reports the fallback and returns an
+// empty-cursor state; re-running the pipeline from the feed reproduces the
+// uncrashed final state.
+func TestAllSnapshotsLostRecompilesFromFeed(t *testing.T) {
+	mem := faultfs.NewMem()
+	feed := testFeed(feedLen)
+	st, err := runPipeline(mem, feed, chunkLen, snapEvery)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := stateFingerprint(t, st)
+
+	names, _ := mem.List()
+	for _, n := range snapNames(names) {
+		sz, _ := mem.Size(n)
+		if err := mem.FlipBit(n, sz/3, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d := newClaimDriver()
+	store, st2, err := OpenFS(mem, d.apply)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	degr := store.Degradations()
+	store.Close()
+	if len(degr) == 0 {
+		t.Fatal("lost snapshots not reported")
+	}
+	if st2.Claim != nil {
+		t.Fatal("corrupt snapshots still hydrated a graph")
+	}
+
+	// The journal alone cannot bridge the rotation floor; the driver
+	// re-reads the feed from Consumed (== 0 here) and must converge.
+	st3, err := runPipeline(mem, feed, chunkLen, snapEvery)
+	if err != nil {
+		t.Fatalf("recompile run: %v", err)
+	}
+	if got := stateFingerprint(t, st3); !bytes.Equal(got, want) {
+		t.Fatal("recompiled state differs from uncrashed state")
+	}
+}
+
+// TestTruncatedSnapshotAndJournal checks byte-level truncation of both files
+// never panics and always recovers to the uncrashed state via feed re-read.
+func TestTruncatedSnapshotAndJournal(t *testing.T) {
+	base := faultfs.NewMem()
+	feed := testFeed(feedLen)
+	st, err := runPipeline(base, feed, chunkLen, snapEvery)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := stateFingerprint(t, st)
+
+	names, _ := base.List()
+	for _, name := range names {
+		sz, _ := base.Size(name)
+		for _, cut := range []int{0, 1, sz / 3, sz / 2, sz - 1} {
+			if cut < 0 || cut >= sz {
+				continue
+			}
+			mem := base.Clone()
+			if err := mem.Truncate(name, cut); err != nil {
+				t.Fatal(err)
+			}
+			st2, err := runPipeline(mem, feed, chunkLen, snapEvery)
+			if err != nil {
+				t.Fatalf("truncate %s to %d: run failed: %v", name, cut, err)
+			}
+			if got := stateFingerprint(t, st2); !bytes.Equal(got, want) {
+				t.Fatalf("truncate %s to %d: state differs", name, cut)
+			}
+		}
+	}
+}
+
+// twoLayerDriver exercises the extraction-graph + twolayer warm-start path
+// through the same store.
+type twoLayerDriver struct {
+	cfg twolayer.Config
+}
+
+func (d *twoLayerDriver) apply(st *State, batch []extract.Extraction) error {
+	if st.Ext == nil {
+		st.Ext = extract.Compile(batch, d.cfg.SiteLevel)
+	} else {
+		st.Ext = st.Ext.Append(batch)
+	}
+	res, tl, err := twolayer.FuseCompiledWarm(st.Ext, d.cfg, st.TL)
+	if err != nil {
+		return err
+	}
+	st.Method = "twolayer"
+	st.SiteLevel = d.cfg.SiteLevel
+	st.Result = res
+	st.TL = tl
+	return nil
+}
+
+// TestTwoLayerStateRoundTrips checks the store carries the extraction graph
+// and twolayer warm-start state across a reopen bit-identically.
+func TestTwoLayerStateRoundTrips(t *testing.T) {
+	mem := faultfs.NewMem()
+	feed := testFeed(feedLen)
+	d := &twoLayerDriver{cfg: twolayer.DefaultConfig()}
+
+	store, st, err := OpenFS(mem, d.apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(feed); off += chunkLen {
+		if err := store.Append(st, feed[off:min(off+chunkLen, len(feed))]); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := store.Snapshot(st); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	store.Close()
+
+	store2, st2, err := OpenFS(mem, (&twoLayerDriver{cfg: twolayer.DefaultConfig()}).apply)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer store2.Close()
+	if d := store2.Degradations(); len(d) != 0 {
+		t.Fatalf("degradations: %v", d)
+	}
+	var a, b bytes.Buffer
+	if err := st.Ext.EncodeSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Ext.EncodeSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("extraction graph differs after reopen")
+	}
+	if !reflect.DeepEqual(st2.TL, st.TL) {
+		t.Fatal("twolayer state differs after reopen")
+	}
+	if !reflect.DeepEqual(st2.Result, st.Result) {
+		t.Fatal("result differs after reopen")
+	}
+	if st2.Method != "twolayer" || st2.SiteLevel != st.SiteLevel {
+		t.Fatal("meta differs after reopen")
+	}
+
+	// Continue both one batch and confirm they stay in lockstep.
+	extra := testFeed(feedLen + 30)[feedLen:]
+	if err := d.apply(st, extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := store2.Append(st2, extra); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st2.Result, st.Result) {
+		t.Fatal("results diverge after continued append")
+	}
+}
+
+// TestJournalRecordRoundTrip checks the journal record codec is lossless,
+// including the simulator's error attribution.
+func TestJournalRecordRoundTrip(t *testing.T) {
+	batch := testFeed(37)
+	enc := encodeRecord(9, batch)
+	recs, validLen, note := parseJournal(append(journalHeader(), enc...))
+	if note != "" || validLen != journalHeaderLen+len(enc) {
+		t.Fatalf("parse: note=%q validLen=%d", note, validLen)
+	}
+	if len(recs) != 1 || recs[0].seq != 9 {
+		t.Fatalf("got %d records, seq %d", len(recs), recs[0].seq)
+	}
+	if !reflect.DeepEqual(recs[0].batch, batch) {
+		t.Fatal("batch did not round-trip")
+	}
+}

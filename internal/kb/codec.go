@@ -1,0 +1,81 @@
+package kb
+
+import (
+	"fmt"
+
+	"kfusion/internal/wire"
+)
+
+// EncodeTriples writes a length-prefixed triple table in the wire dialect.
+// Objects serialize through their tagged String form, which ParseObject
+// inverts losslessly, so a decoded table is field-identical to the input.
+func EncodeTriples(w *wire.Writer, ts []Triple) {
+	w.Int(len(ts))
+	for i := range ts {
+		w.String(string(ts[i].Subject))
+		w.String(string(ts[i].Predicate))
+		w.String(ts[i].Object.String())
+	}
+}
+
+// DecodeTriples reads a table written by EncodeTriples.
+func DecodeTriples(r *wire.Reader) ([]Triple, error) {
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	// A triple costs at least three length bytes, so a count beyond the
+	// remaining input is corrupt — rejected before allocating.
+	if n > r.Remaining() {
+		return nil, fmt.Errorf("kb: triple count %d exceeds input: %w", n, wire.ErrTruncated)
+	}
+	out := make([]Triple, n)
+	for i := range out {
+		subj := r.String()
+		pred := r.String()
+		objStr := r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		obj, err := ParseObject(objStr)
+		if err != nil {
+			return nil, fmt.Errorf("kb: triple %d: %w", i, err)
+		}
+		out[i] = Triple{Subject: EntityID(subj), Predicate: PredicateID(pred), Object: obj}
+	}
+	return out, nil
+}
+
+// EncodeItems writes a length-prefixed data-item table.
+func EncodeItems(w *wire.Writer, items []DataItem) {
+	w.Int(len(items))
+	for i := range items {
+		w.String(string(items[i].Subject))
+		w.String(string(items[i].Predicate))
+	}
+}
+
+// DecodeItems reads a table written by EncodeItems.
+func DecodeItems(r *wire.Reader) ([]DataItem, error) {
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > r.Remaining() {
+		return nil, fmt.Errorf("kb: item count %d exceeds input: %w", n, wire.ErrTruncated)
+	}
+	out := make([]DataItem, n)
+	for i := range out {
+		out[i] = DataItem{Subject: EntityID(r.String()), Predicate: PredicateID(r.String())}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

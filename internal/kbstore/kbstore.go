@@ -19,6 +19,7 @@ package kbstore
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -32,6 +33,18 @@ import (
 const (
 	magic   = 0x4b465553 // "KFUS"
 	version = 1
+
+	headerLen = 5  // u32 magic + u8 version
+	footerLen = 12 // u64 index offset + u32 magic
+)
+
+var (
+	// ErrCorrupt reports a store file whose bytes fail structural validation:
+	// bad magic, truncation, out-of-range offsets or indices, or a record
+	// region that does not line up with the subject index.
+	ErrCorrupt = errors.New("kbstore: corrupt file")
+	// ErrVersion reports a store written by an incompatible format version.
+	ErrVersion = errors.New("kbstore: unsupported version")
 )
 
 // Write persists fused triples to path. Unpredicted triples (no probability)
@@ -154,12 +167,31 @@ func Open(path string) (*KB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kbstore: open: %w", err)
 	}
+	return Parse(data)
+}
+
+// Parse decodes a store image held in memory, validating the footer, the
+// index offset, every length and index, and that the subject index agrees
+// with the record region. Failures wrap ErrCorrupt or ErrVersion.
+func Parse(data []byte) (*KB, error) {
+	if len(data) < headerLen+footerLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than header and footer", ErrCorrupt, len(data))
+	}
+	foot := data[len(data)-footerLen:]
+	if binary.LittleEndian.Uint32(foot[8:]) != magic {
+		return nil, fmt.Errorf("%w: bad footer magic", ErrCorrupt)
+	}
+	indexOffset := binary.LittleEndian.Uint64(foot[:8])
+	if indexOffset < headerLen || indexOffset > uint64(len(data)-footerLen) {
+		return nil, fmt.Errorf("%w: index offset %d outside file", ErrCorrupt, indexOffset)
+	}
+
 	r := &reader{data: data}
 	if got := r.u32(); got != magic {
-		return nil, fmt.Errorf("kbstore: bad magic %#x", got)
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, got)
 	}
 	if v := r.byte(); v != version {
-		return nil, fmt.Errorf("kbstore: unsupported version %d", v)
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrVersion, v, version)
 	}
 	nPreds := r.uvarint()
 	kbh := &KB{firstOf: make(map[kb.EntityID]int)}
@@ -168,19 +200,34 @@ func Open(path string) (*KB, error) {
 	}
 	n := r.uvarint()
 	var subject kb.EntityID
+	type subjEntry struct {
+		subject string
+		offset  uint64
+	}
+	var subjects []subjEntry
 	for i := uint64(0); i < n && r.err == nil; i++ {
+		recOff := uint64(r.pos)
 		if r.byte() == 1 {
 			subject = kb.EntityID(r.str())
+			if _, dup := kbh.firstOf[subject]; dup {
+				return nil, fmt.Errorf("%w: subject %q split across runs", ErrCorrupt, subject)
+			}
 			kbh.firstOf[subject] = len(kbh.records)
+			subjects = append(subjects, subjEntry{subject: string(subject), offset: recOff})
+		} else if i == 0 && r.err == nil {
+			return nil, fmt.Errorf("%w: first record carries no subject", ErrCorrupt)
 		}
 		pi := r.uvarint()
-		if pi >= uint64(len(kbh.preds)) {
-			return nil, fmt.Errorf("kbstore: predicate index %d out of range", pi)
+		if r.err == nil && pi >= uint64(len(kbh.preds)) {
+			return nil, fmt.Errorf("%w: predicate index %d out of range", ErrCorrupt, pi)
 		}
 		objStr := r.str()
+		if r.err != nil {
+			break
+		}
 		obj, perr := kb.ParseObject(objStr)
 		if perr != nil {
-			return nil, fmt.Errorf("kbstore: record %d: %v", i, perr)
+			return nil, fmt.Errorf("%w: record %d: %v", ErrCorrupt, i, perr)
 		}
 		prob, predicted := decodeProb(r.u16())
 		provs := r.uvarint()
@@ -194,7 +241,33 @@ func Open(path string) (*KB, error) {
 		})
 	}
 	if r.err != nil {
-		return nil, fmt.Errorf("kbstore: parse: %w", r.err)
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+	}
+	if uint64(r.pos) != indexOffset {
+		return nil, fmt.Errorf("%w: records end at %d, index offset says %d", ErrCorrupt, r.pos, indexOffset)
+	}
+
+	// The on-disk subject index must agree with the records just parsed.
+	nIdx := r.uvarint()
+	if r.err == nil && nIdx != uint64(len(subjects)) {
+		return nil, fmt.Errorf("%w: index has %d subjects, records have %d", ErrCorrupt, nIdx, len(subjects))
+	}
+	for i := uint64(0); i < nIdx && r.err == nil; i++ {
+		s := r.str()
+		off := r.uvarint()
+		if r.err != nil {
+			break
+		}
+		if s != subjects[i].subject || off != subjects[i].offset {
+			return nil, fmt.Errorf("%w: index entry %d (%q@%d) does not match records (%q@%d)",
+				ErrCorrupt, i, s, off, subjects[i].subject, subjects[i].offset)
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+	}
+	if uint64(r.pos) != uint64(len(data)-footerLen) {
+		return nil, fmt.Errorf("%w: %d trailing bytes between index and footer", ErrCorrupt, len(data)-footerLen-r.pos)
 	}
 	return kbh, nil
 }
@@ -349,6 +422,7 @@ func (r *reader) uvarint() uint64 {
 	}
 	v, n := binary.Uvarint(r.data[r.pos:])
 	if n <= 0 {
+		// n == 0 is a truncated varint, n < 0 a 64-bit overflow.
 		r.fail("bad uvarint")
 		return 0
 	}
@@ -358,7 +432,8 @@ func (r *reader) uvarint() uint64 {
 
 func (r *reader) str() string {
 	n := r.uvarint()
-	if r.err != nil || r.pos+int(n) > len(r.data) {
+	// Compare in uint64: a huge length must not overflow int and mis-slice.
+	if r.err != nil || n > uint64(len(r.data)-r.pos) {
 		r.fail("truncated string")
 		return ""
 	}

@@ -1,6 +1,8 @@
 package kbstore
 
 import (
+	"encoding/binary"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -203,5 +205,91 @@ func TestFullPipelineSnapshot(t *testing.T) {
 	info, _ := os.Stat(path)
 	if info.Size() > int64(len(res.Triples))*120 {
 		t.Errorf("store unexpectedly large: %d bytes for %d triples", info.Size(), len(res.Triples))
+	}
+}
+
+// mustImage writes the sample store and returns its raw bytes.
+func mustImage(t *testing.T) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "img.kb")
+	if err := Write(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestParseCorruptTable drives Parse through a table of structural
+// corruptions, asserting each fails with the right typed error and none
+// panics or mis-slices.
+func TestParseCorruptTable(t *testing.T) {
+	good := mustImage(t)
+	if _, err := Parse(good); err != nil {
+		t.Fatalf("pristine image rejected: %v", err)
+	}
+
+	mut := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), good...))
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrCorrupt},
+		{"short", good[:headerLen+footerLen-1], ErrCorrupt},
+		{"bad header magic", mut(func(b []byte) []byte { b[0] ^= 0xff; return b }), ErrCorrupt},
+		{"bad version", mut(func(b []byte) []byte { b[4] = version + 1; return b }), ErrVersion},
+		{"bad footer magic", mut(func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b }), ErrCorrupt},
+		{"index offset past footer", mut(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[len(b)-footerLen:], uint64(len(b)))
+			return b
+		}), ErrCorrupt},
+		{"index offset inside header", mut(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[len(b)-footerLen:], 1)
+			return b
+		}), ErrCorrupt},
+		{"index offset mid-records", mut(func(b []byte) []byte {
+			off := binary.LittleEndian.Uint64(b[len(b)-footerLen:])
+			binary.LittleEndian.PutUint64(b[len(b)-footerLen:], off-1)
+			return b
+		}), ErrCorrupt},
+		// A 10-byte maximal uvarint as the first subject length: the old
+		// int-overflow comparison mis-sliced here instead of failing cleanly.
+		{"huge string length", mut(func(b []byte) []byte {
+			huge := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}
+			out := append([]byte(nil), b[:headerLen]...)
+			out = append(out, 1) // one predicate
+			out = append(out, huge...)
+			out = append(out, b[len(b)-footerLen:]...)
+			binary.LittleEndian.PutUint64(out[len(out)-footerLen:], uint64(headerLen+1))
+			return out
+		}), ErrCorrupt},
+		{"truncated mid-record", good[:len(good)*2/3], ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k, err := Parse(tc.data)
+			if err == nil {
+				t.Fatalf("accepted corrupt image (%d records)", k.Len())
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v, want %v", err, tc.want)
+			}
+		})
+	}
+
+	// Index-disagreement corruption: flip an index entry's offset byte. The
+	// uvarint offsets live between indexOffset and the footer.
+	off := binary.LittleEndian.Uint64(good[len(good)-footerLen:])
+	for i := int(off); i < len(good)-footerLen; i++ {
+		b := append([]byte(nil), good...)
+		b[i] ^= 0x01
+		if _, err := Parse(b); err == nil {
+			t.Fatalf("accepted image with corrupt index byte %d", i)
+		}
 	}
 }

@@ -7,6 +7,7 @@ package kfio
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -68,12 +69,29 @@ func WriteExtractions(w io.Writer, xs []extract.Extraction) error {
 	return bw.Flush()
 }
 
+// ErrPartialLine reports a final line with no terminating newline — the
+// half-written record of a producer appending to the feed right now. Offset
+// is where the partial line starts, so a tailing consumer (kfuse -append)
+// can process every complete record, remember Offset, and retry the read
+// from there once the producer finishes the line.
+type ErrPartialLine struct {
+	// Offset is the byte offset of the first byte of the partial line.
+	Offset int64
+	// Line holds the partial bytes read so far.
+	Line []byte
+}
+
+func (e *ErrPartialLine) Error() string {
+	return fmt.Sprintf("kfio: partial line at byte offset %d (%d bytes so far)", e.Offset, len(e.Line))
+}
+
 // ExtractionReader iterates a JSONL extraction stream without loading the
 // whole file — the reader side of an append-only extraction feed. Next
-// returns one extraction at a time (io.EOF at end); ReadBatch chunks the
-// stream for the incremental compile pipeline (kfuse -append). Error
-// attribution is hidden in files (it is simulator ground truth), so
-// Extraction.Error is always ErrNone after a round trip.
+// returns one extraction at a time (io.EOF at end, *ErrPartialLine for a
+// truncated final line); ReadBatch chunks the stream for the incremental
+// compile pipeline (kfuse -append). Error attribution is hidden in files (it
+// is simulator ground truth), so Extraction.Error is always ErrNone after a
+// round trip.
 type ExtractionReader struct {
 	sc *lineScanner
 }
@@ -83,33 +101,45 @@ func NewExtractionReader(r io.Reader) *ExtractionReader {
 	return &ExtractionReader{sc: newScanner(r)}
 }
 
-// Next returns the next extraction, or io.EOF after the last one.
+// parseExtractionLine decodes one JSONL extraction record.
+func parseExtractionLine(line []byte, lineNo int) (extract.Extraction, error) {
+	var rec ExtractionRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return extract.Extraction{}, fmt.Errorf("kfio: parse extraction line %d: %w", lineNo, err)
+	}
+	obj, err := kb.ParseObject(rec.Object)
+	if err != nil {
+		return extract.Extraction{}, fmt.Errorf("kfio: extraction line %d: %w", lineNo, err)
+	}
+	return extract.Extraction{
+		Triple: kb.Triple{
+			Subject:   kb.EntityID(rec.Subject),
+			Predicate: kb.PredicateID(rec.Predicate),
+			Object:    obj,
+		},
+		Extractor:  rec.Extractor,
+		Pattern:    rec.Pattern,
+		URL:        rec.URL,
+		Site:       rec.Site,
+		Confidence: rec.Conf,
+	}, nil
+}
+
+// Next returns the next extraction, io.EOF after the last one, or
+// *ErrPartialLine when the stream ends mid-line. A complete record is one
+// the producer terminated with a newline; an unterminated tail is never
+// parsed — even when its bytes happen to form valid JSON, the record may
+// still be growing.
 func (r *ExtractionReader) Next() (extract.Extraction, error) {
 	for r.sc.Scan() {
 		line := r.sc.Bytes()
+		if r.sc.partial {
+			return extract.Extraction{}, &ErrPartialLine{Offset: r.sc.start, Line: append([]byte(nil), line...)}
+		}
 		if len(line) == 0 {
 			continue
 		}
-		var rec ExtractionRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			return extract.Extraction{}, fmt.Errorf("kfio: parse extraction line %d: %w", r.sc.line, err)
-		}
-		obj, err := kb.ParseObject(rec.Object)
-		if err != nil {
-			return extract.Extraction{}, fmt.Errorf("kfio: extraction line %d: %w", r.sc.line, err)
-		}
-		return extract.Extraction{
-			Triple: kb.Triple{
-				Subject:   kb.EntityID(rec.Subject),
-				Predicate: kb.PredicateID(rec.Predicate),
-				Object:    obj,
-			},
-			Extractor:  rec.Extractor,
-			Pattern:    rec.Pattern,
-			URL:        rec.URL,
-			Site:       rec.Site,
-			Confidence: rec.Conf,
-		}, nil
+		return parseExtractionLine(line, r.sc.line)
 	}
 	if err := r.sc.Err(); err != nil {
 		return extract.Extraction{}, err
@@ -119,9 +149,11 @@ func (r *ExtractionReader) Next() (extract.Extraction, error) {
 
 // ReadBatch returns up to max extractions (at least one unless the stream is
 // exhausted). It returns io.EOF — possibly alongside a final short batch —
-// when the stream ends; any other error aborts the batch. max must be
-// positive: a non-positive max would return an empty batch without ever
-// reaching io.EOF, turning any read-until-EOF loop into a spin.
+// when the stream ends, and *ErrPartialLine — alongside the complete records
+// before it — when the stream ends mid-line; any other error aborts the
+// batch. max must be positive: a non-positive max would return an empty
+// batch without ever reaching io.EOF, turning any read-until-EOF loop into a
+// spin.
 func (r *ExtractionReader) ReadBatch(max int) ([]extract.Extraction, error) {
 	if max <= 0 {
 		return nil, fmt.Errorf("kfio: ReadBatch size must be positive, got %d", max)
@@ -132,6 +164,10 @@ func (r *ExtractionReader) ReadBatch(max int) ([]extract.Extraction, error) {
 		if err == io.EOF {
 			return out, io.EOF
 		}
+		var partial *ErrPartialLine
+		if errors.As(err, &partial) {
+			return out, err
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +177,10 @@ func (r *ExtractionReader) ReadBatch(max int) ([]extract.Extraction, error) {
 }
 
 // ReadExtractions parses a whole JSONL extraction stream (see
-// ExtractionReader for chunked iteration).
+// ExtractionReader for chunked iteration). Unlike the streaming reader it
+// accepts a parseable unterminated final line: a whole-file read means the
+// producer is done, so a missing trailing newline is cosmetic, not a
+// half-written record.
 func ReadExtractions(r io.Reader) ([]extract.Extraction, error) {
 	var out []extract.Extraction
 	er := NewExtractionReader(r)
@@ -149,6 +188,17 @@ func ReadExtractions(r io.Reader) ([]extract.Extraction, error) {
 		x, err := er.Next()
 		if err == io.EOF {
 			return out, nil
+		}
+		var partial *ErrPartialLine
+		if errors.As(err, &partial) {
+			if len(partial.Line) == 0 {
+				return out, nil
+			}
+			x, perr := parseExtractionLine(partial.Line, er.sc.line)
+			if perr != nil {
+				return nil, perr
+			}
+			return append(out, x), nil
 		}
 		if err != nil {
 			return nil, err
@@ -294,22 +344,69 @@ func ReadFused(r io.Reader) (*fusion.Result, error) {
 	}
 }
 
-// lineScanner wraps bufio.Scanner with a line counter and a generous buffer.
+// maxLineLen bounds a single JSONL line, matching the old bufio.Scanner cap.
+const maxLineLen = 8 * 1024 * 1024
+
+// lineScanner yields lines with a line counter, the byte offset each line
+// starts at, and a flag for an unterminated final line — the tell that a
+// producer is mid-append. The \n (and a preceding \r) is stripped from the
+// yielded bytes.
 type lineScanner struct {
-	*bufio.Scanner
-	line int
+	r       *bufio.Reader
+	buf     []byte
+	line    int
+	start   int64 // byte offset of the current line's first byte
+	next    int64 // byte offset of the next unread byte
+	partial bool  // current line had no terminating newline (stream tail)
+	err     error
 }
 
 func newScanner(r io.Reader) *lineScanner {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
-	return &lineScanner{Scanner: sc}
+	return &lineScanner{r: bufio.NewReaderSize(r, 64*1024)}
 }
 
 func (s *lineScanner) Scan() bool {
-	ok := s.Scanner.Scan()
-	if ok {
-		s.line++
+	if s.err != nil {
+		return false
 	}
-	return ok
+	s.start = s.next
+	s.partial = false
+	s.buf = s.buf[:0]
+	for {
+		chunk, err := s.r.ReadSlice('\n')
+		s.buf = append(s.buf, chunk...)
+		s.next += int64(len(chunk))
+		if len(s.buf) > maxLineLen {
+			s.err = fmt.Errorf("kfio: line %d exceeds %d bytes", s.line+1, maxLineLen)
+			return false
+		}
+		switch err {
+		case nil:
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if len(s.buf) == 0 {
+				return false
+			}
+			s.partial = true
+		default:
+			s.err = err
+			return false
+		}
+		break
+	}
+	if !s.partial {
+		s.buf = s.buf[:len(s.buf)-1]
+		if n := len(s.buf); n > 0 && s.buf[n-1] == '\r' {
+			s.buf = s.buf[:n-1]
+		}
+	}
+	s.line++
+	return true
 }
+
+// Bytes returns the current line, valid until the next Scan.
+func (s *lineScanner) Bytes() []byte { return s.buf }
+
+// Err reports the first non-EOF error the scanner hit.
+func (s *lineScanner) Err() error { return s.err }

@@ -2,6 +2,7 @@ package kfio
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -160,5 +161,64 @@ func TestStreamingReaderErrors(t *testing.T) {
 	fr := NewFusedReader(strings.NewReader(`{"s":"a","p":"b","o":"garbage"}` + "\n"))
 	if _, err := fr.Next(); err == nil || err == io.EOF {
 		t.Fatal("want object error, got", err)
+	}
+}
+
+// TestPartialLineRetry checks the tailing-consumer contract end to end: a
+// feed ending mid-record yields the complete prefix plus a typed
+// *ErrPartialLine whose offset lets the consumer resume exactly where the
+// producer left off.
+func TestPartialLineRetry(t *testing.T) {
+	var buf bytes.Buffer
+	xs := manyExtractions(5)
+	if err := WriteExtractions(&buf, xs); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut inside the final record.
+	cut := len(full) - 17
+	feed := full[:cut]
+
+	r := NewExtractionReader(bytes.NewReader(feed))
+	got, err := r.ReadBatch(100)
+	var partial *ErrPartialLine
+	if !errors.As(err, &partial) {
+		t.Fatalf("ReadBatch error = %v, want *ErrPartialLine", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("complete records = %d, want 4", len(got))
+	}
+	wantOff := int64(bytes.LastIndexByte(feed, '\n') + 1)
+	if partial.Offset != wantOff {
+		t.Fatalf("Offset = %d, want %d", partial.Offset, wantOff)
+	}
+	if !bytes.Equal(partial.Line, feed[wantOff:]) {
+		t.Fatalf("Line = %q, want %q", partial.Line, feed[wantOff:])
+	}
+
+	// The producer finishes the record; the consumer re-reads from Offset.
+	retry := NewExtractionReader(bytes.NewReader(full[partial.Offset:]))
+	rest, err := retry.ReadBatch(100)
+	if err != io.EOF {
+		t.Fatalf("retry error = %v, want io.EOF", err)
+	}
+	if len(rest) != 1 {
+		t.Fatalf("retry records = %d, want 1", len(rest))
+	}
+	all := append(got, rest...)
+	for i := range xs {
+		if all[i] != xs[i] {
+			t.Fatalf("record %d drifted: %+v vs %+v", i, all[i], xs[i])
+		}
+	}
+
+	// Whole-file semantics stay lenient: a parseable unterminated tail is a
+	// cosmetic missing newline, not a partial record.
+	lenient, err := ReadExtractions(bytes.NewReader(bytes.TrimSuffix(full, []byte("\n"))))
+	if err != nil {
+		t.Fatalf("ReadExtractions on unterminated file: %v", err)
+	}
+	if len(lenient) != len(xs) {
+		t.Fatalf("lenient read = %d records, want %d", len(lenient), len(xs))
 	}
 }

@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U8(7)
+	w.U32(0xdeadbeef)
+	w.U64(1 << 62)
+	w.Uvarint(300)
+	w.Int(42)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(math.Pi)
+	w.String("hello")
+	w.String("")
+	w.Strings([]string{"a", "bb", ""})
+	w.Int32s([]int32{-1, 0, 1 << 30})
+	w.F64s([]float64{0, -1.5, math.Inf(1)})
+	w.Bools([]bool{true, false, true})
+	if err := w.Err(); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if w.Len() != int64(buf.Len()) {
+		t.Fatalf("Len = %d, buffer has %d", w.Len(), buf.Len())
+	}
+
+	r := NewReader(buf.Bytes())
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 1<<62 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.Int(); got != 42 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.Bool(); !got {
+		t.Errorf("Bool #1 = %v", got)
+	}
+	if got := r.Bool(); got {
+		t.Errorf("Bool #2 = %v", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := r.Strings(); len(got) != 3 || got[0] != "a" || got[1] != "bb" || got[2] != "" {
+		t.Errorf("Strings = %v", got)
+	}
+	if got := r.Int32s(); len(got) != 3 || got[0] != -1 || got[1] != 0 || got[2] != 1<<30 {
+		t.Errorf("Int32s = %v", got)
+	}
+	if got := r.F64s(); len(got) != 3 || got[0] != 0 || got[1] != -1.5 || !math.IsInf(got[2], 1) {
+		t.Errorf("F64s = %v", got)
+	}
+	if got := r.Bools(); len(got) != 3 || !got[0] || got[1] || !got[2] {
+		t.Errorf("Bools = %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", r.Remaining())
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Int32s(make([]int32, 100))
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.Int32s()
+		if !errors.Is(r.Err(), ErrTruncated) {
+			t.Fatalf("cut=%d: err = %v, want ErrTruncated", cut, r.Err())
+		}
+	}
+}
+
+// TestHugeLength checks that a corrupt length field fails cleanly instead of
+// allocating or mis-slicing.
+func TestHugeLength(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uvarint(math.MaxUint64) // claimed length, no payload
+	data := buf.Bytes()
+
+	for name, read := range map[string]func(*Reader){
+		"String": func(r *Reader) { _ = r.String() },
+		"Int32s": func(r *Reader) { r.Int32s() },
+		"F64s":   func(r *Reader) { r.F64s() },
+		"Bools":  func(r *Reader) { r.Bools() },
+		"Strings": func(r *Reader) {
+			r.Strings()
+		},
+	} {
+		r := NewReader(data)
+		read(r)
+		if !errors.Is(r.Err(), ErrTruncated) {
+			t.Errorf("%s: err = %v, want ErrTruncated", name, r.Err())
+		}
+	}
+}
+
+func TestNegativeLength(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	w.Int(-1)
+	if w.Err() == nil {
+		t.Fatal("want error for negative length")
+	}
+}
+
+func TestErrorLatch(t *testing.T) {
+	r := NewReader([]byte{1})
+	r.U32() // fails
+	first := r.Err()
+	if first == nil {
+		t.Fatal("want error")
+	}
+	r.U8() // would succeed on fresh reader, must stay failed
+	if r.Err() != first {
+		t.Fatal("error not latched")
+	}
+}
