@@ -1,16 +1,24 @@
 GO ?= go
 
-.PHONY: verify build vet test race fault fuzz-smoke bench-smoke bench-json bench-check bench-scaling
+.PHONY: verify build vet lint test race fault fuzz-smoke bench-smoke bench-json bench-check bench-scaling
 
-# verify is the tier-1 gate: vet, build, full tests, and a 1-iteration
+# verify is the tier-1 gate: vet, lint, build, full tests, and a 1-iteration
 # benchmark smoke so perf-critical paths cannot silently rot.
-verify: vet build test bench-smoke
+verify: vet lint build test bench-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the in-tree contract analyzers (internal/lint, cmd/kflint):
+# deterministic map iteration and fixed-block float reductions in the
+# compiled engines, errors.Is/As on the durability sentinels, and the atomic
+# temp+fsync+rename write protocol in the stores. Also runnable as
+# `go vet -vettool=$$(go build -o /tmp/kflint ./cmd/kflint && echo /tmp/kflint) ./...`.
+lint:
+	$(GO) run ./cmd/kflint ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestVettoolProtocol builds kflint and drives it through `go vet -vettool`,
+// exercising the unitchecker handshake end to end: the -V=full version
+// print, the single .cfg argument, the vetx facts stub, and export-data
+// type-checking from go vet's PackageFile map. csr is gated by both
+// determinism analyzers and clean by contract, so the run must succeed
+// silently.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "kflint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "kfusion/internal/csr")
+	vet.Dir = filepath.Join("..", "..")
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=kflint: %v\n%s", err, out)
+	}
+}

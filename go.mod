@@ -1,3 +1,11 @@
 module kfusion
 
+// Zero dependencies on purpose. In particular, internal/lint deliberately
+// does NOT pin golang.org/x/tools (the usual go/analysis home): the module
+// must build with an empty module cache and no network, so the analyzer
+// framework mirrors the analysis API shape on the standard library alone
+// (go/ast, go/types, `go list -export` data). If a vendored x/tools ever
+// lands, internal/lint's Analyzer/Pass types are shaped to lift onto
+// analysis.Analyzer mechanically.
+
 go 1.22

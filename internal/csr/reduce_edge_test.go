@@ -1,0 +1,125 @@
+package csr
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Edge cases of the reduction primitives: empty spans, single blocks, and
+// span lengths that land exactly on block boundaries. These are the shapes
+// where an off-by-one in the tiling would silently change every reduced
+// bit, so they are pinned one by one rather than left to the randomized
+// partition test.
+
+func TestSpanBlocksEmptyInputs(t *testing.T) {
+	if got := SpanBlocks(nil); len(got) != 0 {
+		t.Fatalf("SpanBlocks(nil) = %v, want none", got)
+	}
+	if got := SpanBlocks([]int32{0}); len(got) != 0 {
+		t.Fatalf("SpanBlocks with zero groups = %v, want none", got)
+	}
+	// Every span empty: no blocks at all.
+	if got := SpanBlocks([]int32{0, 0, 0, 0}); len(got) != 0 {
+		t.Fatalf("SpanBlocks of all-empty spans = %v, want none", got)
+	}
+}
+
+func TestSpanBlocksEmptySpanBetweenFullOnes(t *testing.T) {
+	// Group 1 is empty; its neighbors must tile as if it were absent, and
+	// no block may carry group 1.
+	start := []int32{0, 3, 3, 8}
+	got := SpanBlocks(start)
+	want := []Block{{Group: 0, Lo: 0, Hi: 3}, {Group: 2, Lo: 3, Hi: 8}}
+	if len(got) != len(want) {
+		t.Fatalf("SpanBlocks(%v) = %v, want %v", start, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("block %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSpanBlocksBoundaryExactLengths(t *testing.T) {
+	cases := []struct {
+		spanLen int32
+		want    []int32 // block lengths, in order
+	}{
+		{1, []int32{1}},
+		{ReduceBlockSize - 1, []int32{ReduceBlockSize - 1}},
+		{ReduceBlockSize, []int32{ReduceBlockSize}},
+		{ReduceBlockSize + 1, []int32{ReduceBlockSize, 1}},
+		{2 * ReduceBlockSize, []int32{ReduceBlockSize, ReduceBlockSize}},
+		{2*ReduceBlockSize + 1, []int32{ReduceBlockSize, ReduceBlockSize, 1}},
+	}
+	for _, c := range cases {
+		blocks := SpanBlocks([]int32{0, c.spanLen})
+		if len(blocks) != len(c.want) {
+			t.Fatalf("span of %d: %d blocks, want %d", c.spanLen, len(blocks), len(c.want))
+		}
+		pos := int32(0)
+		for i, b := range blocks {
+			if b.Group != 0 || b.Lo != pos || b.Hi-b.Lo != c.want[i] {
+				t.Fatalf("span of %d: block %d = %+v, want len %d at %d", c.spanLen, i, b, c.want[i], pos)
+			}
+			pos = b.Hi
+		}
+		if pos != c.spanLen {
+			t.Fatalf("span of %d: blocks end at %d", c.spanLen, pos)
+		}
+	}
+}
+
+// TestSpanBlocksOffsetSpans: block boundaries are relative to each span's
+// start, not to the flat array — a span beginning mid-array still tiles
+// from its own Lo.
+func TestSpanBlocksOffsetSpans(t *testing.T) {
+	start := []int32{0, 7, 7 + ReduceBlockSize + 2}
+	blocks := SpanBlocks(start)
+	want := []Block{
+		{Group: 0, Lo: 0, Hi: 7},
+		{Group: 1, Lo: 7, Hi: 7 + ReduceBlockSize},
+		{Group: 1, Lo: 7 + ReduceBlockSize, Hi: 7 + ReduceBlockSize + 2},
+	}
+	if len(blocks) != len(want) {
+		t.Fatalf("SpanBlocks(%v) = %v, want %v", start, blocks, want)
+	}
+	for i := range want {
+		if blocks[i] != want[i] {
+			t.Fatalf("block %d = %+v, want %+v", i, blocks[i], want[i])
+		}
+	}
+}
+
+// TestPairwiseTreeShape pins the exact combine tree with a non-commutative
+// fold: the shape is part of the output contract (it decides every low-order
+// float bit), so a refactor that rebalances the tree must fail here.
+func TestPairwiseTreeShape(t *testing.T) {
+	concat := func(a, b string) string { return fmt.Sprintf("(%s%s)", a, b) }
+	cases := []struct {
+		parts []string
+		want  string
+	}{
+		{nil, ""},
+		{[]string{"a"}, "a"},
+		{[]string{"a", "b"}, "(ab)"},
+		{[]string{"a", "b", "c"}, "(a(bc))"},
+		{[]string{"a", "b", "c", "d"}, "((ab)(cd))"},
+		{[]string{"a", "b", "c", "d", "e"}, "((ab)(c(de)))"},
+	}
+	for _, c := range cases {
+		if got := Pairwise(c.parts, concat); got != c.want {
+			t.Fatalf("Pairwise(%v) = %q, want %q", c.parts, got, c.want)
+		}
+	}
+}
+
+// TestPairwiseSingleBlockIdentity: a one-block span folds to the block's own
+// partial bit-for-bit — no combine step may touch it.
+func TestPairwiseSingleBlockIdentity(t *testing.T) {
+	add := func(a, b float64) float64 { return a + b }
+	v := 0.1 + 0.2 // a value with inexact low-order bits
+	if got := Pairwise([]float64{v}, add); got != v {
+		t.Fatalf("Pairwise([v]) = %v, want %v", got, v)
+	}
+}

@@ -2,6 +2,7 @@ package exper
 
 import (
 	"fmt"
+	"sort"
 
 	"kfusion/internal/confweight"
 	"kfusion/internal/eval"
@@ -96,6 +97,7 @@ func AblationMultiTruth(ds *Dataset) *Table {
 				byItem[f.Item()] = append(byItem[f.Item()], f)
 			}
 		}
+		//lint:ignore kflint/mapiter Gold.Label is a pure lookup and the body only bumps integer counters — every visit order yields the same (hit, total).
 		for _, fs := range byItem {
 			goldTrue, confident := 0, 0
 			for _, f := range fs {
@@ -168,9 +170,16 @@ func AblationFuncDegree(ds *Dataset) *Table {
 	tb.AddRow(baseRep.Name, fmt.Sprintf("%.3f (n=%d)", bRec, n), fmt.Sprintf("%.4f", baseRep.WDev), fmt.Sprintf("%.4f", baseRep.AUCPR))
 	tb.AddRow(resRep.Name, fmt.Sprintf("%.3f", rRec), fmt.Sprintf("%.4f", resRep.WDev), fmt.Sprintf("%.4f", resRep.AUCPR))
 
-	// Show the learned degrees line up with the schema.
+	// Show the learned degrees line up with the schema. Sorted keys: the
+	// float sums below must not accumulate in map iteration order.
+	preds := make([]kb.PredicateID, 0, len(degrees))
+	for p := range degrees {
+		preds = append(preds, p)
+	}
+	sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
 	fnDeg, nfDeg, fnN, nfN := 0.0, 0.0, 0, 0
-	for p, d := range degrees {
+	for _, p := range preds {
+		d := degrees[p]
 		if pr := ds.World.Ont.Predicate(p); pr != nil {
 			if pr.Functional {
 				fnDeg += d

@@ -79,9 +79,17 @@ func Figure4(ds *Dataset) *Table {
 			}
 		}
 	}
+	// Sorted predicates: the histogram and counters below must not observe
+	// map iteration order.
+	preds := make([]kb.PredicateID, 0, len(labeled))
+	for p := range labeled {
+		preds = append(preds, p)
+	}
+	sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
 	hist := stats.NewHistogram(0, 1, 10)
 	low, high, n := 0, 0, 0
-	for p, l := range labeled {
+	for _, p := range preds {
+		l := labeled[p]
 		if l < 5 {
 			continue // too few labels to estimate the predicate's accuracy
 		}
@@ -129,12 +137,21 @@ func Figure5(ds *Dataset) *Table {
 			}
 		}
 	}
+	// Sorted page URLs: gaps feeds a float summary, so its element order —
+	// and therefore the page visit order — must be deterministic.
+	pages := make([]string, 0, len(perPage))
+	for url := range perPage {
+		pages = append(pages, url)
+	}
+	sort.Strings(pages)
 	hist := stats.NewHistogram(0, 0.6, 7)
 	var gaps []float64
 	bigGap := 0
-	for _, exts := range perPage {
+	for _, url := range pages {
+		exts := perPage[url]
 		lo, hi := 2.0, -1.0
 		qualifying := 0
+		//lint:ignore kflint/mapiter min/max over the cell set is order-insensitive and qualifying is an integer counter — no effect escapes in visit order.
 		for _, c := range exts {
 			if c.extracted < 5 || c.labeled < 2 {
 				continue

@@ -2,6 +2,7 @@ package exper
 
 import (
 	"fmt"
+	"sort"
 
 	"kfusion/internal/eval"
 	"kfusion/internal/fusion"
@@ -200,10 +201,17 @@ func Figure14(ds *Dataset) *Table {
 		var wdevs []float64
 		cfg.Epsilon = 0 // force all rounds so the trace has full length
 		cfg.OnRound = func(round int, probs map[kb.Triple]float64) {
+			// Sorted triples: Calibration breaks probability ties by slice
+			// order, so preds must not be built in map iteration order.
+			ts := make([]kb.Triple, 0, len(probs))
+			for t := range probs {
+				ts = append(ts, t)
+			}
+			sort.Slice(ts, func(i, j int) bool { return ts[i].Encode() < ts[j].Encode() })
 			var preds []eval.Prediction
-			for t, p := range probs {
+			for _, t := range ts {
 				if label, ok := ds.Gold.Label(t); ok {
-					preds = append(preds, eval.Prediction{Prob: p, Label: label})
+					preds = append(preds, eval.Prediction{Prob: probs[t], Label: label})
 				}
 			}
 			wdevs = append(wdevs, eval.Calibration(preds, 20).WeightedDeviation())

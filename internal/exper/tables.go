@@ -78,6 +78,9 @@ func summarizeCounts[K comparable](m map[K]int) stats.Summary {
 	for _, v := range m {
 		xs = append(xs, v)
 	}
+	// SummarizeInts sums float-converted values in slice order; sort so the
+	// mean does not depend on map iteration order.
+	sort.Ints(xs)
 	return stats.SummarizeInts(xs)
 }
 

@@ -174,6 +174,7 @@ func (g *Compiled) AppendWorkers(xs []Extraction, workers int) *Compiled {
 	for si := range stAdd {
 		touched[next.stTriple[si]] = true
 	}
+	//lint:ignore kflint/mapiter recountTriple overwrites only triple t's count, and the seen scratch is stamped with t itself so stale entries from other triples are ignored — per-key effects are disjoint.
 	for t := range touched {
 		next.recountTriple(t, seen)
 	}

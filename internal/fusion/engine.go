@@ -407,6 +407,7 @@ func (e *engine) scoreItem(sc *scoreScratch, item int32, round int) {
 			for _, c := range claims {
 				l := g.localOfClaim[c]
 				counts[l]++
+				//lint:ignore kflint/floatsum scatter-add indexed by the claim's own candidate, in fixed claim-span order — not a parallel reduction; every run adds the same terms in the same order.
 				accSum[l] += e.provAcc[g.provOfClaim[c]]
 			}
 			for _, c := range claims {
@@ -473,6 +474,7 @@ func (e *engine) scoreItem(sc *scoreScratch, item int32, round int) {
 			if logq != nil {
 				term -= logq[l]
 			}
+			//lint:ignore kflint/floatsum scatter-add indexed by the claim's own candidate, in fixed claim-span order — the span is a compiled CSR row, so the addition order is identical across runs.
 			scores[l] += term
 		}
 		// Softmax over the present candidates plus the unknown-value mass:
@@ -494,6 +496,7 @@ func (e *engine) scoreItem(sc *scoreScratch, item int32, round int) {
 		denom := unknown * math.Exp(-m)
 		for l := 0; l < nCand; l++ {
 			if counts[l] > 0 {
+				//lint:ignore kflint/floatsum per-item softmax over at most nCand candidates in fixed local-index order; nCand is bounded by the item's value count, far below a block.
 				denom += math.Exp(scores[l] - m)
 			}
 		}
@@ -635,6 +638,7 @@ func (e *engine) sampleProbsMean(p, stamp int32) float64 {
 	}
 	sum := 0.0
 	for _, v := range r.Items() {
+		//lint:ignore kflint/floatsum the reservoir holds at most SampleL values in an order fixed by the per-provenance seed; the sum is tiny and bit-identical across runs.
 		sum += v
 	}
 	return sum / float64(len(r.Items()))

@@ -135,6 +135,7 @@ func (e *refEngine) initFromGold() {
 			trueN[c.Prov]++
 		}
 	}
+	//lint:ignore kflint/mapiter each key writes only its own provenance's state through the pointer, and clampAcc is a pure function of that key's counts — disjoint per-key effects commute.
 	for prov, n := range labeled {
 		st := e.provs[prov]
 		st.acc = clampAcc(float64(trueN[prov]) / float64(n))
@@ -329,6 +330,7 @@ func (e *refEngine) stageII(entries []probEntry) float64 {
 			probs = e.sampleProbs(prov, probs)
 			sum := 0.0
 			for _, p := range probs {
+				//lint:ignore kflint/floatsum this is the golden MapReduce spec the compiled engine is differentially tested against; mapreduce delivers reduce values in a deterministic key-sorted order, so the naive sum is reproducible by construction.
 				sum += p
 			}
 			emit(provAcc{prov: prov, acc: sum / float64(len(probs))})
@@ -464,6 +466,7 @@ func softmaxSlice(probs, scores []float64, unknownMass float64) {
 	}
 	denom := unknownMass * math.Exp(-m)
 	for _, s := range scores {
+		//lint:ignore kflint/floatsum per-item softmax over one data item's candidate values — a handful of terms in fixed candidate order, not a corpus-scale reduction.
 		denom += math.Exp(s - m)
 	}
 	for i, s := range scores {

@@ -265,10 +265,10 @@ func (s *Store) Close() error {
 //	[footer: u64 index offset, u32 magic]
 
 type section struct {
-	id   uint32
-	off  uint64
-	len  uint64
-	crc  uint32
+	id  uint32
+	off uint64
+	len uint64
+	crc uint32
 }
 
 func encodeSnapshot(st *State) []byte {

@@ -17,7 +17,6 @@
 package kbstore
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -28,6 +27,7 @@ import (
 
 	"kfusion/internal/fusion"
 	"kfusion/internal/kb"
+	"kfusion/internal/kfio"
 )
 
 const (
@@ -72,66 +72,62 @@ func Write(path string, triples []fusion.FusedTriple) error {
 		}
 	}
 
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("kbstore: create: %w", err)
-	}
-	defer f.Close()
-	w := &countingWriter{w: bufio.NewWriter(f)}
+	// The snapshot replaces any previous store at path; write it atomically
+	// so a crash mid-write leaves the old snapshot intact, never a torn file.
+	return kfio.AtomicWriteFile(path, func(out io.Writer) error {
+		w := &countingWriter{w: out}
 
-	writeU32(w, magic)
-	w.writeByte(version)
-	w.writeUvarint(uint64(len(preds)))
-	for _, p := range preds {
-		w.writeString(string(p))
-	}
-	w.writeUvarint(uint64(len(sorted)))
-
-	type subjEntry struct {
-		subject string
-		offset  uint64
-	}
-	var index []subjEntry
-	prevSubject := ""
-	for _, t := range sorted {
-		subj := string(t.Triple.Subject)
-		if subj != prevSubject {
-			index = append(index, subjEntry{subject: subj, offset: w.n})
-			w.writeByte(1) // new subject follows
-			w.writeString(subj)
-			prevSubject = subj
-		} else {
-			w.writeByte(0) // same subject as previous record
+		writeU32(w, magic)
+		w.writeByte(version)
+		w.writeUvarint(uint64(len(preds)))
+		for _, p := range preds {
+			w.writeString(string(p))
 		}
-		w.writeUvarint(predIdx[t.Triple.Predicate])
-		w.writeString(t.Triple.Object.String())
-		prob := t.Probability
-		if !t.Predicted {
-			prob = -1
+		w.writeUvarint(uint64(len(sorted)))
+
+		type subjEntry struct {
+			subject string
+			offset  uint64
 		}
-		w.writeU16(encodeProb(prob))
-		w.writeUvarint(uint64(t.Provenances))
-		w.writeUvarint(uint64(t.Extractors))
-	}
+		var index []subjEntry
+		prevSubject := ""
+		for _, t := range sorted {
+			subj := string(t.Triple.Subject)
+			if subj != prevSubject {
+				index = append(index, subjEntry{subject: subj, offset: w.n})
+				w.writeByte(1) // new subject follows
+				w.writeString(subj)
+				prevSubject = subj
+			} else {
+				w.writeByte(0) // same subject as previous record
+			}
+			w.writeUvarint(predIdx[t.Triple.Predicate])
+			w.writeString(t.Triple.Object.String())
+			prob := t.Probability
+			if !t.Predicted {
+				prob = -1
+			}
+			w.writeU16(encodeProb(prob))
+			w.writeUvarint(uint64(t.Provenances))
+			w.writeUvarint(uint64(t.Extractors))
+		}
 
-	indexOffset := w.n
-	w.writeUvarint(uint64(len(index)))
-	for _, e := range index {
-		w.writeString(e.subject)
-		w.writeUvarint(e.offset)
-	}
-	var foot [12]byte
-	binary.LittleEndian.PutUint64(foot[:8], indexOffset)
-	binary.LittleEndian.PutUint32(foot[8:], magic)
-	w.write(foot[:])
+		indexOffset := w.n
+		w.writeUvarint(uint64(len(index)))
+		for _, e := range index {
+			w.writeString(e.subject)
+			w.writeUvarint(e.offset)
+		}
+		var foot [12]byte
+		binary.LittleEndian.PutUint64(foot[:8], indexOffset)
+		binary.LittleEndian.PutUint32(foot[8:], magic)
+		w.write(foot[:])
 
-	if w.err != nil {
-		return fmt.Errorf("kbstore: write: %w", w.err)
-	}
-	if err := w.w.(*bufio.Writer).Flush(); err != nil {
-		return fmt.Errorf("kbstore: flush: %w", err)
-	}
-	return nil
+		if w.err != nil {
+			return fmt.Errorf("kbstore: write: %w", w.err)
+		}
+		return nil
+	})
 }
 
 // encodeProb maps [-1] ∪ [0,1] to 16 bits: 0 = unpredicted, 1..65535 map

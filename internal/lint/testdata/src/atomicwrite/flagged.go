@@ -1,0 +1,26 @@
+// Package fixture holds direct os write-path calls the atomicwrite analyzer
+// must flag: each one can tear durable state invisibly to the
+// crash-injection suite.
+package fixture
+
+import "os"
+
+// snapshot writes the final file in place: a crash mid-write leaves a torn
+// file under the durable name.
+func snapshot(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o666) // want `direct os\.WriteFile bypasses`
+}
+
+func create(path string) error {
+	f, err := os.Create(path) // want `direct os\.Create bypasses`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// publish renames outside the protocol: the temp file was never fsynced, so
+// the rename can publish garbage.
+func publish(tmp, final string) error {
+	return os.Rename(tmp, final) // want `direct os\.Rename bypasses`
+}

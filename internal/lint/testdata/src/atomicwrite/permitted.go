@@ -1,0 +1,41 @@
+// Package fixture holds the blessed write paths the atomicwrite analyzer
+// must accept: reads, the kfio atomic helper, the faultfs seam, and a
+// reviewed suppression.
+package fixture
+
+import (
+	"io"
+	"os"
+
+	"kfusion/internal/faultfs"
+	"kfusion/internal/kfio"
+)
+
+// Reads are untouched — the protocol governs mutation only.
+func load(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// save uses the temp+fsync+rename helper on the real filesystem.
+func save(path string, data []byte) error {
+	return kfio.AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// saveVia writes through the faultfs seam, so the crash-injection suite can
+// place a fault inside every step.
+func saveVia(fs faultfs.FS, name string, data []byte) error {
+	return kfio.AtomicWrite(fs, name, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// cleanup deletes a scratch file no recovery invariant reads; the exemption
+// is carried by a reviewed suppression.
+func cleanup(path string) {
+	//lint:ignore kflint/atomicwrite scratch file outside the durable dataset — no recovery invariant reads it
+	os.Remove(path)
+}

@@ -1,0 +1,39 @@
+// Package fixture holds ad-hoc float reductions the floatsum analyzer must
+// flag: whole-pass totals and worker-shaped partials, the two groupings the
+// fixed-block contract (csr.SpanBlocks + csr.Pairwise) exists to replace.
+package fixture
+
+// wholePassTotal folds the full slice into one function-scope scalar — the
+// naive reduction whose grouping silently diverges from the blocked engines.
+func wholePassTotal(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x // want `naive float accumulation`
+	}
+	return sum
+}
+
+// plusEqual is the same shape spelled `x = x + e` over an index loop.
+func plusEqual(xs []float64) float64 {
+	var t float64
+	for i := 0; i < len(xs); i++ {
+		t = t + xs[i] // want `naive float accumulation`
+	}
+	return t
+}
+
+// workerPartial models the PR 4 bug class: a per-worker partial declared in
+// a parallel callback. A closure is not a loop, so the partial's grouping is
+// worker-count-shaped — exactly the nondeterminism the block reduction
+// removed.
+func workerPartial(xs []float64, run func(func(lo, hi int))) []float64 {
+	var partials []float64
+	run(func(lo, hi int) {
+		part := 0.0
+		for _, x := range xs[lo:hi] {
+			part += x // want `naive float accumulation`
+		}
+		partials = append(partials, part)
+	})
+	return partials
+}

@@ -1,0 +1,56 @@
+// Package fixture holds the float-reduction shapes the floatsum analyzer
+// recognizes as within the fixed-block contract.
+package fixture
+
+import "kfusion/internal/csr"
+
+// blockSum is the in-block primitive itself: the range is bounded by a
+// csr.Block's Lo/Hi, so this IS one leaf of the deterministic tree.
+func blockSum(xs []float64, b csr.Block) float64 {
+	s := 0.0
+	for _, x := range xs[b.Lo:b.Hi] {
+		s += x
+	}
+	return s
+}
+
+// blockSumIdx is the same leaf written as an index loop.
+func blockSumIdx(xs []float64, b csr.Block) float64 {
+	s := 0.0
+	for i := int(b.Lo); i < int(b.Hi); i++ {
+		s += xs[i]
+	}
+	return s
+}
+
+// elementwise: each iteration owns its own output cell — there is no
+// cross-iteration reduction order at all.
+func elementwise(out, xs []float64) {
+	for i := range xs {
+		out[i] += xs[i]
+	}
+}
+
+// perGroup: the accumulator lives inside the enclosing loop, so each sum is
+// one group's partial in the group's own span order — the per-item softmax
+// denominator shape.
+func perGroup(spans [][]float64) []float64 {
+	out := make([]float64, 0, len(spans))
+	for _, span := range spans {
+		d := 0.0
+		for _, x := range span {
+			d += x
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// count: integer totals are exact; the contract is about floats.
+func count(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

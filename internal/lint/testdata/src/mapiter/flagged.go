@@ -1,0 +1,66 @@
+// Package fixture holds order-SENSITIVE map ranges the mapiter analyzer
+// must flag. The `want` comments are the golden expectations checked by
+// fixtures_test.go.
+package fixture
+
+import (
+	"math"
+	"strings"
+)
+
+type extParams struct{ recall, falsePos float64 }
+
+// statementLogOdds reproduces the pre-PR-3 two-layer EM bug in shape: the
+// per-statement log-odds folds the extractor-parameter MAP in iteration
+// order, so the accumulated float — and the converged EM fixpoint built on
+// it — differed run to run until the engine moved onto sorted extractor
+// slices.
+func statementLogOdds(claimed map[string]bool, extPar map[string]extParams) float64 {
+	logOdds := 0.0
+	for e, p := range extPar { // want `assignment value calls a function with unknown effects`
+		if claimed[e] {
+			logOdds += math.Log(p.recall) - math.Log(p.falsePos)
+		} else {
+			logOdds += math.Log(1-p.recall) - math.Log(1-p.falsePos)
+		}
+	}
+	return logOdds
+}
+
+// totalWeight is the same bug without the call noise: a pure float
+// accumulation whose low-order bits depend on visit order.
+func totalWeight(w map[string]float64) float64 {
+	t := 0.0
+	for _, v := range w { // want `float accumulation in map order`
+		t += v
+	}
+	return t
+}
+
+// anyKey leaks whichever key the runtime happens to visit last.
+func anyKey(m map[string]int) string {
+	out := ""
+	for k := range m { // want `last-writer-wins`
+		out = k
+	}
+	return out
+}
+
+// joined collects keys but consumes them unsorted — the broken half of the
+// collect-then-sort idiom.
+func joined(m map[string]int) string {
+	var ks []string
+	for k := range m { // want `collected but not sorted`
+		ks = append(ks, k)
+	}
+	return strings.Join(ks, " ")
+}
+
+// firstKey returns from inside the range: the result is whichever key the
+// runtime visits first.
+func firstKey(m map[string]int) string {
+	for k := range m { // want `which key is visited first`
+		return k
+	}
+	return ""
+}

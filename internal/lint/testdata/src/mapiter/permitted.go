@@ -1,0 +1,63 @@
+// Package fixture holds order-INSENSITIVE map ranges the mapiter analyzer
+// must accept without diagnostics.
+package fixture
+
+import "sort"
+
+// counters: integer updates are exact and commutative.
+func counters(m map[string]int) (int, int) {
+	n, sum := 0, 0
+	for _, v := range m {
+		n++
+		sum += v
+	}
+	return n, sum
+}
+
+// invert: each iteration writes its own map cell.
+func invert(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// prune: delete is order-safe by spec.
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// sortedKeys is the collect-then-sort idiom: the keys are ordered before
+// anything can observe them.
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+type state struct{ v float64 }
+
+// rescale is order-insensitive for a reason the checker cannot prove (the
+// per-key writes are disjoint), so the contract is carried by a reviewed
+// suppression.
+func rescale(acc map[string]*state) {
+	//lint:ignore kflint/mapiter each key rewrites only its own entry's field — disjoint per-key effects commute
+	for k, st := range acc {
+		st.v = normalize(k, st.v)
+	}
+}
+
+func normalize(k string, v float64) float64 {
+	if k == "" {
+		return 0
+	}
+	return v / 2
+}

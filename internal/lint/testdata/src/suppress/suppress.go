@@ -1,0 +1,24 @@
+// Package fixture exercises the suppression-directive contract: a directive
+// without a reason is itself a diagnostic and suppresses nothing, and a
+// directive naming an unknown analyzer is flagged as a typo rather than
+// silently ignored.
+package fixture
+
+func missingReason(m map[string]float64) float64 {
+	t := 0.0
+	// want@+2 `requires a reason`
+	// want@+2 `float accumulation in map order`
+	//lint:ignore kflint/mapiter
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+func unknownAnalyzer(m map[string]int) {
+	// want@+1 `unknown analyzer`
+	//lint:ignore kflint/nosuch the loop only deletes
+	for k := range m {
+		delete(m, k)
+	}
+}

@@ -1,0 +1,42 @@
+// Package fixture holds wrap-unsafe uses of the durability sentinels the
+// typederr analyzer must flag: every producer wraps these errors, so
+// identity comparison and concrete-type dispatch silently stop matching.
+package fixture
+
+import (
+	"kfusion/internal/genstore"
+	"kfusion/internal/kbstore"
+	"kfusion/internal/kfio"
+)
+
+func eqSentinel(err error) bool {
+	return err == kbstore.ErrCorrupt // want `use errors\.Is`
+}
+
+func neqSentinel(err error) bool {
+	return err != genstore.ErrVersion // want `use errors\.Is`
+}
+
+func switchSentinel(err error) string {
+	switch err {
+	case kbstore.ErrVersion: // want `use errors\.Is`
+		return "version"
+	default:
+		return "other"
+	}
+}
+
+func assertPartial(err error) int64 {
+	if p, ok := err.(*kfio.ErrPartialLine); ok { // want `use errors\.As`
+		return p.Offset
+	}
+	return -1
+}
+
+func typeSwitchPartial(err error) bool {
+	switch err.(type) {
+	case *kfio.ErrPartialLine: // want `use errors\.As`
+		return true
+	}
+	return false
+}

@@ -133,14 +133,19 @@ func (c Config) Validate() error {
 	if c.Rounds < 1 {
 		return fmt.Errorf("twolayer: Rounds must be >= 1, got %d", c.Rounds)
 	}
-	for name, v := range map[string]float64{
-		"InitSourceAccuracy": c.InitSourceAccuracy,
-		"InitRecall":         c.InitRecall,
-		"InitFalsePos":       c.InitFalsePos,
-		"PriorStated":        c.PriorStated,
+	// A slice, not a map: with several fields invalid, the reported one
+	// must not depend on map iteration order.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"InitSourceAccuracy", c.InitSourceAccuracy},
+		{"InitRecall", c.InitRecall},
+		{"InitFalsePos", c.InitFalsePos},
+		{"PriorStated", c.PriorStated},
 	} {
-		if v <= 0 || v >= 1 {
-			return fmt.Errorf("twolayer: %s must be in (0,1), got %v", name, v)
+		if f.v <= 0 || f.v >= 1 {
+			return fmt.Errorf("twolayer: %s must be in (0,1), got %v", f.name, f.v)
 		}
 	}
 	if c.NFalse < 1 {
