@@ -1,0 +1,60 @@
+package kfusion
+
+// Evaluation surface: the paper's metric set (Dev, WDev, AUC-PR),
+// calibration and error analysis, plus the experiment registry that
+// regenerates its tables and figures.
+
+import (
+	"kfusion/internal/eval"
+	"kfusion/internal/exper"
+)
+
+// Evaluation types.
+type (
+	// GoldStandard labels triples under the local closed-world assumption.
+	GoldStandard = eval.GoldStandard
+	// Prediction pairs a probability with a gold label.
+	Prediction = eval.Prediction
+	// CalibrationCurve is the predicted-vs-real probability curve.
+	CalibrationCurve = eval.CalibrationCurve
+	// Report is the paper's standard (Dev, WDev, AUC-PR) metric set.
+	Report = eval.Report
+	// ErrorAnalysis attributes false positives/negatives to Figure 17's
+	// categories.
+	ErrorAnalysis = eval.ErrorAnalysis
+)
+
+// Evaluation entry points.
+var (
+	// NewGoldStandard wraps a Freebase snapshot for LCWA labeling.
+	NewGoldStandard = eval.NewGoldStandard
+	// Evaluate computes Dev, WDev and AUC-PR for a fusion result.
+	Evaluate = eval.Evaluate
+	// Predictions pairs a fusion result with gold labels.
+	Predictions = eval.Predictions
+	// Calibration buckets predictions into a calibration curve.
+	Calibration = eval.Calibration
+	// AUCPR computes the area under the precision-recall curve.
+	AUCPR = eval.AUCPR
+	// PRCurve computes precision-recall points.
+	PRCurve = eval.PRCurve
+	// AnalyzeErrors runs the mechanical Figure 17 error analysis.
+	AnalyzeErrors = eval.AnalyzeErrors
+	// KappaMatrix computes Eq. 1's kappa for every extractor pair.
+	KappaMatrix = eval.KappaMatrix
+)
+
+// Experiment types and entry points (the paper's tables and figures).
+type (
+	// Experiment binds a paper artifact to its regeneration function.
+	Experiment = exper.Experiment
+	// ExperimentTable is a rendered experiment result.
+	ExperimentTable = exper.Table
+)
+
+var (
+	// Experiments lists every reproduced table and figure in paper order.
+	Experiments = exper.Registry
+	// ExperimentByID resolves an experiment by its ID (e.g. "fig9").
+	ExperimentByID = exper.ByID
+)

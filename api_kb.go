@@ -1,0 +1,36 @@
+package kfusion
+
+// Knowledge-base surface: the triple model every layer shares.
+
+import "kfusion/internal/kb"
+
+// Knowledge-base types.
+type (
+	// Triple is one (subject, predicate, object) statement.
+	Triple = kb.Triple
+	// Object is a triple's value: an entity reference, string or number.
+	Object = kb.Object
+	// DataItem is a (subject, predicate) pair — the unit of conflict
+	// resolution.
+	DataItem = kb.DataItem
+	// EntityID identifies an entity (Freebase MID style).
+	EntityID = kb.EntityID
+	// PredicateID identifies a predicate.
+	PredicateID = kb.PredicateID
+	// Ontology is the shared schema: types, predicates, entities.
+	Ontology = kb.Ontology
+	// Store is an in-memory triple store.
+	Store = kb.Store
+)
+
+// Object constructors.
+var (
+	// EntityObject wraps an entity ID as a triple object.
+	EntityObject = kb.EntityObject
+	// StringObject wraps a raw string as a triple object.
+	StringObject = kb.StringObject
+	// NumberObject wraps a number as a triple object.
+	NumberObject = kb.NumberObject
+	// ParseTriple parses Triple.Encode output.
+	ParseTriple = kb.ParseTriple
+)

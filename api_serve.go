@@ -1,0 +1,89 @@
+package kfusion
+
+// Serving surface: the kfserved daemon, its typed client and the wire
+// contract they share. Everything here is an alias into kfusion/client and
+// the internal server/httpapi packages, so external callers never import
+// internal/... — build an in-process server with NewServer, talk to a
+// remote one with NewClient, and dispatch failures on the Err* sentinels
+// with errors.Is.
+
+import (
+	"kfusion/client"
+	"kfusion/internal/httpapi"
+	"kfusion/internal/server"
+)
+
+// Serving types.
+type (
+	// Server is the kfserved daemon core: it owns a durable generation
+	// store and serves fused posteriors over the versioned JSON API.
+	Server = server.Server
+	// ServerConfig parameterizes a Server (state directory, method,
+	// snapshot cadence, body limits).
+	ServerConfig = server.Config
+	// Client is the typed HTTP client of a kfserved instance.
+	Client = client.Client
+	// ClientOption customizes a Client (timeout, retry budget).
+	ClientOption = client.Option
+	// TriplesQuery filters a Client.Triples read.
+	TriplesQuery = client.TriplesQuery
+	// APIError is a non-2xx server response; it unwraps to the matching
+	// Err* sentinel.
+	APIError = client.APIError
+)
+
+// Serving wire DTOs (the JSON bodies of the /v1 routes).
+type (
+	// WireExtraction is the wire form of one extraction, field-compatible
+	// with the kfio JSONL record.
+	WireExtraction = httpapi.Extraction
+	// WireFusedTriple is the wire form of one fused posterior row,
+	// bit-for-bit the in-process float64.
+	WireFusedTriple = httpapi.FusedTriple
+	// ItemResponse is the GET /v1/items/{id} body.
+	ItemResponse = httpapi.ItemResponse
+	// TriplesResponse is the GET /v1/triples body.
+	TriplesResponse = httpapi.TriplesResponse
+	// AppendRequest is the POST /v1/append body.
+	AppendRequest = httpapi.AppendRequest
+	// AppendResponse reports the generation an append published.
+	AppendResponse = httpapi.AppendResponse
+	// StatusResponse is the GET /v1/status body.
+	StatusResponse = httpapi.StatusResponse
+	// ErrorResponse is the body of every non-2xx data response.
+	ErrorResponse = httpapi.ErrorResponse
+)
+
+// Serving constructors.
+var (
+	// NewServer validates a ServerConfig and builds the daemon core; call
+	// Server.Hydrate before the data routes can answer.
+	NewServer = server.New
+	// NewClient builds a typed client for a kfserved base URL.
+	NewClient = client.New
+	// WithTimeout bounds each client HTTP attempt.
+	WithTimeout = client.WithTimeout
+	// WithRetries sets the client's GET retry budget.
+	WithRetries = client.WithRetries
+	// WithHTTPClient replaces the client's underlying http.Client.
+	WithHTTPClient = client.WithHTTPClient
+	// ServeItemPath returns the read-path URL path of one data item.
+	ServeItemPath = httpapi.ItemPath
+)
+
+// Typed errors of the serving contract. Producers always wrap; dispatch
+// with errors.Is, never identity comparison (kflint/typederr enforces
+// this).
+var (
+	// ErrNotFound reports a route or data item the server does not have.
+	ErrNotFound = httpapi.ErrNotFound
+	// ErrBadBatch reports an append body the server refused.
+	ErrBadBatch = httpapi.ErrBadBatch
+	// ErrNotReady reports a request before hydration completed.
+	ErrNotReady = httpapi.ErrNotReady
+	// ErrBusy reports an append rejected while another holds the writer
+	// slot.
+	ErrBusy = httpapi.ErrBusy
+	// ErrBadRequest reports a malformed read request.
+	ErrBadRequest = httpapi.ErrBadRequest
+)

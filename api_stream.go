@@ -1,0 +1,55 @@
+package kfusion
+
+// Streaming surface: incremental (append-only) fusion, where the compiled
+// graphs are generations of a growing extraction feed.
+//
+// CompiledClaims.Append / MustAppend and CompiledExtractions.Append extend a
+// graph with a batch, bit-identical to recompiling the concatenated stream
+// (existing interned IDs never move); CompiledClaims.FuseWarm and
+// TwoLayerFuseCompiledWarm seed EM from the previous generation's
+// posteriors so appended batches re-fuse in a fraction of the cold-start
+// rounds. Dataset.AppendExtractions rides the same machinery with
+// generation-aware graph caches, and the kfserved daemon (see api_serve.go)
+// serves the chain over HTTP.
+
+import (
+	"kfusion/internal/extract"
+	"kfusion/internal/fusion"
+	"kfusion/internal/twolayer"
+)
+
+type (
+	// CompiledExtractions is a compiled extraction graph (the §5.1 two-layer
+	// model's input): Compile once, Fuse any number of configurations,
+	// Append batches to grow it across generations.
+	CompiledExtractions = extract.Compiled
+	// ClaimStream incrementally flattens an append-only extraction feed
+	// into claims, carrying the (provenance, triple) dedup set across
+	// batches.
+	ClaimStream = fusion.ClaimStream
+	// TwoLayerConfig parameterizes the §5.1 two-layer model.
+	TwoLayerConfig = twolayer.Config
+	// TwoLayerState carries a two-layer run's converged posteriors to the
+	// next generation (warm start).
+	TwoLayerState = twolayer.State
+)
+
+var (
+	// NewClaimStream returns an empty incremental claim flattener for a
+	// granularity.
+	NewClaimStream = fusion.NewClaimStream
+	// CompileExtractions interns an extraction set into a reusable
+	// CompiledExtractions graph (siteLevel keys sources at site level).
+	CompileExtractions = extract.Compile
+	// TwoLayerDefaultConfig returns the two-layer model's experiment
+	// configuration.
+	TwoLayerDefaultConfig = twolayer.DefaultConfig
+	// TwoLayerFuse runs the §5.1 two-layer model over raw extractions.
+	TwoLayerFuse = twolayer.Fuse
+	// TwoLayerFuseCompiled runs the two-layer model over a compiled
+	// extraction graph.
+	TwoLayerFuseCompiled = twolayer.FuseCompiled
+	// TwoLayerFuseCompiledWarm is TwoLayerFuseCompiled seeded from a
+	// previous generation's TwoLayerState.
+	TwoLayerFuseCompiledWarm = twolayer.FuseCompiledWarm
+)

@@ -1,0 +1,60 @@
+package kfusion
+
+// Synthesis surface: the simulated world, Web corpus, extractor fleet and
+// bundled datasets behind every reproduced experiment.
+
+import (
+	"kfusion/internal/exper"
+	"kfusion/internal/extract"
+	"kfusion/internal/web"
+	"kfusion/internal/world"
+)
+
+// Synthesis types.
+type (
+	// World is the synthetic ground truth.
+	World = world.World
+	// WorldConfig parameterizes world generation.
+	WorldConfig = world.Config
+	// Corpus is the synthetic crawled Web.
+	Corpus = web.Corpus
+	// CorpusConfig parameterizes corpus generation.
+	CorpusConfig = web.Config
+	// Extraction is one extracted (triple, provenance) pair.
+	Extraction = extract.Extraction
+	// ExtractorSuite is the 12-extractor fleet.
+	ExtractorSuite = extract.Suite
+	// Snapshot is the incomplete trusted KB ("Freebase").
+	Snapshot = world.Snapshot
+	// Dataset bundles world, corpus, extractions and gold standard.
+	Dataset = exper.Dataset
+	// Scale selects a dataset size.
+	Scale = exper.Scale
+)
+
+// Dataset scales.
+const (
+	// ScaleSmall builds in well under a second; good for tests and demos.
+	ScaleSmall = exper.ScaleSmall
+	// ScaleBench is the scale behind the reported reproduction numbers.
+	ScaleBench = exper.ScaleBench
+)
+
+// Synthesis constructors.
+var (
+	// GenerateWorld builds a ground-truth world from a configuration.
+	GenerateWorld = world.Generate
+	// DefaultWorldConfig is a unit-test-scale world configuration.
+	DefaultWorldConfig = world.DefaultConfig
+	// GenerateCorpus crawls a world into a Web corpus.
+	GenerateCorpus = web.Generate
+	// DefaultCorpusConfig is a unit-test-scale corpus configuration.
+	DefaultCorpusConfig = web.DefaultConfig
+	// NewExtractorSuite builds the 12 simulated extractors over a world.
+	NewExtractorSuite = extract.NewSuite
+	// BuildFreebase carves the incomplete trusted snapshot out of a world.
+	BuildFreebase = world.BuildFreebase
+	// Synthesize builds a complete dataset (world, corpus, extractions,
+	// gold standard) at the given scale and seed.
+	Synthesize = exper.NewDataset
+)

@@ -1,0 +1,239 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/httpapi"
+	"kfusion/internal/kb"
+)
+
+func TestNewRejectsBadBaseURL(t *testing.T) {
+	for _, base := range []string{"", "not-a-url", "/just/a/path", "host.only"} {
+		if _, err := New(base); err == nil {
+			t.Errorf("New(%q) accepted a base without scheme://host", base)
+		}
+	}
+	if _, err := New("http://127.0.0.1:7607"); err != nil {
+		t.Fatalf("New rejected a valid base: %v", err)
+	}
+}
+
+// TestTypedErrorsCrossTheWire pins the client half of the error contract:
+// every wire code rebuilds its sentinel, so errors.Is dispatch works across
+// the process boundary, and APIError carries the status for errors.As.
+func TestTypedErrorsCrossTheWire(t *testing.T) {
+	cases := []struct {
+		status   int
+		code     string
+		sentinel error
+	}{
+		{http.StatusNotFound, httpapi.CodeNotFound, httpapi.ErrNotFound},
+		{http.StatusBadRequest, httpapi.CodeBadBatch, httpapi.ErrBadBatch},
+		{http.StatusServiceUnavailable, httpapi.CodeNotReady, httpapi.ErrNotReady},
+		{http.StatusConflict, httpapi.CodeBusy, httpapi.ErrBusy},
+		{http.StatusBadRequest, httpapi.CodeBadRequest, httpapi.ErrBadRequest},
+	}
+	for _, tc := range cases {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(tc.status)
+			w.Write([]byte(`{"code":"` + tc.code + `","message":"m"}`))
+		}))
+		c, err := New(ts.URL, WithRetries(0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = c.Status(context.Background())
+		if !errors.Is(err, tc.sentinel) {
+			t.Errorf("code %q: errors.Is(err, sentinel) = false (err = %v)", tc.code, err)
+		}
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.Status != tc.status || ae.Code != tc.code {
+			t.Errorf("code %q: APIError = %+v, want status %d code %q", tc.code, ae, tc.status, tc.code)
+		}
+		ts.Close()
+	}
+}
+
+func TestNonJSONErrorBodyIsInternal(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "proxy exploded", http.StatusBadGateway)
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL, WithRetries(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Status(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != httpapi.CodeInternal {
+		t.Fatalf("non-JSON 502 decoded as %+v, want internal", ae)
+	}
+	for _, sentinel := range []error{httpapi.ErrNotFound, httpapi.ErrNotReady, httpapi.ErrBadBatch} {
+		if errors.Is(err, sentinel) {
+			t.Fatalf("internal error must match no sentinel, matched %v", sentinel)
+		}
+	}
+}
+
+// TestGetRetriesOn5xx pins the retry policy's positive half: a GET that hits
+// a hydrating server (503 not_ready) retries with backoff until it lands.
+func TestGetRetriesOn5xx(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"code":"not_ready","message":"hydrating"}`))
+			return
+		}
+		w.Write([]byte(`{"method":"popaccu","ready":true,"generation":3,"consumed":10,"triples":5}`))
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL, WithRetries(3, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status(context.Background())
+	if err != nil {
+		t.Fatalf("GET did not recover across retries: %v", err)
+	}
+	if st.Generation != 3 || calls.Load() != 3 {
+		t.Fatalf("generation %d after %d calls, want 3 after 3", st.Generation, calls.Load())
+	}
+}
+
+// TestGetDoesNotRetry4xx pins that typed client-side failures are final.
+func TestGetDoesNotRetry4xx(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"code":"not_found","message":"nope"}`))
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL, WithRetries(5, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Status(context.Background()); !errors.Is(err, httpapi.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("4xx was retried %d times", calls.Load()-1)
+	}
+}
+
+// TestAppendNeverRetries pins the retry policy's negative half: the server
+// journals a batch before replying, so a failed append must surface, not
+// silently double-apply.
+func TestAppendNeverRetries(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"code":"internal","message":"boom"}`))
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL, WithRetries(5, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []extract.Extraction{{
+		Triple:     kb.Triple{Subject: "/m/1", Predicate: "/p", Object: kb.StringObject("v")},
+		Extractor:  "X",
+		URL:        "u",
+		Site:       "s",
+		Confidence: 1,
+	}}
+	if _, err := c.Append(context.Background(), batch); err == nil {
+		t.Fatal("append swallowed a 500")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("append was retried %d times; appends must never retry", calls.Load()-1)
+	}
+}
+
+// TestGetRetriesConnectionErrors pins retry on the no-response case.
+func TestGetRetriesConnectionErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	base := ts.URL
+	ts.Close() // connection refused from the first attempt
+	c, err := New(base, WithRetries(2, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("GET against a closed server succeeded")
+	}
+	// Two retries at 1ms and 2ms backoff: the loop must have slept.
+	if time.Since(start) < 3*time.Millisecond {
+		t.Fatal("retry loop returned without backing off")
+	}
+}
+
+// TestContextCancelsRetryLoop pins that a cancelled context ends the retry
+// loop promptly instead of sleeping out the backoff schedule.
+func TestContextCancelsRetryLoop(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"code":"not_ready","message":"hydrating"}`))
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL, WithRetries(10, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Ready(ctx)
+	if err == nil {
+		t.Fatal("Ready succeeded against a permanently not-ready server")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancelled context did not stop the backoff sleep")
+	}
+}
+
+// TestTriplesQueryEncoding pins the query-string contract with the server's
+// parameter names.
+func TestTriplesQueryEncoding(t *testing.T) {
+	var gotQuery string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotQuery = r.URL.RawQuery
+		w.Write([]byte(`{"generation":1,"total":0,"triples":[]}`))
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL, WithRetries(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Triples(context.Background(), TriplesQuery{
+		Subject:    "/m/1",
+		Predicate:  "/p",
+		MinProb:    0.5,
+		HasMinProb: true,
+		Limit:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "limit=7&min_prob=0.5&predicate=%2Fp&subject=%2Fm%2F1"
+	if gotQuery != want {
+		t.Fatalf("query = %q, want %q", gotQuery, want)
+	}
+}

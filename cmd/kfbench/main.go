@@ -10,7 +10,8 @@
 //	kfbench -seeds 5             # re-run across 5 seeds; report check stability
 //	kfbench -list                # list experiment IDs
 //	kfbench -benchjson FILE      # fusion throughput benchmarks as JSON
-//	kfbench -check BENCH_5.json  # CI perf-regression gate against a baseline
+//	kfbench -serve FILE          # kfserved read-path latency under load, merged into FILE
+//	kfbench -check BENCH_8.json  # CI perf-regression gate against a baseline
 //	kfbench -scaling FILE        # parallel hot paths at the current GOMAXPROCS
 //	kfbench -scalingcheck A,B,C  # multi-core speedup gate over -scaling cells
 //
@@ -81,6 +82,9 @@ func main() {
 		check      = flag.String("check", "", "compare fresh benchmark speedup ratios against this baseline BENCH json; exit non-zero on regression")
 		checkJSON  = flag.String("checkjson", "", "with -check: also write the fresh measurements as JSON to this file")
 		checkTol   = flag.Float64("checktol", 0.30, "with -check: maximum tolerated fractional drop of a pair's speedup ratio")
+		serve      = flag.String("serve", "", "measure kfserved read-path latency under concurrent clients and merge the record into this BENCH json")
+		serveCli   = flag.Int("serveclients", 8, "with -serve: concurrent clients")
+		serveReqs  = flag.Int("servereqs", 1000, "with -serve: item reads per client")
 		scaling    = flag.String("scaling", "", "measure the parallel hot paths at the current GOMAXPROCS and write one JSON cell to this file")
 		scalingChk = flag.String("scalingcheck", "", "comma-separated -scaling cell files; exit non-zero if the top cell's gated speedups over the 1-core cell fall below -minspeedup")
 		minSpeedup = flag.Float64("minspeedup", 1.5, "with -scalingcheck: minimum claims/s speedup of the highest-GOMAXPROCS cell over the 1-core cell")
@@ -89,6 +93,13 @@ func main() {
 
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *serve != "" {
+		if err := runServeBench(*serve, *seed, *serveCli, *serveReqs); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -246,6 +257,9 @@ type benchFile struct {
 	Seed       int64                  `json:"seed"`
 	Date       string                 `json:"date"`
 	Benchmarks map[string]benchRecord `json:"benchmarks"`
+	// Serve is the kfserved read-path latency record (-serve); absolute
+	// and machine-dependent, so the -check gate validates its shape only.
+	Serve *serveRecord `json:"serve,omitempty"`
 }
 
 // newBenchFile returns a benchFile stamped with this run's environment.
@@ -758,6 +772,7 @@ func runCheck(baselinePath, freshPath string, tol float64, seed int64) error {
 	benchConfigSweep(&fresh, bench)
 	benchTwoLayer(&fresh, bench)
 	benchAppend(&fresh, bench)
+	benchWarmBoot(&fresh, bench)
 
 	fmt.Printf("bench-regression check vs %s (baseline: %s, GOMAXPROCS=%d; tolerance %.0f%%)\n",
 		baselinePath, baseline.Date, baseline.GOMAXPROCS, tol*100)
@@ -786,6 +801,19 @@ func runCheck(baselinePath, freshPath string, tol float64, seed int64) error {
 		}
 		fmt.Printf("  %s %-22s speedup %5.2fx vs baseline %5.2fx  (%.0f claims/s vs ref %.0f)\n",
 			status, fast+"/"+slow, newRatio, baseRatio, nf.ClaimsPerS, ns.ClaimsPerS)
+	}
+	// The serve-latency record is absolute (machine-dependent), so its gate
+	// is structural: the baseline must carry a clean, well-formed record at
+	// the required concurrency. Baselines predating the serve record (BENCH_7
+	// and older) pass with a note so -check stays usable against history.
+	if baseline.Serve != nil {
+		if err := checkServeRecord(baseline.Serve); err != nil {
+			return fmt.Errorf("serve record gate: %w", err)
+		}
+		fmt.Printf("  ok       serve record: %d clients, p50 %.3fms p95 %.3fms p99 %.3fms, %.0f req/s\n",
+			baseline.Serve.Clients, baseline.Serve.P50Ms, baseline.Serve.P95Ms, baseline.Serve.P99Ms, baseline.Serve.RPS)
+	} else {
+		fmt.Println("  note     baseline has no serve record (predates -serve)")
 	}
 	if freshPath != "" {
 		if err := writeBenchFile(freshPath, fresh); err != nil {

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"kfusion/client"
+	"kfusion/internal/exper"
+	"kfusion/internal/faultfs"
+	"kfusion/internal/server"
+)
+
+// serveRecord is the read-path latency record of the kfserved daemon under
+// concurrent load: N clients hammering GET /v1/items/{id} against a server
+// holding the fused bench dataset. Latencies are absolute and so
+// machine-dependent; the -check gate validates the record's shape (positive
+// monotone percentiles, positive throughput, zero request errors), not its
+// absolute values — see checkServeRecord.
+type serveRecord struct {
+	Clients  int     `json:"clients"`
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	RPS      float64 `json:"rps"`
+}
+
+// runServeBench starts a kfserved core on the fused bench dataset (in-memory
+// state: the record measures the read path, not the disk), mounts it on a
+// real loopback listener, and drives perClient item reads from nClients
+// concurrent typed clients. The serve record is merged into the benchFile at
+// path, preserving any -benchjson records already there.
+func runServeBench(path string, seed int64, nClients, perClient int) error {
+	out, err := loadOrNewBenchFile(path, seed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "building bench dataset...\n")
+	bench := exper.SharedDataset(exper.ScaleBench, seed)
+
+	srv, err := server.New(server.Config{FS: faultfs.NewMem(), Method: "popaccu"})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if err := srv.Hydrate(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fusing %d extractions into the server...\n", len(bench.Extractions))
+	if _, err := srv.Append(bench.Extractions); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // Shutdown below surfaces as ErrServerClosed here
+	defer hs.Shutdown(context.Background())
+	base := "http://" + ln.Addr().String()
+
+	// One scan read collects the item ids the workers will hammer (and warms
+	// the whole path once).
+	scan, err := client.New(base)
+	if err != nil {
+		return err
+	}
+	rows, err := scan.Triples(context.Background(), client.TriplesQuery{Limit: 4096})
+	if err != nil {
+		return err
+	}
+	if len(rows.Triples) == 0 {
+		return fmt.Errorf("serve bench: the fused bench dataset produced no triples")
+	}
+	type itemID struct{ s, p string }
+	items := make([]itemID, 0, len(rows.Triples))
+	seen := map[itemID]bool{}
+	for _, t := range rows.Triples {
+		id := itemID{t.Subject, t.Predicate}
+		if !seen[id] {
+			seen[id] = true
+			items = append(items, id)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "hammering %s with %d clients x %d reads over %d items...\n",
+		base, nClients, perClient, len(items))
+	latencies := make([][]time.Duration, nClients)
+	errCounts := make([]int, nClients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < nClients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker gets its own transport so connection reuse is
+			// per-client, as a real fleet of callers would behave.
+			c, err := client.New(base,
+				client.WithHTTPClient(&http.Client{Transport: &http.Transport{}, Timeout: 30 * time.Second}),
+				client.WithRetries(0, 0))
+			if err != nil {
+				errCounts[w] = perClient
+				return
+			}
+			ctx := context.Background()
+			lat := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				id := items[(w+i*nClients)%len(items)]
+				t0 := time.Now()
+				_, err := c.Item(ctx, id.s, id.p)
+				if err != nil {
+					errCounts[w]++
+					continue
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			latencies[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	errors := 0
+	for w := range latencies {
+		all = append(all, latencies[w]...)
+		errors += errCounts[w]
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("serve bench: all %d requests failed", nClients*perClient)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rec := &serveRecord{
+		Clients:  nClients,
+		Requests: nClients * perClient,
+		Errors:   errors,
+		P50Ms:    percentileMs(all, 0.50),
+		P95Ms:    percentileMs(all, 0.95),
+		P99Ms:    percentileMs(all, 0.99),
+		RPS:      float64(len(all)) / wall.Seconds(),
+	}
+	fmt.Fprintf(os.Stderr, "read path: p50 %.3fms  p95 %.3fms  p99 %.3fms  %.0f req/s  (%d errors)\n",
+		rec.P50Ms, rec.P95Ms, rec.P99Ms, rec.RPS, rec.Errors)
+	out.Serve = rec
+	return writeBenchFile(path, out)
+}
+
+// percentileMs returns the q-quantile of sorted latencies in milliseconds.
+func percentileMs(sorted []time.Duration, q float64) float64 {
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// loadOrNewBenchFile reads an existing BENCH json to merge into, or starts a
+// fresh one; either way the result is stamped with this run's environment.
+func loadOrNewBenchFile(path string, seed int64) (benchFile, error) {
+	out := newBenchFile(seed)
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return out, nil
+	}
+	if err != nil {
+		return out, err
+	}
+	var prev benchFile
+	if err := json.Unmarshal(raw, &prev); err != nil {
+		return out, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	for name, rec := range prev.Benchmarks {
+		out.Benchmarks[name] = rec
+	}
+	out.Serve = prev.Serve
+	return out, nil
+}
+
+// checkServeRecord validates a baseline's serve-latency record. Absolute
+// latencies vary by machine, so the gate enforces shape, not speed: the
+// record must exist with the required concurrency, percentiles must be
+// positive and monotone (p50 <= p95 <= p99), throughput positive, and the
+// measured run error-free.
+func checkServeRecord(rec *serveRecord) error {
+	if rec == nil {
+		return fmt.Errorf("baseline has no serve record; regenerate it with -serve")
+	}
+	if rec.Clients < 8 {
+		return fmt.Errorf("serve record measured only %d concurrent clients; want >= 8", rec.Clients)
+	}
+	if rec.Errors > 0 {
+		return fmt.Errorf("serve record carries %d request errors; a clean baseline must have none", rec.Errors)
+	}
+	if rec.P50Ms <= 0 || rec.P50Ms > rec.P95Ms || rec.P95Ms > rec.P99Ms {
+		return fmt.Errorf("serve percentiles are not positive-monotone: p50 %.3fms, p95 %.3fms, p99 %.3fms",
+			rec.P50Ms, rec.P95Ms, rec.P99Ms)
+	}
+	if rec.RPS <= 0 {
+		return fmt.Errorf("serve record has non-positive throughput %.1f req/s", rec.RPS)
+	}
+	return nil
+}

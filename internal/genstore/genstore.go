@@ -1,7 +1,7 @@
 // Package genstore is the durability layer under the incremental fusion
 // pipeline: a checksummed store for compiled graph generations plus a
 // write-ahead append journal, with crash recovery. It is what lets a
-// restarted kfuse -append (and, ahead, the kfserved daemon) warm-boot its
+// restarted kfuse -append (and the kfserved daemon) warm-boot its
 // graph chain instead of recompiling the whole feed.
 //
 // # Contract

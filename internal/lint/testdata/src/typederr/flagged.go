@@ -5,6 +5,7 @@ package fixture
 
 import (
 	"kfusion/internal/genstore"
+	"kfusion/internal/httpapi"
 	"kfusion/internal/kbstore"
 	"kfusion/internal/kfio"
 )
@@ -39,4 +40,29 @@ func typeSwitchPartial(err error) bool {
 		return true
 	}
 	return false
+}
+
+// The kfserved serving sentinels cross the HTTP boundary wrapped (the
+// client rebuilds them via APIError.Unwrap), so identity comparison breaks
+// the moment the response is decoded.
+func eqServing(err error) bool {
+	return err == httpapi.ErrNotFound // want `use errors\.Is`
+}
+
+func switchServing(err error) string {
+	switch err {
+	case httpapi.ErrNotReady: // want `use errors\.Is`
+		return "wait"
+	case httpapi.ErrBusy: // want `use errors\.Is`
+		return "retry"
+	default:
+		return "fail"
+	}
+}
+
+func assertBadBatch(err error) int {
+	if b, ok := err.(*httpapi.BadBatchError); ok { // want `use errors\.As`
+		return b.Index
+	}
+	return -1
 }

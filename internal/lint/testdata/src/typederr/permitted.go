@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io"
 
+	"kfusion/internal/httpapi"
 	"kfusion/internal/kbstore"
 	"kfusion/internal/kfio"
 )
@@ -18,6 +19,20 @@ func partialOffset(err error) int64 {
 	var p *kfio.ErrPartialLine
 	if errors.As(err, &p) {
 		return p.Offset
+	}
+	return -1
+}
+
+// The serving sentinels dispatch the same way: errors.Is survives both the
+// server-side fmt.Errorf wrapping and the client-side APIError rebuild.
+func isServingNotFound(err error) bool {
+	return errors.Is(err, httpapi.ErrNotFound)
+}
+
+func badBatchIndex(err error) int {
+	var b *httpapi.BadBatchError
+	if errors.As(err, &b) {
+		return b.Index
 	}
 	return -1
 }

@@ -4,18 +4,23 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
-// TypedErr guards the PR 6 error contract: the durable stores report
+// TypedErr guards the typed-error contracts: the durable stores report
 // corruption through typed errors — the kbstore/genstore sentinels
-// ErrCorrupt and ErrVersion and kfio's *ErrPartialLine struct — and every
-// producer wraps them (`fmt.Errorf("%w: ...", ErrCorrupt)`), so a direct
+// ErrCorrupt and ErrVersion and kfio's *ErrPartialLine struct — and the
+// kfserved HTTP boundary dispatches on the httpapi sentinels (ErrNotFound,
+// ErrBadBatch, ErrNotReady, ErrBusy, ErrBadRequest, re-exported at the
+// kfusion root). Every producer wraps them (`fmt.Errorf("%w: ...",
+// ErrCorrupt)`; the HTTP client wraps via APIError.Unwrap), so a direct
 // `==`/`!=` comparison or a type switch on the concrete type silently
 // stops matching the moment a wrapping layer is added. Callers must use
 // errors.Is for sentinels and errors.As for the structured types; the
 // degradation ladder (snapshot fallback, journal tail repair, partial-line
-// retry) dispatches on exactly these results, so a broken match turns a
-// graceful degradation into a hard failure.
+// retry) and the server's error-to-status mapping dispatch on exactly
+// these results, so a broken match turns a graceful degradation into a
+// hard failure.
 //
 // The analyzer flags, in any package: ==/!= against an Err* sentinel
 // variable exported by the durability packages (comparisons with nil are
@@ -24,7 +29,7 @@ import (
 // types.
 var TypedErr = &Analyzer{
 	Name: "typederr",
-	Doc:  "flags ==/!= or type-switch use of the kbstore/genstore/kfio typed errors where errors.Is/errors.As is required",
+	Doc:  "flags ==/!= or type-switch use of the kbstore/genstore/kfio/httpapi typed errors where errors.Is/errors.As is required",
 	// Empty Packages: a wrap-unsafe comparison is wrong wherever it
 	// appears — cmd/ drivers and the experiment layers consume these
 	// errors too.
@@ -32,12 +37,18 @@ var TypedErr = &Analyzer{
 }
 
 // sentinelPkgs are the packages whose Err* values/types carry the
-// durability contract.
+// durability and serving contracts. httpapi holds the HTTP serving
+// sentinels (ErrNotFound, ErrBadBatch, ErrNotReady, ErrBusy,
+// ErrBadRequest), which the kfserved server and typed client wrap on both
+// sides of the wire; the root kfusion package re-exports them, so the same
+// values reached through either path are protected.
 var sentinelPkgs = map[string]bool{
 	"kfusion/internal/kbstore":  true,
 	"kfusion/internal/genstore": true,
 	"kfusion/internal/kfio":     true,
 	"kfusion/internal/faultfs":  true,
+	"kfusion/internal/httpapi":  true,
+	"kfusion":                   true,
 }
 
 func runTypedErr(pass *Pass) error {
@@ -118,7 +129,9 @@ func sentinelVar(info *types.Info, e ast.Expr) (*types.Var, bool) {
 }
 
 // sentinelType reports whether the type expression e names (a pointer to)
-// an Err* type declared in one of the durability packages.
+// a typed-error struct declared in one of the contract packages — the Err*
+// prefix convention of the durability packages, or the *Error suffix
+// convention of the serving wire contract (httpapi.BadBatchError).
 func sentinelType(info *types.Info, e ast.Expr) (*types.TypeName, bool) {
 	t := info.TypeOf(e)
 	if t == nil {
@@ -132,7 +145,10 @@ func sentinelType(info *types.Info, e ast.Expr) (*types.TypeName, bool) {
 		return nil, false
 	}
 	tn := named.Obj()
-	if tn.Pkg() == nil || !sentinelPkgs[tn.Pkg().Path()] || !hasPrefixErr(tn.Name()) {
+	if tn.Pkg() == nil || !sentinelPkgs[tn.Pkg().Path()] {
+		return nil, false
+	}
+	if !hasPrefixErr(tn.Name()) && !strings.HasSuffix(tn.Name(), "Error") {
 		return nil, false
 	}
 	return tn, true

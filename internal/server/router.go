@@ -1,0 +1,101 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"kfusion/internal/httpapi"
+)
+
+// apiFunc is the shape of every route handler: produce a payload or an
+// error, and let the router own serialization, status mapping and logging.
+// The ResponseWriter is passed only for body plumbing (MaxBytesReader);
+// handlers never write to it directly.
+type apiFunc func(w http.ResponseWriter, r *http.Request) (any, error)
+
+// statusError overrides the status a typed error would normally map to
+// (e.g. an oversized append body is ErrBadBatch on the wire but 413, not
+// 400).
+type statusError struct {
+	status int
+	err    error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
+
+// newRouter mounts the httpapi route table on a Go 1.22 pattern mux. One
+// table row per route; the catch-all turns unknown paths into the same JSON
+// error shape as every other failure. Patterns match the escaped request
+// path, so item ids with embedded '/' (path-escaped by httpapi.ItemPath)
+// arrive as one {id} segment and PathValue hands back the decoded id.
+func newRouter(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	for _, r := range []struct {
+		pattern string
+		handler apiFunc
+	}{
+		{"GET " + httpapi.PathHealthz, s.handleHealthz},
+		{"GET " + httpapi.PathReadyz, s.handleReadyz},
+		{"GET " + httpapi.PathStatus, s.handleStatus},
+		{"GET " + httpapi.PathItems + "{id}", s.handleItem},
+		{"GET " + httpapi.PathTriples, s.handleTriples},
+		{"POST " + httpapi.PathAppend, s.handleAppend},
+	} {
+		mux.Handle(r.pattern, s.serve(r.handler))
+	}
+	mux.Handle("/", s.serve(func(_ http.ResponseWriter, r *http.Request) (any, error) {
+		return nil, fmt.Errorf("%w: no route %s %s", httpapi.ErrNotFound, r.Method, r.URL.Path)
+	}))
+	return mux
+}
+
+// serve adapts an apiFunc to http.Handler: JSON-encode the payload on
+// success, map the error to (status, ErrorResponse) on failure.
+func (s *Server) serve(h apiFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		payload, err := h(w, r)
+		if err != nil {
+			status := statusForError(err)
+			if status == http.StatusInternalServerError {
+				s.logf("%s %s failed: %v", r.Method, r.URL.Path, err)
+			}
+			writeJSON(w, status, &httpapi.ErrorResponse{
+				Code:    httpapi.CodeForError(err),
+				Message: err.Error(),
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, payload)
+	})
+}
+
+// statusForError maps a (possibly wrapped) typed error to its HTTP status.
+// A statusError in the chain wins; otherwise the sentinel decides.
+func statusForError(err error) int {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.status
+	}
+	switch {
+	case errors.Is(err, httpapi.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, httpapi.ErrBadBatch), errors.Is(err, httpapi.ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, httpapi.ErrNotReady):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, httpapi.ErrBusy):
+		return http.StatusConflict
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encode failures past WriteHeader are wire errors the peer sees as a
+	// truncated body; nothing useful to do server-side.
+	_ = json.NewEncoder(w).Encode(payload)
+}

@@ -1,0 +1,407 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"kfusion/client"
+	"kfusion/internal/exper"
+	"kfusion/internal/faultfs"
+	"kfusion/internal/fusion"
+	"kfusion/internal/httpapi"
+)
+
+// newTestServer builds a hydrated in-memory server and mounts it on an
+// httptest listener. Config overrides apply on top of the test defaults.
+func newTestServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := Config{FS: faultfs.NewMem(), Method: "popaccu", Logf: t.Logf}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Hydrate(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+// decodeError reads a non-2xx response and asserts its JSON error shape.
+func decodeError(t *testing.T, resp *http.Response, wantStatus int, wantCode string) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, wantStatus)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var er httpapi.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("error body is not JSON: %v", err)
+	}
+	if er.Code != wantCode {
+		t.Fatalf("error code = %q, want %q (message %q)", er.Code, wantCode, er.Message)
+	}
+}
+
+func TestHealthzAlwaysLive(t *testing.T) {
+	s, err := New(Config{FS: faultfs.NewMem()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// No Hydrate: liveness must not depend on readiness.
+	resp, err := http.Get(ts.URL + httpapi.PathHealthz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before hydration = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestDataRoutesNotReadyBeforeHydration(t *testing.T) {
+	s, err := New(Config{FS: faultfs.NewMem()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, path := range []string{
+		httpapi.PathReadyz,
+		httpapi.ItemPath("/m/1", "/p"),
+		httpapi.PathTriples,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeError(t, resp, http.StatusServiceUnavailable, httpapi.CodeNotReady)
+	}
+	resp, err := http.Post(ts.URL+httpapi.PathAppend, "application/json",
+		strings.NewReader(`{"extractions":[{"s":"/m/1","p":"/p","o":"s:v","extractor":"X","url":"u","site":"s","conf":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeError(t, resp, http.StatusServiceUnavailable, httpapi.CodeNotReady)
+}
+
+func TestUnknownRouteIsJSON404(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/v2/everything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeError(t, resp, http.StatusNotFound, httpapi.CodeNotFound)
+}
+
+func TestMalformedAppendJSON(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, err := http.Post(ts.URL+httpapi.PathAppend, "application/json", strings.NewReader(`{"extractions": [`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeError(t, resp, http.StatusBadRequest, httpapi.CodeBadBatch)
+}
+
+func TestAppendBadObjectTag(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	body := `{"extractions":[{"s":"/m/1","p":"/p","o":"not-a-tagged-object","extractor":"X","url":"u","site":"s","conf":1}]}`
+	resp, err := http.Post(ts.URL+httpapi.PathAppend, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeError(t, resp, http.StatusBadRequest, httpapi.CodeBadBatch)
+}
+
+func TestAppendEmptyBatch(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, err := http.Post(ts.URL+httpapi.PathAppend, "application/json", strings.NewReader(`{"extractions":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeError(t, resp, http.StatusBadRequest, httpapi.CodeBadBatch)
+}
+
+func TestAppendOversizedBody(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) { c.MaxBody = 512 })
+	var sb strings.Builder
+	sb.WriteString(`{"extractions":[`)
+	for i := 0; sb.Len() < 4096; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"s":"/m/%d","p":"/p","o":"s:v","extractor":"X","url":"u","site":"s","conf":1}`, i)
+	}
+	sb.WriteString(`]}`)
+	resp, err := http.Post(ts.URL+httpapi.PathAppend, "application/json", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeError(t, resp, http.StatusRequestEntityTooLarge, httpapi.CodeBadBatch)
+}
+
+func TestBadItemIDAndQuery(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + httpapi.PathItems + "no-separator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeError(t, resp, http.StatusBadRequest, httpapi.CodeBadRequest)
+
+	resp, err = http.Get(ts.URL + httpapi.PathTriples + "?min_prob=high")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeError(t, resp, http.StatusBadRequest, httpapi.CodeBadRequest)
+}
+
+// TestAppendWhileAppending pins the single-writer contract: a POST arriving
+// while another append holds the writer slot gets 409 busy, not a queue.
+func TestAppendWhileAppending(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	s.mu.Lock() // stand in for an in-flight append holding the writer slot
+	defer s.mu.Unlock()
+	body := `{"extractions":[{"s":"/m/1","p":"/p","o":"s:v","extractor":"X","url":"u","site":"s","conf":1}]}`
+	resp, err := http.Post(ts.URL+httpapi.PathAppend, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeError(t, resp, http.StatusConflict, httpapi.CodeBusy)
+}
+
+// TestRoundTripMatchesDatasetFuse is the bit-for-bit read contract: fused
+// posteriors served over HTTP equal the in-process Dataset.Fuse output
+// exactly — same rows, same order, same float64 bits.
+func TestRoundTripMatchesDatasetFuse(t *testing.T) {
+	ds := exper.SharedDataset(exper.ScaleSmall, 42)
+	cfg := fusion.PopAccuConfig()
+	want := ds.Fuse("server-roundtrip-popaccu", cfg)
+
+	_, ts := newTestServer(t, nil)
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := t.Context()
+	// One batch = the whole feed, so the server's cold fuse runs the same
+	// full-round EM as Dataset.Fuse.
+	ar, err := c.Append(ctx, ds.Extractions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Generation != 1 || ar.Triples != len(want.Triples) {
+		t.Fatalf("append published generation %d with %d triples, want 1 with %d",
+			ar.Generation, ar.Triples, len(want.Triples))
+	}
+
+	got, err := c.Triples(ctx, client.TriplesQuery{Limit: len(want.Triples) + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != len(want.Triples) || len(got.Triples) != len(want.Triples) {
+		t.Fatalf("served %d/%d triples, want %d", len(got.Triples), got.Total, len(want.Triples))
+	}
+	for i, w := range want.Triples {
+		g := got.Triples[i]
+		if g.Subject != string(w.Triple.Subject) || g.Predicate != string(w.Triple.Predicate) ||
+			g.Object != w.Triple.Object.String() {
+			t.Fatalf("row %d is (%s,%s,%s), want (%s,%s,%s)",
+				i, g.Subject, g.Predicate, g.Object, w.Triple.Subject, w.Triple.Predicate, w.Triple.Object)
+		}
+		if math.Float64bits(g.Probability) != math.Float64bits(w.Probability) {
+			t.Fatalf("row %d probability %v != %v (bit-for-bit)", i, g.Probability, w.Probability)
+		}
+		if g.Predicted != w.Predicted || g.Provenances != w.Provenances || g.Extractors != w.Extractors {
+			t.Fatalf("row %d metadata diverged: got %+v want %+v", i, g, w)
+		}
+	}
+
+	// Spot-check the item route against the same result.
+	w0 := want.Triples[0]
+	item, err := c.Item(ctx, string(w0.Triple.Subject), string(w0.Triple.Predicate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, g := range item.Triples {
+		if g.Object == w0.Triple.Object.String() {
+			found = true
+			if math.Float64bits(g.Probability) != math.Float64bits(w0.Probability) {
+				t.Fatalf("item route probability %v != %v", g.Probability, w0.Probability)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("item route lost value %s of %s", w0.Triple.Object, w0.Triple.Item())
+	}
+
+	// A value the generation does not hold is a typed not-found.
+	_, err = c.Item(ctx, "/m/does-not-exist", "/p")
+	if !errors.Is(err, httpapi.ErrNotFound) {
+		t.Fatalf("missing item error = %v, want ErrNotFound", err)
+	}
+}
+
+// TestCrashRestartServesIdenticalGeneration is the restart contract: a
+// server killed after appends (journal durable, no snapshot, no clean
+// Close) and reopened on the same state directory serves the identical
+// generation — the read responses are byte-for-byte equal.
+func TestCrashRestartServesIdenticalGeneration(t *testing.T) {
+	ds := exper.SharedDataset(exper.ScaleSmall, 42)
+	xs := ds.Extractions
+	cut := len(xs) / 2
+
+	mem := faultfs.NewMem()
+	// SnapshotEvery is set beyond the append count, so durability rests on
+	// the journal alone — the crash-recovery path under test.
+	a, tsA := newTestServer(t, func(c *Config) { c.FS = mem; c.SnapshotEvery = 1000 })
+	if _, err := a.Append(xs[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Append(xs[cut:]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clone the state as the moment of the kill; server A is deliberately
+	// never Closed (no final snapshot).
+	b, tsB := newTestServer(t, func(c *Config) { c.FS = mem.Clone(); c.SnapshotEvery = 1000 })
+
+	readAll := func(ts *httptest.Server) []byte {
+		resp, err := http.Get(ts.URL + httpapi.PathTriples + "?limit=1000000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("triples read = %d", resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	bodyA, bodyB := readAll(tsA), readAll(tsB)
+	if !bytes.Equal(bodyA, bodyB) {
+		t.Fatalf("restarted server serves a different generation:\n A: %d bytes\n B: %d bytes", len(bodyA), len(bodyB))
+	}
+
+	stA, stB := a.Status(), b.Status()
+	if *stA != *stB {
+		t.Fatalf("status diverged after restart: %+v vs %+v", stA, stB)
+	}
+	if stB.Generation != 2 || !stB.Ready {
+		t.Fatalf("restarted server at generation %d (ready=%v), want 2 (ready)", stB.Generation, stB.Ready)
+	}
+}
+
+// TestAppendAfterCloseIsNotReady pins the drain contract: once Close ran,
+// the write path reports not ready instead of touching a closed store.
+func TestAppendAfterCloseIsNotReady(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	body := `{"extractions":[{"s":"/m/1","p":"/p","o":"s:v","extractor":"X","url":"u","site":"s","conf":1}]}`
+	resp, err := http.Post(ts.URL+httpapi.PathAppend, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeError(t, resp, http.StatusServiceUnavailable, httpapi.CodeNotReady)
+}
+
+// TestTriplesQueryFilters exercises subject/predicate/min_prob/limit.
+func TestTriplesQueryFilters(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := t.Context()
+	ds := exper.SharedDataset(exper.ScaleSmall, 42)
+	if _, err := c.Append(ctx, ds.Extractions); err != nil {
+		t.Fatal(err)
+	}
+	all, err := c.Triples(ctx, client.TriplesQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Total == 0 {
+		t.Fatal("no triples served")
+	}
+	first := all.Triples[0]
+
+	bySubj, err := c.Triples(ctx, client.TriplesQuery{Subject: first.Subject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bySubj.Total == 0 || bySubj.Total > all.Total {
+		t.Fatalf("subject filter returned %d of %d", bySubj.Total, all.Total)
+	}
+	for _, g := range bySubj.Triples {
+		if g.Subject != first.Subject {
+			t.Fatalf("subject filter leaked %q", g.Subject)
+		}
+	}
+
+	limited, err := c.Triples(ctx, client.TriplesQuery{Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited.Triples) != 1 || limited.Total != all.Total {
+		t.Fatalf("limit=1 returned %d rows with total %d, want 1 with %d", len(limited.Triples), limited.Total, all.Total)
+	}
+
+	confident, err := c.Triples(ctx, client.TriplesQuery{MinProb: 0.9, HasMinProb: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range confident.Triples {
+		if g.Probability < 0.9 {
+			t.Fatalf("min_prob filter leaked probability %v", g.Probability)
+		}
+	}
+	if confident.Total >= all.Total {
+		t.Fatalf("min_prob=0.9 kept %d of %d rows; filter had no effect", confident.Total, all.Total)
+	}
+}
+
+// TestMethodMismatchRefusesState pins the hydration check: a state
+// directory built by one method must not be served as another. The method
+// binding travels in snapshots (the journal is method-agnostic), so the
+// first server closes cleanly to write one.
+func TestMethodMismatchRefusesState(t *testing.T) {
+	mem := faultfs.NewMem()
+	a, _ := newTestServer(t, func(c *Config) { c.FS = mem; c.Method = "vote" })
+	ds := exper.SharedDataset(exper.ScaleSmall, 42)
+	if _, err := a.Append(ds.Extractions[:100]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{FS: mem.Clone(), Method: "popaccu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Hydrate(); err == nil || !strings.Contains(err.Error(), "method") {
+		t.Fatalf("hydrating vote state as popaccu: err = %v, want method mismatch", err)
+	}
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"kfusion/internal/fusion"
+	"kfusion/internal/genstore"
+	"kfusion/internal/httpapi"
+	"kfusion/internal/kb"
+)
+
+// genView is one published generation: the fused result plus read indexes,
+// fully immutable after construction. The server swaps views with a single
+// atomic pointer store, so readers never take a lock and never observe a
+// generation mid-build — a request resolves entirely against the view it
+// loaded, even while the next append is compiling. Index slices hold
+// positions into res.Triples, whose order is the fusion engine's
+// deterministic output order; every response lists triples in that order.
+type genView struct {
+	generation int
+	consumed   int
+	res        *fusion.Result
+	byItem     map[kb.DataItem][]int32
+	bySubject  map[kb.EntityID][]int32
+}
+
+// newGenView indexes a recovered or freshly-appended state for serving. A
+// state with no result yet (empty store) yields an empty, ready view.
+func newGenView(st *genstore.State) *genView {
+	v := &genView{
+		generation: st.Batches,
+		consumed:   st.Consumed,
+		res:        st.Result,
+		byItem:     map[kb.DataItem][]int32{},
+		bySubject:  map[kb.EntityID][]int32{},
+	}
+	if st.Result == nil {
+		return v
+	}
+	for i, t := range st.Result.Triples {
+		item := t.Triple.Item()
+		v.byItem[item] = append(v.byItem[item], int32(i))
+		v.bySubject[item.Subject] = append(v.bySubject[item.Subject], int32(i))
+	}
+	return v
+}
+
+// triples returns the view's fused rows, nil for an empty generation.
+func (v *genView) triples() []fusion.FusedTriple {
+	if v.res == nil {
+		return nil
+	}
+	return v.res.Triples
+}
+
+// item resolves one data item to its wire response, false if the view holds
+// no fused value for it.
+func (v *genView) item(subject, predicate string) (*httpapi.ItemResponse, bool) {
+	idxs, ok := v.byItem[kb.DataItem{Subject: kb.EntityID(subject), Predicate: kb.PredicateID(predicate)}]
+	if !ok {
+		return nil, false
+	}
+	resp := &httpapi.ItemResponse{
+		Subject:    subject,
+		Predicate:  predicate,
+		Generation: v.generation,
+		Triples:    make([]httpapi.FusedTriple, 0, len(idxs)),
+	}
+	for _, i := range idxs {
+		resp.Triples = append(resp.Triples, httpapi.FromFused(v.res.Triples[i]))
+	}
+	return resp, true
+}
+
+// triplesQuery filters the view's fused rows. An empty subject scans the
+// whole generation; a subject narrows through the bySubject index first.
+// Total counts every match; at most limit rows are returned.
+func (v *genView) triplesQuery(subject, predicate string, minProb float64, limit int) *httpapi.TriplesResponse {
+	resp := &httpapi.TriplesResponse{Generation: v.generation}
+	match := func(t fusion.FusedTriple) bool {
+		if predicate != "" && string(t.Triple.Predicate) != predicate {
+			return false
+		}
+		return t.Probability >= minProb
+	}
+	add := func(t fusion.FusedTriple) {
+		resp.Total++
+		if len(resp.Triples) < limit {
+			resp.Triples = append(resp.Triples, httpapi.FromFused(t))
+		}
+	}
+	if subject != "" {
+		for _, i := range v.bySubject[kb.EntityID(subject)] {
+			if t := v.res.Triples[i]; match(t) {
+				add(t)
+			}
+		}
+		return resp
+	}
+	for _, t := range v.triples() {
+		if match(t) {
+			add(t)
+		}
+	}
+	return resp
+}
