@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: verify build vet lint test race fault fuzz-smoke bench-smoke bench-json bench-check bench-scaling
+.PHONY: verify build vet lint test race fault fuzz-smoke bench-smoke bench-json bench-check bench-scaling docs-check
 
 # verify is the tier-1 gate: vet, lint, build, full tests, and a 1-iteration
 # benchmark smoke so perf-critical paths cannot silently rot.
-verify: vet lint build test bench-smoke
+verify: vet lint build test bench-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -49,24 +49,27 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFusePopAccu$$|BenchmarkFuseReferencePopAccu$$|BenchmarkLargeScaleFusion$$|BenchmarkConfigSweep|BenchmarkTwoLayerFuse|BenchmarkTwoLayerScaling|BenchmarkExtractCompileGraph|BenchmarkAppendBatch' -benchtime 1x -benchmem .
 
 # bench-json regenerates the machine-readable perf record (see BENCH_<n>.json;
-# bump N per PR that moves performance): the throughput benchmarks plus the
-# kfserved read-path latency record under concurrent clients.
+# bump N per PR that moves performance): the throughput benchmarks, the
+# kfserved read-path latency record under concurrent clients, and the
+# web-scale sharded-fusion record (10M+ claim corpus; takes minutes — the
+# feed is synthesized segment by segment and streamed through K shards).
 bench-json:
-	$(GO) run ./cmd/kfbench -benchjson BENCH_8.json
-	$(GO) run ./cmd/kfbench -serve BENCH_8.json
+	$(GO) run ./cmd/kfbench -benchjson BENCH_9.json
+	$(GO) run ./cmd/kfbench -serve BENCH_9.json
+	$(GO) run ./cmd/kfbench -sharded BENCH_9.json
 
 # bench-check is the CI perf-regression gate: re-measure the fast/slow
 # benchmark pairs — compiled vs reference engines, compiled-graph reuse vs
 # recompile, and the append-only feed pairs (Append + warm-start re-fuse vs
 # full recompile + cold fuse) — and fail if any pair's claims/s speedup
-# ratio dropped more than 30% below the committed BENCH_8.json baseline
+# ratio dropped more than 30% below the committed BENCH_9.json baseline
 # (ratios cancel machine speed, so the gate is meaningful on any runner).
-# The baseline's serve-latency record is gated structurally (clean,
-# well-formed, >= 8 clients) since absolute latency is machine-bound. The
-# fresh measurements land in bench-fresh.json, which CI uploads as a
-# workflow artifact.
+# The baseline's serve-latency and sharded-fusion records are gated
+# structurally (absolute numbers are machine-bound), and shard-count
+# independence is re-verified live at bench scale. The fresh measurements
+# land in bench-fresh.json, which CI uploads as a workflow artifact.
 bench-check:
-	$(GO) run ./cmd/kfbench -check BENCH_8.json -checkjson bench-fresh.json
+	$(GO) run ./cmd/kfbench -check BENCH_9.json -checkjson bench-fresh.json
 
 # bench-scaling mirrors the CI bench-scaling/scaling-check jobs locally: one
 # kfbench -scaling cell per GOMAXPROCS value, then the speedup gate — on a
@@ -78,3 +81,9 @@ bench-scaling:
 	GOMAXPROCS=2 $(GO) run ./cmd/kfbench -scaling bench-scaling-2.json
 	GOMAXPROCS=4 $(GO) run ./cmd/kfbench -scaling bench-scaling-4.json
 	$(GO) run ./cmd/kfbench -scalingcheck bench-scaling-1.json,bench-scaling-2.json,bench-scaling-4.json -minspeedup 1.5
+
+# docs-check resolves every package/symbol reference in README.md and
+# docs/*.md with `go doc`, failing on dangling references — the docs cannot
+# silently outlive a rename.
+docs-check:
+	./scripts/check-docs.sh

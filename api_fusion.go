@@ -3,7 +3,10 @@ package kfusion
 // Fusion surface: the paper's batch fusion methods over compiled claim
 // graphs, with their provenance granularities.
 
-import "kfusion/internal/fusion"
+import (
+	"kfusion/internal/fusion"
+	"kfusion/internal/shard"
+)
 
 // Fusion types.
 type (
@@ -49,6 +52,24 @@ var (
 	CompileWorkers = fusion.CompileWorkers
 	// MustCompile is Compile for callers without error plumbing.
 	MustCompile = fusion.MustCompile
+)
+
+// Sharded fusion: the paper's own MapReduce decomposition (§4) — partition
+// the corpus by data item into K self-contained shards and fuse them in
+// lockstep EM rounds with deterministic cross-shard merges. K=1 is
+// bit-identical to the unsharded engine; K>1 agrees within the documented
+// RefTol. See internal/shard for the merge contract.
+var (
+	// ShardOf reports which of k shards a data item routes to.
+	ShardOf = shard.Of
+	// SplitClaimsSharded partitions a claim set by data item into k slices.
+	SplitClaimsSharded = shard.SplitClaims
+	// SplitExtractionsSharded partitions an extraction set by data item.
+	SplitExtractionsSharded = shard.SplitExtractions
+	// FuseSharded runs one lockstep sharded fusion over per-shard compiled
+	// claim graphs (graphs[i] holding the claims whose items route to shard
+	// i), optionally warm-started from a previous result.
+	FuseSharded = shard.FuseShards
 )
 
 // Provenance granularities from the paper's experiments.

@@ -15,6 +15,7 @@ package kfusion
 import (
 	"kfusion/internal/extract"
 	"kfusion/internal/fusion"
+	"kfusion/internal/shard"
 	"kfusion/internal/twolayer"
 )
 
@@ -52,4 +53,35 @@ var (
 	// TwoLayerFuseCompiledWarm is TwoLayerFuseCompiled seeded from a
 	// previous generation's TwoLayerState.
 	TwoLayerFuseCompiledWarm = twolayer.FuseCompiledWarm
+)
+
+// Sharded streaming surface: grow K item-partitioned shards by appending
+// extraction batches (each shard's graph and dedup set stay self-contained
+// and bounded), fuse them in lockstep, and persist them one genstore state
+// directory per shard. See internal/shard and `kfuse -shards`.
+type (
+	// ShardedFusion is the K-shard claim-fusion coordinator: Append batches,
+	// then Fuse/FuseWarm in lockstep EM rounds.
+	ShardedFusion = shard.Fusion
+	// ShardedTwoLayer is the K-shard coordinator for the §5.1 two-layer
+	// model, with the cross-shard ghost-extractor corrections.
+	ShardedTwoLayer = shard.TwoLayer
+	// ShardStores bundles one durable genstore per shard with lockstep
+	// batch appends and crash-skew detection.
+	ShardStores = shard.Stores
+)
+
+var (
+	// NewShardedFusion returns an empty K-shard fusion pipeline.
+	NewShardedFusion = shard.NewFusion
+	// NewShardedFusionFromShards reassembles a coordinator over restored
+	// per-shard graphs (e.g. from ShardStores states).
+	NewShardedFusionFromShards = shard.NewFusionFromShards
+	// NewShardedTwoLayer returns an empty K-shard two-layer pipeline.
+	NewShardedTwoLayer = shard.NewTwoLayer
+	// OpenShardStores opens (or creates) the per-shard genstore directories
+	// under one state root, refusing crash-skewed layouts.
+	OpenShardStores = shard.OpenStores
+	// ShardStateDir names shard s's state directory under a root.
+	ShardStateDir = shard.ShardDir
 )

@@ -11,7 +11,8 @@
 //	kfbench -list                # list experiment IDs
 //	kfbench -benchjson FILE      # fusion throughput benchmarks as JSON
 //	kfbench -serve FILE          # kfserved read-path latency under load, merged into FILE
-//	kfbench -check BENCH_8.json  # CI perf-regression gate against a baseline
+//	kfbench -sharded FILE        # web-scale sharded fusion (10M+ claims), merged into FILE
+//	kfbench -check BENCH_9.json  # CI perf-regression gate against a baseline
 //	kfbench -scaling FILE        # parallel hot paths at the current GOMAXPROCS
 //	kfbench -scalingcheck A,B,C  # multi-core speedup gate over -scaling cells
 //
@@ -85,6 +86,10 @@ func main() {
 		serve      = flag.String("serve", "", "measure kfserved read-path latency under concurrent clients and merge the record into this BENCH json")
 		serveCli   = flag.Int("serveclients", 8, "with -serve: concurrent clients")
 		serveReqs  = flag.Int("servereqs", 1000, "with -serve: item reads per client")
+		sharded    = flag.String("sharded", "", "measure web-scale sharded fusion and merge the record into this BENCH json")
+		shardK     = flag.Int("shardk", 8, "with -sharded: shard count K")
+		shardTgt   = flag.Int("shardclaims", 10_000_000, "with -sharded: minimum feed size in extraction records")
+		shardFeed  = flag.String("shardfeed", "", "with -sharded: reuse/generate the feed at this path instead of a throwaway temp file")
 		scaling    = flag.String("scaling", "", "measure the parallel hot paths at the current GOMAXPROCS and write one JSON cell to this file")
 		scalingChk = flag.String("scalingcheck", "", "comma-separated -scaling cell files; exit non-zero if the top cell's gated speedups over the 1-core cell fall below -minspeedup")
 		minSpeedup = flag.Float64("minspeedup", 1.5, "with -scalingcheck: minimum claims/s speedup of the highest-GOMAXPROCS cell over the 1-core cell")
@@ -100,6 +105,13 @@ func main() {
 
 	if *serve != "" {
 		if err := runServeBench(*serve, *seed, *serveCli, *serveReqs); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *sharded != "" {
+		if err := runShardedBench(*sharded, *seed, *shardK, *shardTgt, *shardFeed); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -260,6 +272,10 @@ type benchFile struct {
 	// Serve is the kfserved read-path latency record (-serve); absolute
 	// and machine-dependent, so the -check gate validates its shape only.
 	Serve *serveRecord `json:"serve,omitempty"`
+	// Sharded is the web-scale sharded-fusion record (-sharded); absolute
+	// throughputs, so the -check gate validates shape and re-verifies
+	// shard-count independence live at bench scale.
+	Sharded *shardedRecord `json:"sharded,omitempty"`
 }
 
 // newBenchFile returns a benchFile stamped with this run's environment.
@@ -814,6 +830,31 @@ func runCheck(baselinePath, freshPath string, tol float64, seed int64) error {
 			baseline.Serve.Clients, baseline.Serve.P50Ms, baseline.Serve.P95Ms, baseline.Serve.P99Ms, baseline.Serve.RPS)
 	} else {
 		fmt.Println("  note     baseline has no serve record (predates -serve)")
+	}
+	// The sharded-fusion record is likewise absolute, so its baseline gate is
+	// structural — but shard-count independence is machine-free, so the gate
+	// re-verifies it live at bench scale: a K-shard coordinator must still
+	// reproduce the unsharded engine within RefTol. Baselines predating the
+	// record (BENCH_8 and older) pass with a note.
+	if baseline.Sharded != nil {
+		if err := checkShardedRecord(baseline.Sharded); err != nil {
+			return fmt.Errorf("sharded record gate: %w", err)
+		}
+		diff, err := shardedEquivDiff(bench, baseline.Sharded.EquivShards)
+		if err != nil {
+			return fmt.Errorf("live sharded equivalence (K=%d): %w", baseline.Sharded.EquivShards, err)
+		}
+		if diff > twolayer.RefTol {
+			return fmt.Errorf("live sharded equivalence (K=%d): max abs diff %.3g exceeds RefTol %.0g",
+				baseline.Sharded.EquivShards, diff, twolayer.RefTol)
+		}
+		fmt.Printf("  ok       sharded record: %d claims over %d shards (max shard %.1f%%), "+
+			"append %.0f fuse %.0f claims/s; live K=%d equivalence diff %.3g\n",
+			baseline.Sharded.Claims, baseline.Sharded.Shards, baseline.Sharded.MaxShardShare*100,
+			baseline.Sharded.AppendClaimsPerS, baseline.Sharded.FuseClaimsPerS,
+			baseline.Sharded.EquivShards, diff)
+	} else {
+		fmt.Println("  note     baseline has no sharded record (predates -sharded)")
 	}
 	if freshPath != "" {
 		if err := writeBenchFile(freshPath, fresh); err != nil {

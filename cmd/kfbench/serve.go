@@ -183,6 +183,7 @@ func loadOrNewBenchFile(path string, seed int64) (benchFile, error) {
 		out.Benchmarks[name] = rec
 	}
 	out.Serve = prev.Serve
+	out.Sharded = prev.Sharded
 	return out, nil
 }
 

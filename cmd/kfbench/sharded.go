@@ -1,0 +1,314 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"kfusion/internal/exper"
+	"kfusion/internal/fusion"
+	"kfusion/internal/kfio"
+	"kfusion/internal/shard"
+	"kfusion/internal/twolayer"
+)
+
+// shardedRecord is the web-scale sharded-fusion record (-sharded): a 10M+
+// claim corpus synthesized as independent crawl segments, streamed from disk
+// through a K-shard fusion coordinator, and fused with the lockstep
+// cross-shard EM. Throughputs are absolute and machine-dependent, so the
+// -check gate validates the record's shape (positive throughputs, balanced
+// shards, equivalence within RefTol) and re-verifies shard-count
+// independence live at bench scale — see checkShardedRecord.
+type shardedRecord struct {
+	// Shards is the coordinator's K.
+	Shards int `json:"shards"`
+	// Extractions and Claims are the corpus sizes: feed records read, and
+	// deduplicated (provenance, triple) claims across all shards.
+	Extractions int `json:"extractions"`
+	Claims      int `json:"claims"`
+	Provenances int `json:"provenances"`
+	Triples     int `json:"triples"`
+	Rounds      int `json:"rounds"`
+	// AppendClaimsPerS is claims per second through Fusion.Append (routing,
+	// per-shard dedup, graph compile/append), excluding feed decode;
+	// FuseClaimsPerS is claims per second through one cold lockstep Fuse.
+	AppendClaimsPerS float64 `json:"append_claims_per_s"`
+	FuseClaimsPerS   float64 `json:"fuse_claims_per_s"`
+	// GraphBytesTotal sums the shards' ApproxBytes; GraphBytesMaxShard is
+	// the largest single shard — the bounded per-shard working set a
+	// distributed deployment would hold per node. MaxShardShare is
+	// max/total.
+	GraphBytesTotal    int64   `json:"graph_bytes_total"`
+	GraphBytesMaxShard int64   `json:"graph_bytes_max_shard"`
+	MaxShardShare      float64 `json:"max_shard_share"`
+	// EquivShards and EquivMaxAbsDiff record the bench-scale equivalence
+	// measurement: the largest absolute difference of any triple
+	// probability or provenance accuracy between the unsharded engine and
+	// a K=EquivShards coordinator over the same corpus.
+	EquivShards     int     `json:"equiv_shards"`
+	EquivMaxAbsDiff float64 `json:"equiv_max_abs_diff"`
+}
+
+// runShardedBench measures web-scale sharded fusion and merges the record
+// into the benchFile at path (preserving -benchjson and -serve records).
+//
+// The corpus is synthesized as independent ScaleLarge crawl segments
+// (exper.SegmentExtractions) streamed to a JSONL feed until it holds at
+// least target extraction records, then read back in bounded chunks through
+// a K-shard coordinator — generation and replay memory stay bounded by one
+// segment and one chunk regardless of the corpus size. feedPath == ""
+// generates into a throwaway temp file; a non-empty feedPath is reused
+// across runs if it already exists (delete it to regenerate).
+func runShardedBench(path string, seed int64, k, target int, feedPath string) error {
+	out, err := loadOrNewBenchFile(path, seed)
+	if err != nil {
+		return err
+	}
+
+	// Bench-scale equivalence first: it is seconds-cheap and refuses to
+	// spend minutes on corpus generation if sharded fusion has drifted.
+	fmt.Fprintf(os.Stderr, "building bench dataset for the equivalence measurement...\n")
+	bench := exper.SharedDataset(exper.ScaleBench, seed)
+	const equivK = 4
+	diff, err := shardedEquivDiff(bench, equivK)
+	if err != nil {
+		return fmt.Errorf("sharded equivalence (K=%d): %w", equivK, err)
+	}
+	if diff > twolayer.RefTol {
+		return fmt.Errorf("sharded equivalence (K=%d): max abs diff %.3g exceeds RefTol %.0g", equivK, diff, twolayer.RefTol)
+	}
+	fmt.Fprintf(os.Stderr, "equivalence: K=%d vs unsharded max abs diff %.3g (RefTol %.0g)\n", equivK, diff, twolayer.RefTol)
+
+	cleanup := func() {}
+	if feedPath == "" {
+		feedPath = filepath.Join(os.TempDir(), fmt.Sprintf("kfbench-sharded-%d.jsonl", os.Getpid()))
+		cleanup = func() { os.Remove(feedPath) }
+	}
+	defer cleanup()
+	if _, err := os.Stat(feedPath); os.IsNotExist(err) {
+		if err := generateShardedFeed(feedPath, seed, target); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "reusing feed %s\n", feedPath)
+	}
+
+	rec, err := measureShardedFusion(feedPath, k)
+	if err != nil {
+		return err
+	}
+	rec.EquivShards = equivK
+	rec.EquivMaxAbsDiff = diff
+	out.Sharded = rec
+	return writeBenchFile(path, out)
+}
+
+// generateShardedFeed streams independent crawl segments into a JSONL feed
+// until it holds at least target extraction records. The write goes through
+// a temp file renamed into place, so a crashed generation never leaves a
+// half-feed to be mistaken for a complete one.
+func generateShardedFeed(path string, seed int64, target int) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp)
+	w := kfio.NewExtractionWriter(f)
+	start := time.Now()
+	for seg := 0; w.Count() < target; seg++ {
+		xs := exper.SegmentExtractions(seed, seg)
+		if err := w.WriteBatch(xs); err != nil {
+			f.Close()
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "generated segment %d: +%d extractions (%d/%d, %.0fs)\n",
+			seg, len(xs), w.Count(), target, time.Since(start).Seconds())
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// shardedChunk bounds how many feed records one Append batch carries; replay
+// memory beyond the shard graphs is one chunk of decoded records.
+const shardedChunk = 250_000
+
+// measureShardedFusion streams the feed through a fresh K-shard coordinator
+// (timing Append exclusive of feed decode), runs one cold lockstep Fuse, and
+// sizes the per-shard graphs.
+func measureShardedFusion(feedPath string, k int) (*shardedRecord, error) {
+	f, err := os.Open(feedPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := kfio.NewExtractionReader(f)
+
+	cfg := fusion.PopAccuConfig()
+	fus, err := shard.NewFusion(k, cfg.Granularity)
+	if err != nil {
+		return nil, err
+	}
+	extractions := 0
+	var appendWall time.Duration
+	for {
+		batch, err := r.ReadBatch(shardedChunk)
+		if err != nil && !errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("reading %s: %w", feedPath, err)
+		}
+		if len(batch) > 0 {
+			extractions += len(batch)
+			t0 := time.Now()
+			if aerr := fus.Append(batch); aerr != nil {
+				return nil, aerr
+			}
+			appendWall += time.Since(t0)
+			fmt.Fprintf(os.Stderr, "appended %d extractions -> %d claims across %d shards (%.0fs in Append)\n",
+				extractions, fus.NumClaims(), k, appendWall.Seconds())
+		}
+		if err != nil {
+			break // io.EOF after the last complete record
+		}
+	}
+	if fus.NumClaims() == 0 {
+		return nil, fmt.Errorf("feed %s holds no extraction records", feedPath)
+	}
+
+	fmt.Fprintf(os.Stderr, "fusing %d claims (K=%d, %s)...\n", fus.NumClaims(), k, cfg.Method)
+	t0 := time.Now()
+	res, err := fus.Fuse(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fuseWall := time.Since(t0)
+
+	var total, maxShard int64
+	for s := 0; s < k; s++ {
+		b := int64(fus.Shard(s).ApproxBytes())
+		total += b
+		if b > maxShard {
+			maxShard = b
+		}
+	}
+	rec := &shardedRecord{
+		Shards:             k,
+		Extractions:        extractions,
+		Claims:             fus.NumClaims(),
+		Provenances:        fus.NumProvenances(),
+		Triples:            len(res.Triples),
+		Rounds:             res.Rounds,
+		AppendClaimsPerS:   float64(fus.NumClaims()) / appendWall.Seconds(),
+		FuseClaimsPerS:     float64(fus.NumClaims()) / fuseWall.Seconds(),
+		GraphBytesTotal:    total,
+		GraphBytesMaxShard: maxShard,
+		MaxShardShare:      float64(maxShard) / float64(total),
+	}
+	fmt.Fprintf(os.Stderr, "sharded fusion: %d claims, %d rounds, append %.0f claims/s, fuse %.0f claims/s, "+
+		"graphs %.1f MB total, max shard %.1f MB (%.1f%%)\n",
+		rec.Claims, rec.Rounds, rec.AppendClaimsPerS, rec.FuseClaimsPerS,
+		float64(total)/1e6, float64(maxShard)/1e6, rec.MaxShardShare*100)
+	return rec, nil
+}
+
+// shardedEquivDiff fuses the bench corpus through the unsharded compiled
+// engine and a K-shard coordinator and returns the largest absolute
+// difference over triple probabilities and provenance accuracies. Integer
+// outputs (triple sets, support counts, rounds) must match exactly; a
+// mismatch is an error, not a diff.
+func shardedEquivDiff(bench *exper.Dataset, k int) (float64, error) {
+	cfg := fusion.PopAccuConfig()
+	want := bench.Compiled(cfg.Granularity).MustFuse(cfg)
+
+	fus, err := shard.NewFusion(k, cfg.Granularity)
+	if err != nil {
+		return 0, err
+	}
+	if err := fus.Append(bench.Extractions); err != nil {
+		return 0, err
+	}
+	got, err := fus.Fuse(cfg)
+	if err != nil {
+		return 0, err
+	}
+
+	if got.Rounds != want.Rounds || len(got.Triples) != len(want.Triples) {
+		return 0, fmt.Errorf("shape differs: rounds %d vs %d, triples %d vs %d",
+			got.Rounds, want.Rounds, len(got.Triples), len(want.Triples))
+	}
+	probs := make(map[string]float64, len(want.Triples))
+	for _, t := range want.Triples {
+		probs[t.Triple.Encode()] = t.Probability
+	}
+	diff := 0.0
+	for _, t := range got.Triples {
+		w, ok := probs[t.Triple.Encode()]
+		if !ok {
+			return 0, fmt.Errorf("sharded result fused triple %s the unsharded engine did not", t.Triple.Encode())
+		}
+		if d := math.Abs(t.Probability - w); d > diff {
+			diff = d
+		}
+	}
+	if len(got.ProvAccuracy) != len(want.ProvAccuracy) {
+		return 0, fmt.Errorf("provenance sets differ: %d vs %d", len(got.ProvAccuracy), len(want.ProvAccuracy))
+	}
+	for key, w := range want.ProvAccuracy {
+		g, ok := got.ProvAccuracy[key]
+		if !ok {
+			return 0, fmt.Errorf("provenance %q missing from the sharded result", key)
+		}
+		if d := math.Abs(g - w); d > diff {
+			diff = d
+		}
+	}
+	return diff, nil
+}
+
+// checkShardedRecord validates a baseline's sharded-fusion record. Absolute
+// throughputs vary by machine, so the gate enforces shape: a web-scale
+// corpus (>= 10M claims) actually partitioned (K >= 2, shards balanced
+// within 2x of even), positive throughputs, and a recorded equivalence
+// measurement within RefTol. The live shard-count-independence check runs
+// separately in runCheck.
+func checkShardedRecord(rec *shardedRecord) error {
+	if rec == nil {
+		return fmt.Errorf("baseline has no sharded record; regenerate it with -sharded")
+	}
+	if rec.Shards < 2 {
+		return fmt.Errorf("sharded record measured only %d shard(s); want >= 2", rec.Shards)
+	}
+	if rec.Claims < 10_000_000 {
+		return fmt.Errorf("sharded record covers %d claims; the web-scale measurement wants >= 10M", rec.Claims)
+	}
+	if rec.AppendClaimsPerS <= 0 || rec.FuseClaimsPerS <= 0 {
+		return fmt.Errorf("sharded record has non-positive throughput (append %.1f, fuse %.1f claims/s)",
+			rec.AppendClaimsPerS, rec.FuseClaimsPerS)
+	}
+	if rec.Rounds < 1 || rec.Triples <= 0 {
+		return fmt.Errorf("sharded record fused %d triples in %d rounds; want a non-trivial fusion", rec.Triples, rec.Rounds)
+	}
+	if rec.GraphBytesTotal <= 0 || rec.GraphBytesMaxShard <= 0 || rec.GraphBytesMaxShard > rec.GraphBytesTotal {
+		return fmt.Errorf("sharded graph sizes are inconsistent: max shard %d of total %d",
+			rec.GraphBytesMaxShard, rec.GraphBytesTotal)
+	}
+	if maxShare := 2.0 / float64(rec.Shards); rec.MaxShardShare > maxShare {
+		return fmt.Errorf("largest shard holds %.1f%% of the graph bytes across %d shards; "+
+			"want <= %.1f%% (2x even) — the item-hash routing has gone unbalanced",
+			rec.MaxShardShare*100, rec.Shards, maxShare*100)
+	}
+	if rec.EquivShards < 2 || rec.EquivMaxAbsDiff > twolayer.RefTol {
+		return fmt.Errorf("sharded equivalence measurement (K=%d, max abs diff %.3g) is missing or beyond RefTol %.0g",
+			rec.EquivShards, rec.EquivMaxAbsDiff, twolayer.RefTol)
+	}
+	return nil
+}

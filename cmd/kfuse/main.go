@@ -21,6 +21,16 @@
 // applied and the compiled graph is snapshotted at the end of the run, so a
 // crashed or killed run resumes exactly where it left off — the restarted
 // chain produces byte-identical fused output to an uninterrupted run.
+//
+// -shards K partitions the corpus by data item into K self-contained graphs
+// fused in lockstep with deterministic cross-shard merges (internal/shard):
+// each shard compiles, appends and fuses in bounded memory, which is what
+// holds a web-scale feed. K=1 is bit-identical to the unsharded pipeline;
+// K>1 agrees within the documented RefTol. With -append -state the state
+// directory holds one generation store per shard (DIR/shard-000 …); sharded
+// durable state supports the claim-layer methods (for twolayer, -shards
+// runs in memory only). See docs/OPERATIONS.md for the recovery ladder and
+// its one sharded caveat (the warm chain restarts from the last snapshot).
 package main
 
 import (
@@ -38,6 +48,7 @@ import (
 	"kfusion/internal/kbstore"
 	"kfusion/internal/kfio"
 	"kfusion/internal/multitruth"
+	"kfusion/internal/shard"
 	"kfusion/internal/twolayer"
 )
 
@@ -59,6 +70,7 @@ func main() {
 		appendM = flag.Bool("append", false, "stream the input in chunks over one growing graph (incremental compile + warm-start fusion)")
 		chunk   = flag.Int("chunk", 100000, "with -append: extractions per chunk")
 		state   = flag.String("state", "", "with -append: durable state directory (journal + snapshots; a restarted run resumes from it)")
+		shards  = flag.Int("shards", 1, "partition the corpus by data item into K lockstep-fused graphs (1 = unsharded)")
 	)
 	flag.Parse()
 
@@ -67,6 +79,9 @@ func main() {
 	}
 	if *state != "" && !*appendM {
 		log.Fatal("-state requires -append")
+	}
+	if *shards < 1 {
+		log.Fatalf("-shards must be >= 1, got %d", *shards)
 	}
 
 	var xs []extract.Extraction
@@ -108,6 +123,14 @@ func main() {
 		if *rounds > 0 {
 			tcfg.Rounds = *rounds
 		}
+		if *shards > 1 {
+			if *state != "" {
+				log.Fatal("-state with -shards supports the claim-layer methods only (twolayer state is not yet sharded)")
+			}
+			res, n := shardedTwoLayer(*in, xs, *appendM, *chunk, *shards, tcfg, *quiet)
+			writeResult(res, *out, *kbOut, *quiet, *method, n)
+			return
+		}
 		if *appendM {
 			res, n := appendTwoLayer(*in, *chunk, tcfg, *quiet, *state)
 			writeResult(res, *out, *kbOut, *quiet, *method, n)
@@ -122,6 +145,9 @@ func main() {
 	case "ltm":
 		if *appendM {
 			log.Fatal("-append is not supported with -method ltm")
+		}
+		if *shards > 1 {
+			log.Fatal("-shards is not supported with -method ltm")
 		}
 		mcfg := multitruth.DefaultConfig()
 		mcfg.Workers = *workers
@@ -183,6 +209,11 @@ func main() {
 	}
 	cfg.Workers = *workers
 
+	if *shards > 1 {
+		res, n := shardedFuse(*in, xs, *appendM, *chunk, *shards, cfg, *quiet, *state, *method)
+		writeResult(res, *out, *kbOut, *quiet, *method, n)
+		return
+	}
 	if *appendM {
 		res, n := appendFuse(*in, *chunk, cfg, *quiet, *state, *method)
 		writeResult(res, *out, *kbOut, *quiet, *method, n)
@@ -200,6 +231,258 @@ func main() {
 			*method, len(xs), len(claims), cfg.Granularity)
 	}
 	writeResult(res, *out, *kbOut, *quiet, *method, len(xs))
+}
+
+// shardedFuse is the -shards driver for the claim-layer methods. One-shot
+// mode routes the loaded corpus through a K-shard coordinator; -append
+// streams the feed in chunks, fusing after each with a warm start from the
+// previous chunk's merged result. With -state the graphs persist in one
+// generation store per shard (shard.Stores): batches journal before they
+// apply, graphs snapshot at the end, and a restarted run resumes the graphs
+// bit-identically — the warm chain itself restarts from the last snapshot's
+// merged result (see docs/OPERATIONS.md).
+func shardedFuse(in string, xs []extract.Extraction, appendM bool, chunk, k int,
+	cfg fusion.Config, quiet bool, stateDir, method string) (*fusion.Result, int) {
+	if !appendM {
+		f, err := shard.NewFusion(k, cfg.Granularity)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Append(xs); err != nil {
+			log.Fatal(err)
+		}
+		res, err := f.Fuse(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !quiet {
+			fmt.Printf("method %s over %d extractions (%d claims at %s granularity, %d shards)\n",
+				method, len(xs), f.NumClaims(), cfg.Granularity, k)
+		}
+		return res, len(xs)
+	}
+
+	if stateDir == "" {
+		f, err := shard.NewFusion(k, cfg.Granularity)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var prev *fusion.Result
+		n := streamChunks(in, chunk, 0, func(batch []extract.Extraction) error {
+			t0 := time.Now()
+			if err := f.Append(batch); err != nil {
+				return err
+			}
+			res, err := f.FuseWarm(cfg, prev)
+			if err != nil {
+				return err
+			}
+			prev = res
+			if !quiet {
+				fmt.Printf("chunk: +%d extractions -> %d claims, %d triples, %d rounds (%d shards, %v)\n",
+					len(batch), f.NumClaims(), len(res.Triples), res.Rounds, k, time.Since(t0).Round(time.Millisecond))
+			}
+			return nil
+		})
+		if prev == nil {
+			log.Fatal("no extractions fused: input is empty or ends mid-record before its first complete chunk")
+		}
+		return prev, n
+	}
+
+	// Durable sharded chain: the apply function rebuilds each shard's graph
+	// (live appends and journal replay run the identical code); fusion is
+	// coordinator-level, outside the per-shard apply.
+	streams := make(map[*genstore.State]*fusion.ClaimStream)
+	apply := func(st *genstore.State, batch []extract.Extraction) error {
+		stream := streams[st]
+		if stream == nil {
+			if st.Claim != nil {
+				stream = fusion.SeedClaimStream(cfg.Granularity, st.Claim)
+			} else {
+				stream = fusion.NewClaimStream(cfg.Granularity)
+			}
+			streams[st] = stream
+		}
+		claims := stream.Add(batch)
+		if st.Claim == nil {
+			st.Claim = fusion.MustCompile(claims)
+		} else {
+			st.Claim = st.Claim.MustAppend(claims)
+		}
+		st.Method = method
+		st.Gran = cfg.Granularity
+		return nil
+	}
+	stores, states, err := shard.OpenStores(stateDir, k, apply)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stores.Close()
+	for _, d := range stores.Degradations() {
+		log.Printf("state recovery: %s", d)
+	}
+	for s, st := range states {
+		if st.Method != "" && st.Method != method {
+			log.Fatalf("shard %d state holds method %q, running %q", s, st.Method, method)
+		}
+		if st.Claim != nil && st.Gran != cfg.Granularity {
+			log.Fatalf("shard %d state holds granularity %s, running %s", s, st.Gran, cfg.Granularity)
+		}
+	}
+	prev := states[0].Result // persisted merged result, the warm seed
+	graphs := func() []*fusion.Compiled {
+		gs := make([]*fusion.Compiled, k)
+		for s, st := range states {
+			gs[s] = st.Claim
+		}
+		return gs
+	}
+	fused := false
+	streamChunks(in, chunk, shard.Consumed(states), func(batch []extract.Extraction) error {
+		t0 := time.Now()
+		if err := stores.Append(states, batch); err != nil {
+			return err
+		}
+		res, err := shard.FuseShards(graphs(), cfg, prev)
+		if err != nil {
+			return err
+		}
+		prev = res
+		fused = true
+		if !quiet {
+			fmt.Printf("chunk %d: +%d extractions -> %d triples, %d rounds (%d shards, %v)\n",
+				states[0].Batches-1, len(batch), len(res.Triples), res.Rounds, k, time.Since(t0).Round(time.Millisecond))
+		}
+		return nil
+	})
+	if prev != nil && !fused && staleResult(prev, graphs()) {
+		// Crash window: journal replay advanced the graphs past the last
+		// snapshot's merged result and the feed brought nothing new to
+		// trigger a fuse. Re-fuse so the output covers the replayed batches;
+		// a clean rerun (counts agree) reuses the stored result byte-for-byte.
+		res, err := shard.FuseShards(graphs(), cfg, prev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prev = res
+	}
+	if prev == nil {
+		log.Fatal("no extractions fused: input is empty or ends mid-record before its first complete chunk")
+	}
+	states[0].Result = prev
+	if err := stores.Snapshot(states); err != nil {
+		log.Fatal(err)
+	}
+	return prev, shard.Consumed(states)
+}
+
+// staleResult reports whether a persisted merged result no longer covers the
+// recovered graphs — the signature of a crash after journaled appends but
+// before the end-of-run snapshot. Triple and provenance counts only grow, so
+// a mismatch is conclusive; equality can in principle miss a replayed batch
+// of purely duplicate-shape claims, which perturbs accuracies but not the
+// covered sets.
+func staleResult(res *fusion.Result, graphs []*fusion.Compiled) bool {
+	triples, provs := 0, make(map[string]bool, len(res.ProvAccuracy))
+	for _, g := range graphs {
+		if g == nil {
+			continue
+		}
+		triples += g.NumTriples()
+		for p := 0; p < g.NumProvenances(); p++ {
+			provs[g.ProvKey(p)] = true
+		}
+	}
+	return triples != len(res.Triples) || len(provs) != len(res.ProvAccuracy)
+}
+
+// shardedTwoLayer is the -shards driver for the §5.1 two-layer model
+// (in-memory: sharded two-layer state persistence is not yet supported).
+func shardedTwoLayer(in string, xs []extract.Extraction, appendM bool, chunk, k int,
+	cfg twolayer.Config, quiet bool) (*fusion.Result, int) {
+	tl, err := shard.NewTwoLayer(k, cfg.SiteLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !appendM {
+		tl.Append(xs)
+		res, _, err := tl.Fuse(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !quiet {
+			fmt.Printf("method twolayer over %d extractions (%d statements, %d shards)\n",
+				len(xs), tl.NumStatements(), k)
+		}
+		return res, len(xs)
+	}
+	var res *fusion.Result
+	var warm *twolayer.State
+	n := streamChunks(in, chunk, 0, func(batch []extract.Extraction) error {
+		t0 := time.Now()
+		tl.Append(batch)
+		r, st, err := tl.FuseWarm(cfg, warm)
+		if err != nil {
+			return err
+		}
+		res, warm = r, st
+		if !quiet {
+			fmt.Printf("chunk: +%d extractions -> %d statements, %d triples, %d rounds (%d shards, %v)\n",
+				len(batch), tl.NumStatements(), len(r.Triples), r.Rounds, k, time.Since(t0).Round(time.Millisecond))
+		}
+		return nil
+	})
+	if res == nil {
+		log.Fatal("no extractions fused: input is empty or ends mid-record before its first complete chunk")
+	}
+	return res, n
+}
+
+// streamChunks reads the feed in chunk-sized batches, skipping the first
+// skip records (already consumed by a resumed state), and hands each
+// complete batch to fn. A partial final line — a producer appending right
+// now — ends the run cleanly after the last complete chunk, deferring the
+// incomplete chunk's records to the next run so re-chunking stays identical.
+// It returns the total records consumed including the skipped prefix.
+func streamChunks(in string, chunk, skip int, fn func([]extract.Extraction) error) int {
+	f, err := os.Open(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r := kfio.NewExtractionReader(f)
+	for i := 0; i < skip; i++ {
+		if _, err := r.Next(); err != nil {
+			log.Fatalf("state has consumed %d records but the feed ends after %d: %v", skip, i, err)
+		}
+	}
+	consumed := skip
+	for {
+		batch, rerr := r.ReadBatch(chunk)
+		var partial *kfio.ErrPartialLine
+		isPartial := errors.As(rerr, &partial)
+		if rerr != nil && !errors.Is(rerr, io.EOF) && !isPartial {
+			log.Fatal(rerr)
+		}
+		if isPartial {
+			if len(batch) > 0 {
+				log.Printf("feed ends mid-record at byte %d; deferring %d complete records so the next run re-chunks them identically",
+					partial.Offset, len(batch))
+			}
+			log.Printf("stopping after %d complete records (rerun to pick up the rest)", consumed)
+			return consumed
+		}
+		if len(batch) > 0 {
+			if err := fn(batch); err != nil {
+				log.Fatal(err)
+			}
+			consumed += len(batch)
+		}
+		if errors.Is(rerr, io.EOF) {
+			return consumed
+		}
+	}
 }
 
 // appendFuse is the streaming driver for the single-truth methods: chunks

@@ -64,6 +64,14 @@ func SpanBlocks(start []int32) []Block {
 // O(log n) error growth instead of left-to-right's O(n) — and because the
 // tree never depends on scheduling, folding the same partials always
 // produces the same bits. An empty slice returns the zero value.
+//
+// The same contract extends across process-shaped boundaries: internal/shard
+// merges per-shard EM partials (per-provenance sums, per-source evidence,
+// per-extractor [4]float64 totals) by folding the shard partials in shard
+// order with this tree, so a sharded merge is as deterministic — and as
+// shard-count-dependent in its low-order bits — as the in-graph block
+// reductions are worker-count-independent. A single-shard fold is the
+// identity, which is what makes K=1 bit-identical to the unsharded engines.
 func Pairwise[T any](parts []T, add func(a, b T) T) T {
 	switch len(parts) {
 	case 0:
@@ -77,3 +85,7 @@ func Pairwise[T any](parts []T, add func(a, b T) T) T {
 	h := len(parts) / 2
 	return add(Pairwise(parts[:h], add), Pairwise(parts[h:], add))
 }
+
+// AddFloat64 is the scalar fold operator for Pairwise over plain float64
+// partials (e.g. the cross-shard merge of per-group sums).
+func AddFloat64(a, b float64) float64 { return a + b }

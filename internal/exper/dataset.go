@@ -154,9 +154,9 @@ func (c *onceCell[T]) Get(build func() T) T {
 	return c.val
 }
 
-// NewDataset builds a dataset at the given scale and seed, deterministic per
-// (scale, seed).
-func NewDataset(scale Scale, seed int64) *Dataset {
+// scaleConfigs maps a Scale to its world and corpus generator configs —
+// the single definition NewDataset and SegmentExtractions share.
+func scaleConfigs(scale Scale, seed int64) (world.Config, web.Config) {
 	wcfg := world.DefaultConfig(seed)
 	ccfg := web.DefaultConfig(seed + 1)
 	switch scale {
@@ -169,6 +169,29 @@ func NewDataset(scale Scale, seed int64) *Dataset {
 		ccfg = web.BenchConfig(seed + 1)
 		ccfg.NumSites = 8000
 	}
+	return wcfg, ccfg
+}
+
+// SegmentExtractions generates segment i of a web-scale extraction feed: one
+// ScaleLarge-sized world and crawl at a segment-derived seed, extracted and
+// returned without building Dataset caches or a gold standard. Web-scale
+// corpora (tens of millions of claims) are synthesized as a sequence of such
+// segments streamed to disk — each segment is an independent crawl slice, so
+// generation memory stays bounded by one segment regardless of the corpus
+// target. Deterministic per (seed, segment); distinct segments use distinct
+// seeds, so their worlds (and hence claims) are almost entirely disjoint.
+func SegmentExtractions(seed int64, segment int) []extract.Extraction {
+	s := seed + int64(segment)*1_000_003
+	wcfg, ccfg := scaleConfigs(ScaleLarge, s)
+	w := world.MustGenerate(wcfg)
+	corpus := web.MustGenerate(w, ccfg)
+	return extract.NewSuite(w, s+2).Run(w, corpus)
+}
+
+// NewDataset builds a dataset at the given scale and seed, deterministic per
+// (scale, seed).
+func NewDataset(scale Scale, seed int64) *Dataset {
+	wcfg, ccfg := scaleConfigs(scale, seed)
 	w := world.MustGenerate(wcfg)
 	corpus := web.MustGenerate(w, ccfg)
 	suite := extract.NewSuite(w, seed+2)

@@ -1,0 +1,120 @@
+package extract
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"kfusion/internal/kb"
+)
+
+func tripleFor(subj, pred, obj string) kb.Triple {
+	return kb.Triple{
+		Subject:   kb.EntityID(subj),
+		Predicate: kb.PredicateID(pred),
+		Object:    kb.StringObject(obj),
+	}
+}
+
+// TestItemComponentsEmpty: no extractions, no components.
+func TestItemComponentsEmpty(t *testing.T) {
+	if got := ItemComponents(nil); got != nil {
+		t.Fatalf("ItemComponents(nil) = %v, want nil", got)
+	}
+	if got := ItemComponents([]Extraction{}); got != nil {
+		t.Fatalf("ItemComponents(empty) = %v, want nil", got)
+	}
+}
+
+// TestItemComponentsSingletons: every extraction names a distinct item, so
+// every component is a singleton, in input order.
+func TestItemComponentsSingletons(t *testing.T) {
+	xs := make([]Extraction, 16)
+	for i := range xs {
+		xs[i] = Extraction{
+			Triple:    tripleFor(fmt.Sprintf("s%d", i), "/p/only", "v"),
+			Extractor: "E1",
+			URL:       "http://a/1",
+			Site:      "a",
+		}
+	}
+	comps := ItemComponents(xs)
+	if len(comps) != len(xs) {
+		t.Fatalf("got %d components, want %d singletons", len(comps), len(xs))
+	}
+	for i, c := range comps {
+		if c.Item != xs[i].Triple.Item() {
+			t.Fatalf("component %d item = %v, want %v (first-occurrence order)", i, c.Item, xs[i].Triple.Item())
+		}
+		if !reflect.DeepEqual(c.Extractions, []int{i}) {
+			t.Fatalf("component %d extractions = %v, want [%d]", i, c.Extractions, i)
+		}
+	}
+}
+
+// TestItemComponentsGiant: every extraction names the same item — one giant
+// component holding every index in input order, regardless of object value,
+// extractor, or source.
+func TestItemComponentsGiant(t *testing.T) {
+	xs := make([]Extraction, 64)
+	want := make([]int, len(xs))
+	for i := range xs {
+		xs[i] = Extraction{
+			Triple:    tripleFor("s", "/p/giant", fmt.Sprintf("v%d", i%7)),
+			Extractor: fmt.Sprintf("E%d", i%3),
+			URL:       fmt.Sprintf("http://site%d/p", i%5),
+			Site:      fmt.Sprintf("site%d", i%5),
+		}
+		want[i] = i
+	}
+	comps := ItemComponents(xs)
+	if len(comps) != 1 {
+		t.Fatalf("got %d components, want 1 giant component", len(comps))
+	}
+	if comps[0].Item != xs[0].Triple.Item() {
+		t.Fatalf("component item = %v, want %v", comps[0].Item, xs[0].Triple.Item())
+	}
+	if !reflect.DeepEqual(comps[0].Extractions, want) {
+		t.Fatalf("giant component does not hold every index in order: %v", comps[0].Extractions)
+	}
+}
+
+// TestItemComponentsPartition: on a random mixed stream the components form
+// an exact partition — every index appears exactly once, each component's
+// indices all share its item, components are in first-occurrence order, and
+// indices within a component stay in input order.
+func TestItemComponentsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := randomExtractions(rng, 2000)
+	comps := ItemComponents(xs)
+
+	seen := make(map[int]bool, len(xs))
+	firstSeen := -1
+	for ci, c := range comps {
+		if len(c.Extractions) == 0 {
+			t.Fatalf("component %d is empty", ci)
+		}
+		if c.Extractions[0] <= firstSeen {
+			t.Fatalf("component %d first index %d out of first-occurrence order", ci, c.Extractions[0])
+		}
+		firstSeen = c.Extractions[0]
+		prev := -1
+		for _, i := range c.Extractions {
+			if i <= prev {
+				t.Fatalf("component %d indices out of input order: %v", ci, c.Extractions)
+			}
+			prev = i
+			if seen[i] {
+				t.Fatalf("index %d appears in two components", i)
+			}
+			seen[i] = true
+			if xs[i].Triple.Item() != c.Item {
+				t.Fatalf("index %d item %v placed in component for %v", i, xs[i].Triple.Item(), c.Item)
+			}
+		}
+	}
+	if len(seen) != len(xs) {
+		t.Fatalf("partition covers %d of %d extractions", len(seen), len(xs))
+	}
+}

@@ -258,13 +258,27 @@ func (e *engine) run() *Result {
 // the fraction of its gold-labeled claims that are true, at the configured
 // label sampling rate. Provenances with no labeled claims keep the default.
 func (e *engine) initFromGold() {
+	trueN, labeled := e.goldCounts()
+	for p := range labeled {
+		if labeled[p] == 0 {
+			continue
+		}
+		e.provAcc[p] = GoldInitAccuracy(int64(trueN[p]), int64(labeled[p]))
+		e.provDefault[p] = false
+	}
+}
+
+// goldCounts tallies each provenance's (true, labeled) gold-claim counts at
+// the configured sampling rate. Counts are integers, so cross-shard merges
+// in internal/shard sum them exactly.
+func (e *engine) goldCounts() (trueN, labeled []int32) {
 	rate := e.cfg.GoldSampleRate
 	if rate == 0 {
 		rate = 1
 	}
 	nProvs := len(e.g.provKeys)
-	trueN := make([]int32, nProvs)
-	labeled := make([]int32, nProvs)
+	trueN = make([]int32, nProvs)
+	labeled = make([]int32, nProvs)
 	for i := range e.g.claims {
 		c := &e.g.claims[i]
 		label, ok := e.cfg.GoldLabeler(c.Triple)
@@ -284,13 +298,16 @@ func (e *engine) initFromGold() {
 			trueN[p]++
 		}
 	}
-	for p := 0; p < nProvs; p++ {
-		if labeled[p] == 0 {
-			continue
-		}
-		e.provAcc[p] = clampAcc(float64(trueN[p]) / float64(labeled[p]))
-		e.provDefault[p] = false
-	}
+	return trueN, labeled
+}
+
+// GoldInitAccuracy is the §4.3.3 initialization formula: the clamped
+// fraction of a provenance's labeled claims that are true. Exported so the
+// sharded coordinator applies the identical expression to merged counts
+// (int64 so cross-shard sums cannot wrap; a single shard's int32 counts
+// convert losslessly).
+func GoldInitAccuracy(trueN, labeled int64) float64 {
+	return clampAcc(float64(trueN) / float64(labeled))
 }
 
 // parallelRange splits [0,n) across the engine's workers and waits (see
@@ -525,23 +542,11 @@ func (e *engine) stageII(round int) float64 {
 	e.parallelRange(len(g.provKeys), func(w, lo, hi int) {
 		maxDelta := 0.0
 		for p := lo; p < hi; p++ {
-			sum := 0.0
-			cnt := 0
-			for _, c := range g.provClaims[g.provClaimStart[p]:g.provClaimStart[p+1]] {
-				if e.claimStamp[c] == stamp {
-					sum += e.claimProb[c]
-					cnt++
-				}
-			}
+			sum, cnt := e.provStat(int32(p), stamp)
 			if cnt == 0 {
 				continue // never scored: keeps the default accuracy
 			}
-			var acc float64
-			if cnt > e.cfg.SampleL {
-				acc = e.sampleProbsMean(int32(p), stamp)
-			} else {
-				acc = sum / float64(cnt)
-			}
+			acc := sum / float64(cnt)
 			if d := math.Abs(e.provAcc[p] - acc); d > maxDelta {
 				maxDelta = d
 			}
@@ -625,9 +630,35 @@ func (e *engine) sampleClaims(item kb.DataItem, claims []int32) []int32 {
 	return r.Items()
 }
 
-// sampleProbsMean is stage II's L sampling: a deterministic reservoir over
-// one provenance's scored probabilities, in compiled claim order.
-func (e *engine) sampleProbsMean(p, stamp int32) float64 {
+// provStat computes one provenance's stage-II statistic over its claims
+// scored at stamp: the probability sum and count, in compiled claim-span
+// order. When the scored span exceeds SampleL it switches to the paper's
+// deterministic reservoir sample (sampleProbsSum), so the returned count is
+// the reservoir size; either way the re-estimated accuracy is exactly
+// sum/cnt. The (sum, cnt) pair is also the cross-shard merge unit of
+// internal/shard — partials from shards holding slices of one provenance
+// add before the final division.
+func (e *engine) provStat(p, stamp int32) (float64, int32) {
+	g := e.g
+	sum := 0.0
+	cnt := int32(0)
+	for _, c := range g.provClaims[g.provClaimStart[p]:g.provClaimStart[p+1]] {
+		if e.claimStamp[c] == stamp {
+			//lint:ignore kflint/floatsum one provenance's partial over its compiled CSR claim span in ascending ID order — the per-group partial the shard merge folds with csr.Pairwise; addition order is identical across runs.
+			sum += e.claimProb[c]
+			cnt++
+		}
+	}
+	if int(cnt) > e.cfg.SampleL {
+		return e.sampleProbsSum(p, stamp)
+	}
+	return sum, cnt
+}
+
+// sampleProbsSum is stage II's L sampling: a deterministic reservoir over
+// one provenance's scored probabilities, in compiled claim order. Returns
+// the reservoir's sum and size.
+func (e *engine) sampleProbsSum(p, stamp int32) (float64, int32) {
 	g := e.g
 	src := randx.New(e.cfg.SampleSeed ^ int64(mapreduce.StringHash(g.provKeys[p])))
 	r := randx.NewReservoir[float64](e.cfg.SampleL, src)
@@ -641,7 +672,7 @@ func (e *engine) sampleProbsMean(p, stamp int32) float64 {
 		//lint:ignore kflint/floatsum the reservoir holds at most SampleL values in an order fixed by the per-provenance seed; the sum is tiny and bit-identical across runs.
 		sum += v
 	}
-	return sum / float64(len(r.Items()))
+	return sum, int32(len(r.Items()))
 }
 
 func claimIndexes(n int) []int32 {

@@ -1,0 +1,39 @@
+package fusion
+
+import (
+	"fmt"
+	"testing"
+
+	"kfusion/internal/kb"
+)
+
+// TestApproxBytes pins the accounting walk's basic sanity: deterministic,
+// growing with the corpus, and roughly linear in claim count.
+func TestApproxBytes(t *testing.T) {
+	mk := func(n int) *Compiled {
+		claims := make([]Claim, n)
+		for i := range claims {
+			claims[i] = Claim{
+				Triple: kb.Triple{
+					Subject:   kb.EntityID(fmt.Sprintf("s%d", i%50)),
+					Predicate: "/p/x",
+					Object:    kb.StringObject(fmt.Sprintf("v%d", i%7)),
+				},
+				Prov: fmt.Sprintf("E%d|url%d", i%5, i%90),
+				Conf: -1,
+			}
+		}
+		return MustCompile(claims)
+	}
+	small, big := mk(200), mk(2000)
+	a, b := small.ApproxBytes(), big.ApproxBytes()
+	if a <= 0 || b <= 0 {
+		t.Fatalf("non-positive sizes: %d, %d", a, b)
+	}
+	if b <= a {
+		t.Fatalf("10x corpus not larger: %d vs %d", a, b)
+	}
+	if got := small.ApproxBytes(); got != a {
+		t.Fatalf("not deterministic: %d then %d", a, got)
+	}
+}

@@ -1,0 +1,105 @@
+package fusion
+
+// The stepping fusion API: internal/shard drives one Run per shard in
+// lockstep rounds, merging the per-provenance stage-II partials across
+// shards between StageI calls. A Run is exactly the compiled engine with
+// its round loop turned inside out — the same newEngine state, the same
+// stageI/stageIII passes, and stage II split into its statistic
+// (ProvPartials, the engine's provStat over every provenance) and its
+// update (applied by the coordinator and broadcast back through
+// SetProvAccuracy). Driving a single Run with the unsharded loop order is
+// therefore bit-identical to (*Compiled).Fuse — the K=1 anchor of the
+// shard-count-independence property tests.
+
+// Run is an open-loop fusion over one compiled graph: the caller sequences
+// the EM stages instead of (*Compiled).Fuse's internal loop. Not safe for
+// concurrent use; one Run per goroutine.
+type Run struct {
+	e         *engine
+	lastStamp int32
+}
+
+// NewRun builds the stepping engine for one fusion configuration. The
+// OnRound hook is not supported in stepping mode (per-shard rounds are
+// partial views; the coordinator owns the global round).
+func (c *Compiled) NewRun(cfg Config) (*Run, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 1e-4
+	}
+	cfg.OnRound = nil
+	return &Run{e: newEngine(c.g, cfg), lastStamp: 1}, nil
+}
+
+// NumProvenances reports the graph's provenance count — the length
+// ProvPartials and GoldCounts results are indexed by.
+func (r *Run) NumProvenances() int { return len(r.e.g.provKeys) }
+
+// ProvKey names a local provenance; coordinators use it to build the
+// cross-shard provenance table.
+func (r *Run) ProvKey(p int32) string { return r.e.g.provKeys[p] }
+
+// Epsilon is the run's effective convergence threshold (the configured one,
+// or the engine default) — coordinators test the merged delta against it.
+func (r *Run) Epsilon() float64 { return r.e.cfg.Epsilon }
+
+// GoldCounts tallies the §4.3.3 per-provenance (true, labeled) gold counts,
+// or (nil, nil) when no GoldLabeler is configured. Counts are integers;
+// summing them across shards and applying GoldInitAccuracy reproduces the
+// unsharded initialization exactly.
+func (r *Run) GoldCounts() (trueN, labeled []int32) {
+	if r.e.cfg.GoldLabeler == nil {
+		return nil, nil
+	}
+	return r.e.goldCounts()
+}
+
+// SetProvAccuracy installs a provenance accuracy and marks the provenance
+// evaluated (for the §4.3.2 coverage filter) — the broadcast half of the
+// cross-shard stage-II merge, also used to seed gold-initialized and
+// warm-started accuracies.
+func (r *Run) SetProvAccuracy(p int32, acc float64) {
+	r.e.provAcc[p] = acc
+	r.e.provDefault[p] = false
+}
+
+// StageI scores every data item with the current provenance accuracies as
+// EM round `round` (0-based) and remembers the round's stamp for Finish.
+func (r *Run) StageI(round int) {
+	r.e.stageI(round)
+	r.lastStamp = int32(round + 1)
+}
+
+// ProvPartials writes each provenance's stage-II statistic for `round` —
+// the (probability sum, scored-claim count) pair whose quotient is the
+// re-estimated accuracy — into sums and cnts (each of length
+// NumProvenances). cnts[p] == 0 means provenance p scored no claims this
+// round and must keep its current accuracy. Provenances above SampleL
+// report their deterministic reservoir sample instead, so a provenance
+// split across shards samples per shard — a documented K>1 divergence
+// (never reached at the default SampleL).
+func (r *Run) ProvPartials(round int, sums []float64, cnts []int32) {
+	e := r.e
+	stamp := int32(round + 1)
+	e.parallelRange(len(e.g.provKeys), func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			sums[p], cnts[p] = e.provStat(int32(p), stamp)
+		}
+	})
+}
+
+// Finish runs stage III against the last StageI's stamp and returns the
+// shard's result: fused triples in compiled order, Unpredicted counted, the
+// local provenance-accuracy map, and Rounds as given (the coordinator's
+// global round count).
+func (r *Run) Finish(rounds int) *Result {
+	res := r.e.stageIII(r.lastStamp)
+	res.Rounds = rounds
+	res.ProvAccuracy = make(map[string]float64, len(r.e.g.provKeys))
+	for p, key := range r.e.g.provKeys {
+		res.ProvAccuracy[key] = r.e.provAcc[p]
+	}
+	return res
+}

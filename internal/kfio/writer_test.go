@@ -1,0 +1,58 @@
+package kfio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestExtractionWriterMatchesWriteExtractions: the streaming writer emits
+// byte-identical JSONL to the one-shot WriteExtractions, whether records go
+// one at a time or in batches.
+func TestExtractionWriterMatchesWriteExtractions(t *testing.T) {
+	xs := sampleExtractions()
+	var want bytes.Buffer
+	if err := WriteExtractions(&want, xs); err != nil {
+		t.Fatal(err)
+	}
+
+	var one bytes.Buffer
+	w := NewExtractionWriter(&one)
+	for _, x := range xs {
+		if err := w.Write(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), one.Bytes()) {
+		t.Fatalf("per-record stream differs from WriteExtractions:\n%q\nvs\n%q", one.Bytes(), want.Bytes())
+	}
+	if w.Count() != len(xs) {
+		t.Fatalf("Count = %d, want %d", w.Count(), len(xs))
+	}
+
+	var batched bytes.Buffer
+	bw := NewExtractionWriter(&batched)
+	if err := bw.WriteBatch(xs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WriteBatch(xs[2:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), batched.Bytes()) {
+		t.Fatal("batched stream differs from WriteExtractions")
+	}
+
+	// And the reader round-trips it.
+	got, err := ReadExtractions(&one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(xs) {
+		t.Fatalf("round trip: %d records, want %d", len(got), len(xs))
+	}
+}

@@ -1,0 +1,66 @@
+// Package shard partitions the fusion pipeline by data item — the paper's
+// own MapReduce decomposition (§4: items are independent in Stage I and
+// Stage III; only the per-provenance accuracy re-estimation of Stage II
+// crosses items). Each of K shards owns a self-contained slice of the
+// corpus: extractions route by kb.DataItem.Hash (every extraction of one
+// item lands in one shard, so triples, statements, candidate lists and the
+// (provenance, triple) claim dedup are all shard-local), and each shard
+// compiles, appends and fuses over its own fusion.Compiled /
+// extract.Compiled handle in bounded memory.
+//
+// # Lockstep EM with deterministic cross-shard merges
+//
+// Running K independent EM loops would let per-provenance accuracies drift
+// apart; instead the coordinators (Fusion, TwoLayer) drive the per-shard
+// stepping engines (fusion.Run, twolayer.Run) in lockstep rounds:
+//
+//  1. Every shard runs its item-local E-step(s) with the current GLOBAL
+//     parameters.
+//  2. Every shard reports M-step partials — per-provenance (sum, count),
+//     per-source (num, den), per-extractor [4]float64 evidence — indexed by
+//     a global table built in (shard, first-occurrence) order.
+//  3. The coordinator folds each entity's shard partials with csr.Pairwise
+//     in shard order — the same fixed-tree contract the in-graph block
+//     reductions use, extended across shard boundaries — applies the
+//     engines' own exported update formulas (fusion.GoldInitAccuracy,
+//     twolayer.SourceAccuracyUpdate/RecallUpdate/FalsePosUpdate), and
+//     broadcasts the merged parameters back to every shard.
+//
+// The two-layer model has one genuinely cross-shard structure: a source's
+// extractor set. A statement's layer-1 walk covers every extractor that
+// processed its source, but a shard only sees the local ones; the remote
+// ones are structural misses there (their hits route with their own items),
+// so each round the coordinator folds them into a per-source ghost-miss
+// constant (twolayer.MissLogRatio over global rates, summed in ascending
+// global extractor ID order) that the shard engine adds to each statement's
+// prior. The same pairs owe M-step mass: an extractor covers every
+// statement of every source it processed, so for each (shard, source) it
+// touched only remotely it contributes the source's local statements as
+// all-miss evidence — [stated, unstated, 0, 0] ghost partials folded into
+// its merged extractor totals.
+//
+// # Equivalence policy
+//
+// K = 1 is bit-identical to the unsharded engines: one shard receives the
+// identical stream, the single-element Pairwise fold is the identity, the
+// ghost sets are empty (nil — the engine adds nothing), and the update
+// formulas are the same code. The property tests pin this bitwise.
+//
+// K > 1 re-groups cross-shard float sums (a provenance's claims now add
+// shard-by-shard before the final division) — exactly the perturbation the
+// twolayer.RefTol policy already prices for the in-graph block reductions,
+// and the same documented bound applies: float outputs (probabilities,
+// accuracies, all in [0,1]) agree within RefTol across K ∈ {1,2,4,8};
+// integer outputs (per-item triple sets, support counts, round counts)
+// match exactly, modulo the shard-major output order (sorting by item
+// restores a canonical order). Two documented K>1 divergence classes fall
+// outside the bit-level argument and are policy, not accident: stage-II
+// reservoir sampling runs per shard when one provenance exceeds SampleL
+// locally (unreached at the default SampleL = 1<<20), and a given K fixes
+// its own merge-tree shape (results are deterministic per K, compared
+// across K under RefTol).
+//
+// For a fixed K, results remain bit-identical for any Workers value — the
+// per-shard engines keep their worker-count-independence contract, and the
+// merge order is a pure function of the shard tables.
+package shard

@@ -1,0 +1,288 @@
+package shard
+
+import (
+	"fmt"
+
+	"kfusion/internal/csr"
+	"kfusion/internal/extract"
+	"kfusion/internal/fusion"
+)
+
+// Fusion is the sharded claim-fusion pipeline: K shard-local ClaimStreams
+// and compiled claim graphs grown by Append, fused in lockstep EM rounds
+// with the cross-shard stage-II merge described in the package comment.
+// Single-writer state like ClaimStream: Append and Fuse calls must not
+// race (concurrent Fuse calls would also race on the merge scratch).
+type Fusion struct {
+	k       int
+	gran    fusion.Granularity
+	streams []*fusion.ClaimStream
+	graphs  []*fusion.Compiled
+	provs   *table
+	claims  int
+}
+
+// NewFusion returns an empty K-shard fusion pipeline flattening extractions
+// under gran. K = 1 degrades to the unsharded streaming pipeline
+// (bit-identical results, pinned by the property tests).
+func NewFusion(k int, gran fusion.Granularity) (*Fusion, error) {
+	if err := validateK(k); err != nil {
+		return nil, err
+	}
+	f := &Fusion{
+		k:       k,
+		gran:    gran,
+		streams: make([]*fusion.ClaimStream, k),
+		graphs:  make([]*fusion.Compiled, k),
+		provs:   newTable(k),
+	}
+	for s := range f.streams {
+		f.streams[s] = fusion.NewClaimStream(gran)
+	}
+	return f, nil
+}
+
+// NewFusionFromShards reassembles a coordinator over restored per-shard
+// graphs (e.g. genstore states): graphs[i] must be the graph shard i's feed
+// slice compiled to — every item it holds hashing to shard i under
+// len(graphs) — as produced by a prior Fusion with the same K and
+// granularity. Each shard's ClaimStream reseeds its cross-batch dedup from
+// the graph's claims, so subsequent Appends continue the stream exactly.
+func NewFusionFromShards(graphs []*fusion.Compiled, gran fusion.Granularity) (*Fusion, error) {
+	f, err := NewFusion(len(graphs), gran)
+	if err != nil {
+		return nil, err
+	}
+	for s, g := range graphs {
+		if g == nil {
+			g = fusion.MustCompile(nil)
+		}
+		f.graphs[s] = g
+		f.streams[s] = fusion.SeedClaimStream(gran, g)
+		f.claims += g.NumClaims()
+		f.extendProvs(s)
+	}
+	return f, nil
+}
+
+// K reports the shard count.
+func (f *Fusion) K() int { return f.k }
+
+// Granularity reports the provenance granularity the streams flatten under.
+func (f *Fusion) Granularity() fusion.Granularity { return f.gran }
+
+// NumClaims reports the deduplicated claims across all shards.
+func (f *Fusion) NumClaims() int { return f.claims }
+
+// NumProvenances reports the global (cross-shard) provenance count.
+func (f *Fusion) NumProvenances() int { return f.provs.n() }
+
+// Shard exposes shard s's compiled graph (nil until the first Append) —
+// the handle per-shard persistence and memory accounting work against.
+func (f *Fusion) Shard(s int) *fusion.Compiled { return f.graphs[s] }
+
+// Append routes one extraction batch to its shards, flattens each slice
+// through the shard's ClaimStream (the (provenance, triple) dedup is
+// shard-local because the triple's item fixes the shard), and compiles or
+// appends each shard's graph. Shards receiving nothing are untouched.
+func (f *Fusion) Append(xs []extract.Extraction) error {
+	parts := SplitExtractions(xs, f.k)
+	for s := 0; s < f.k; s++ {
+		batch := f.streams[s].Add(parts[s])
+		f.claims += len(batch)
+		switch {
+		case f.graphs[s] == nil:
+			g, err := fusion.Compile(batch)
+			if err != nil {
+				return fmt.Errorf("shard %d: compile: %w", s, err)
+			}
+			f.graphs[s] = g
+		case len(batch) > 0:
+			g, err := f.graphs[s].Append(batch)
+			if err != nil {
+				return fmt.Errorf("shard %d: append: %w", s, err)
+			}
+			f.graphs[s] = g
+		}
+		f.extendProvs(s)
+	}
+	return nil
+}
+
+func (f *Fusion) extendProvs(s int) {
+	g := f.graphs[s]
+	f.provs.extend(s, g.NumProvenances(), func(p int32) string { return g.ProvKey(int(p)) })
+}
+
+// Fuse runs one fusion configuration across the shards and merges the
+// results: fused triples in shard-major compiled order, the global
+// provenance-accuracy map, and Rounds from the coordinator's lockstep loop.
+// The OnRound hook is not supported (a shard's round is a partial view).
+func (f *Fusion) Fuse(cfg fusion.Config) (*fusion.Result, error) {
+	return f.fuse(cfg, nil)
+}
+
+// FuseWarm is Fuse seeded from a previous sharded result — provenances in
+// prev.ProvAccuracy start there (and count as evaluated), exactly like the
+// unsharded FuseWarm. Keys are granularity strings, so a result from any
+// shard count seeds any other.
+func (f *Fusion) FuseWarm(cfg fusion.Config, prev *fusion.Result) (*fusion.Result, error) {
+	return f.fuse(cfg, prev)
+}
+
+func (f *Fusion) fuse(cfg fusion.Config, prev *fusion.Result) (*fusion.Result, error) {
+	return fuseShards(f.k, f.graphs, f.provs, cfg, prev)
+}
+
+// FuseShards runs one lockstep sharded fusion over externally-maintained
+// per-shard graphs — the entry point for drivers that grow the graphs
+// through their own durability layer (per-shard genstore states) rather than
+// through a live Fusion coordinator. graphs[i] must hold exactly the claims
+// whose items hash to shard i under K = len(graphs); a nil entry is an empty
+// shard. The cross-shard provenance table is rebuilt per call (cheap:
+// provenances are few), so FuseShards(graphs, cfg, prev) equals a
+// NewFusionFromShards(graphs).FuseWarm(cfg, prev) without touching the claim
+// streams.
+func FuseShards(graphs []*fusion.Compiled, cfg fusion.Config, prev *fusion.Result) (*fusion.Result, error) {
+	if err := validateK(len(graphs)); err != nil {
+		return nil, err
+	}
+	gs := make([]*fusion.Compiled, len(graphs))
+	provs := newTable(len(graphs))
+	for s, g := range graphs {
+		if g == nil {
+			g = fusion.MustCompile(nil)
+		}
+		gs[s] = g
+		provs.extend(s, g.NumProvenances(), func(p int32) string { return g.ProvKey(int(p)) })
+	}
+	return fuseShards(len(gs), gs, provs, cfg, prev)
+}
+
+func fuseShards(k int, graphs []*fusion.Compiled, provs *table, cfg fusion.Config, prev *fusion.Result) (*fusion.Result, error) {
+	if cfg.OnRound != nil {
+		return nil, fmt.Errorf("shard: Config.OnRound is not supported in sharded fusion")
+	}
+	for s, g := range graphs {
+		if g == nil {
+			return nil, fmt.Errorf("shard %d: Fuse before first Append", s)
+		}
+	}
+	eps := cfg.Epsilon
+	if eps <= 0 {
+		eps = 1e-4
+	}
+	runs := make([]*fusion.Run, k)
+	for s, g := range graphs {
+		r, err := g.NewRun(cfg)
+		if err != nil {
+			return nil, err
+		}
+		runs[s] = r
+	}
+
+	nG := provs.n()
+	globalAcc := make([]float64, nG)
+	evaluated := make([]bool, nG)
+	for g := range globalAcc {
+		globalAcc[g] = cfg.DefaultAccuracy
+	}
+	if prev != nil && len(prev.ProvAccuracy) > 0 {
+		for g, key := range provs.keys {
+			if a, ok := prev.ProvAccuracy[key]; ok {
+				globalAcc[g] = a
+				evaluated[g] = true
+			}
+		}
+	}
+	if cfg.GoldLabeler != nil {
+		trueG := make([]int64, nG)
+		labeledG := make([]int64, nG)
+		for s, r := range runs {
+			trueN, labeled := r.GoldCounts()
+			for local, g := range provs.l2g[s] {
+				trueG[g] += int64(trueN[local])
+				labeledG[g] += int64(labeled[local])
+			}
+		}
+		for g := range labeledG {
+			if labeledG[g] == 0 {
+				continue
+			}
+			globalAcc[g] = fusion.GoldInitAccuracy(trueG[g], labeledG[g])
+			evaluated[g] = true
+		}
+	}
+	broadcast := func() {
+		for s, r := range runs {
+			for local, g := range provs.l2g[s] {
+				if evaluated[g] {
+					r.SetProvAccuracy(int32(local), globalAcc[g])
+				}
+			}
+		}
+	}
+	broadcast()
+
+	rounds := 0
+	if cfg.Method == fusion.Vote {
+		for _, r := range runs {
+			r.StageI(0)
+		}
+		rounds = 1
+	} else {
+		sums := make([][]float64, k)
+		cnts := make([][]int32, k)
+		for s, r := range runs {
+			sums[s] = make([]float64, r.NumProvenances())
+			cnts[s] = make([]int32, r.NumProvenances())
+		}
+		parts := make([]float64, 0, k)
+		for rounds < cfg.Rounds {
+			r := rounds
+			for _, run := range runs {
+				run.StageI(r)
+			}
+			for s, run := range runs {
+				run.ProvPartials(r, sums[s], cnts[s])
+			}
+			maxDelta := 0.0
+			for g, hold := range provs.g2l {
+				parts = parts[:0]
+				var cnt int64
+				for _, l := range hold {
+					parts = append(parts, sums[l.shard][l.local])
+					cnt += int64(cnts[l.shard][l.local])
+				}
+				if cnt == 0 {
+					continue // never scored anywhere: keeps its accuracy
+				}
+				acc := csr.Pairwise(parts, csr.AddFloat64) / float64(cnt)
+				if d := acc - globalAcc[g]; d > maxDelta {
+					maxDelta = d
+				} else if -d > maxDelta {
+					maxDelta = -d
+				}
+				globalAcc[g] = acc
+				evaluated[g] = true
+			}
+			rounds++
+			broadcast()
+			if maxDelta < eps {
+				break
+			}
+		}
+	}
+
+	out := &fusion.Result{Rounds: rounds}
+	for _, run := range runs {
+		res := run.Finish(rounds)
+		out.Triples = append(out.Triples, res.Triples...)
+		out.Unpredicted += res.Unpredicted
+	}
+	out.ProvAccuracy = make(map[string]float64, nG)
+	for g, key := range provs.keys {
+		out.ProvAccuracy[key] = globalAcc[g]
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package shard
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/genstore"
+)
+
+// Stores is the durability layer under a sharded pipeline: one genstore
+// generation store per shard, living in DIR/shard-000 … DIR/shard-NNN. Each
+// shard store carries the full per-shard crash-recovery ladder (snapshot +
+// write-ahead journal, checksummed, atomic); the coordinator-level protocol
+// keeps their batch sequences in lockstep by appending every batch to every
+// shard — empty slices included — so the per-shard Batches counters are all
+// the same global sequence number.
+//
+// The one gap the ladder cannot bridge alone is a crash BETWEEN the per-shard
+// appends of a single batch: the first shards have journaled it, the rest
+// have not, and each half recovers a consistent but mutually skewed state.
+// OpenStores detects that skew (and a shard-count mismatch) at open and
+// refuses with an error naming the shards, rather than silently fusing a
+// corpus with a batch half-applied; the remedy is to remove the state
+// directory and recompile from the feed (see docs/OPERATIONS.md).
+type Stores struct {
+	dir    string
+	stores []*genstore.Store
+}
+
+// ShardDir names shard s's state directory under dir.
+func ShardDir(dir string, s int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", s))
+}
+
+// OpenStores opens (or creates) the K per-shard generation stores under dir
+// and returns the recovered per-shard states, apply-replayed exactly like
+// genstore.Open. It refuses a directory whose recovered states disagree on
+// the batch sequence number — the signature of a crash between the per-shard
+// appends of one batch — or whose method binding disagrees with the unsharded
+// store contract the caller enforces per state.
+func OpenStores(dir string, k int, apply genstore.ApplyFunc) (*Stores, []*genstore.State, error) {
+	if err := validateK(k); err != nil {
+		return nil, nil, err
+	}
+	st := &Stores{dir: dir, stores: make([]*genstore.Store, k)}
+	states := make([]*genstore.State, k)
+	for s := 0; s < k; s++ {
+		store, state, err := genstore.Open(ShardDir(dir, s), apply)
+		if err != nil {
+			st.Close()
+			return nil, nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		st.stores[s] = store
+		states[s] = state
+	}
+	for s := 1; s < k; s++ {
+		if states[s].Batches != states[0].Batches {
+			st.Close()
+			return nil, nil, fmt.Errorf(
+				"shard: state dir %s is skewed: shard 0 has %d batches but shard %d has %d — "+
+					"a previous run crashed between per-shard appends of one batch; "+
+					"remove the state directory and recompile from the feed", dir, states[0].Batches, s, states[s].Batches)
+		}
+	}
+	return st, states, nil
+}
+
+// Batches reports the common batch sequence number of the recovered states
+// (OpenStores guarantees they agree).
+func Batches(states []*genstore.State) int {
+	if len(states) == 0 {
+		return 0
+	}
+	return states[0].Batches
+}
+
+// Consumed sums the per-shard feed cursors. Every record routes to exactly
+// one shard, so with an apply function that counts its batch lengths the sum
+// is the global feed cursor a resumed driver skips to.
+func Consumed(states []*genstore.State) int {
+	n := 0
+	for _, st := range states {
+		n += st.Consumed
+	}
+	return n
+}
+
+// Append routes one extraction batch and journals-then-applies each shard's
+// slice to its store, in ascending shard order. Every shard receives an
+// append — empty slices too — so the batch sequence numbers stay in
+// lockstep; the per-shard apply functions see exactly the slices a replay
+// would.
+func (st *Stores) Append(states []*genstore.State, xs []extract.Extraction) error {
+	parts := SplitExtractions(xs, len(st.stores))
+	for s, store := range st.stores {
+		if err := store.Append(states[s], parts[s]); err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// Snapshot writes every shard's state to its store (ascending shard order),
+// each with genstore's atomic temp-file + fsync + rename protocol.
+func (st *Stores) Snapshot(states []*genstore.State) error {
+	for s, store := range st.stores {
+		if err := store.Snapshot(states[s]); err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// Degradations concatenates the per-shard recovery reports, each prefixed
+// with its shard directory.
+func (st *Stores) Degradations() []string {
+	var out []string
+	for s, store := range st.stores {
+		for _, d := range store.Degradations() {
+			out = append(out, fmt.Sprintf("shard-%03d: %s", s, d))
+		}
+	}
+	return out
+}
+
+// Close closes every shard store, returning the first error.
+func (st *Stores) Close() error {
+	var first error
+	for _, store := range st.stores {
+		if store == nil {
+			continue
+		}
+		if err := store.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,195 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/fusion"
+	"kfusion/internal/twolayer"
+)
+
+func twoLayerConfig() twolayer.Config {
+	cfg := twolayer.DefaultConfig()
+	cfg.Workers = 1
+	return cfg
+}
+
+func shardedTwoLayer(t *testing.T, xs []extract.Extraction, k int, cfg twolayer.Config) (*TwoLayer, *twolayerResult) {
+	t.Helper()
+	tl, err := NewTwoLayer(k, cfg.SiteLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl.Append(xs)
+	res, state, err := tl.Fuse(cfg)
+	if err != nil {
+		t.Fatalf("sharded two-layer K=%d: %v", k, err)
+	}
+	return tl, &twolayerResult{res: res, state: state}
+}
+
+type twolayerResult struct {
+	res   *fusion.Result
+	state *twolayer.State
+}
+
+// TestTwoLayerShardOneBitIdentical pins the K=1 anchor: one shard is
+// bit-for-bit the unsharded compiled engine, including the returned State.
+func TestTwoLayerShardOneBitIdentical(t *testing.T) {
+	xs := testExtractions(rand.New(rand.NewSource(21)), 4000)
+	for _, siteLevel := range []bool{false, true} {
+		cfg := twoLayerConfig()
+		cfg.SiteLevel = siteLevel
+		g := extract.Compile(xs, siteLevel)
+		want, wantState, err := twolayer.FuseCompiledWarm(g, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, got := shardedTwoLayer(t, xs, 1, cfg)
+		requireBitIdentical(t, fmt.Sprintf("twolayer/site=%v/K=1", siteLevel), want, got.res)
+		requireSameState(t, "K=1", wantState, got.state)
+	}
+}
+
+// TestTwoLayerShardCountIndependence pins the K>1 policy for the two-layer
+// model: K in {2,4} agrees with K=1 exactly on integers and within RefTol
+// on floats. The two-layer merge crosses shards twice per round (source
+// evidence and extractor rates) plus the ghost-miss correction, so this is
+// the strongest exercise of the documented tolerance.
+func TestTwoLayerShardCountIndependence(t *testing.T) {
+	xs := testExtractions(rand.New(rand.NewSource(22)), 4000)
+	cfg := twoLayerConfig()
+	_, want := shardedTwoLayer(t, xs, 1, cfg)
+	for _, k := range []int{2, 4} {
+		_, got := shardedTwoLayer(t, xs, k, cfg)
+		requireCloseToReference(t, fmt.Sprintf("twolayer/K=%d", k), want.res, got.res)
+	}
+}
+
+// TestTwoLayerShardWorkerIndependence: for a fixed K, results are
+// bit-identical for any Workers value.
+func TestTwoLayerShardWorkerIndependence(t *testing.T) {
+	xs := testExtractions(rand.New(rand.NewSource(23)), 3000)
+	cfg := twoLayerConfig()
+	_, want := shardedTwoLayer(t, xs, 3, cfg)
+	for _, workers := range []int{2, 7} {
+		cfg.Workers = workers
+		_, got := shardedTwoLayer(t, xs, 3, cfg)
+		requireBitIdentical(t, fmt.Sprintf("twolayer/workers=%d", workers), want.res, got.res)
+		requireSameState(t, fmt.Sprintf("workers=%d", workers), want.state, got.state)
+	}
+}
+
+// TestTwoLayerShardAppendVsOneShot: chunked appends fuse bit-identically to
+// one append of the whole feed, for K=1 and K>1.
+func TestTwoLayerShardAppendVsOneShot(t *testing.T) {
+	xs := testExtractions(rand.New(rand.NewSource(24)), 4000)
+	cfg := twoLayerConfig()
+	for _, k := range []int{1, 3} {
+		_, want := shardedTwoLayer(t, xs, k, cfg)
+		tl, err := NewTwoLayer(k, cfg.SiteLevel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lo := 0; lo < len(xs); lo += 900 {
+			hi := lo + 900
+			if hi > len(xs) {
+				hi = len(xs)
+			}
+			tl.Append(xs[lo:hi])
+		}
+		res, state, err := tl.Fuse(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitIdentical(t, fmt.Sprintf("twolayer/K=%d chunked", k), want.res, res)
+		requireSameState(t, fmt.Sprintf("K=%d chunked", k), want.state, state)
+	}
+}
+
+// TestTwoLayerShardWarm: the returned State warm-starts the next generation;
+// at K=1 this matches the unsharded warm path bit-for-bit.
+func TestTwoLayerShardWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	xs := testExtractions(rng, 3500)
+	batch := testExtractions(rng, 700)
+	cfg := twoLayerConfig()
+
+	g := extract.Compile(xs, cfg.SiteLevel)
+	_, prevState, err := twolayer.FuseCompiledWarm(g, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = g.Append(batch)
+	want, _, err := twolayer.FuseCompiledWarm(g, cfg, prevState)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tl, first := func() (*TwoLayer, *twolayerResult) {
+		tl, r := shardedTwoLayer(t, xs, 1, cfg)
+		return tl, r
+	}()
+	requireSameState(t, "warm/prev", prevState, first.state)
+	tl.Append(batch)
+	got, _, err := tl.FuseWarm(cfg, first.state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, "twolayer/warm/K=1", want, got)
+}
+
+// TestTwoLayerFromShards: reassembling a coordinator over the per-shard
+// graphs continues the pipeline exactly.
+func TestTwoLayerFromShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	xs := testExtractions(rng, 3000)
+	batch := testExtractions(rng, 600)
+	cfg := twoLayerConfig()
+	const k = 3
+
+	tl, err := NewTwoLayer(k, cfg.SiteLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl.Append(xs)
+	graphs := make([]*extract.Compiled, k)
+	for s := range graphs {
+		graphs[s] = tl.Shard(s)
+	}
+	restored, err := NewTwoLayerFromShards(graphs, cfg.SiteLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl.Append(batch)
+	restored.Append(batch)
+	want, wantState, err := tl.Fuse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotState, err := restored.Fuse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, "twolayer/restored", want, got)
+	requireSameState(t, "restored", wantState, gotState)
+}
+
+func requireSameState(t *testing.T, tag string, want, got *twolayer.State) {
+	t.Helper()
+	if len(want.SrcAcc) != len(got.SrcAcc) || len(want.Recall) != len(got.Recall) || len(want.FalsePos) != len(got.FalsePos) {
+		t.Fatalf("%s: state sizes differ", tag)
+	}
+	for i := range want.SrcAcc {
+		if want.SrcAcc[i] != got.SrcAcc[i] {
+			t.Fatalf("%s: SrcAcc[%d] = %v, want %v", tag, i, got.SrcAcc[i], want.SrcAcc[i])
+		}
+	}
+	for i := range want.Recall {
+		if want.Recall[i] != got.Recall[i] || want.FalsePos[i] != got.FalsePos[i] {
+			t.Fatalf("%s: extractor %d rates differ", tag, i)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package twolayer
+
+// The stepping two-layer API: internal/shard drives one Run per shard in
+// lockstep EM rounds. A Run is the compiled engine with the round loop
+// inverted — the same newEngine state and E-step passes, with the M-step
+// split into its per-source / per-extractor evidence (SourcePartials,
+// ExtractorPartials) and its update, which the coordinator applies over
+// merged evidence (SourceAccuracyUpdate, RecallUpdate, FalsePosUpdate) and
+// broadcasts back (SetSourceAccuracy, SetExtractorRates). Statements and
+// candidate triples route with their data item, so both E-steps are
+// shard-local except the layer-1 ghost-miss correction (SetGhostMiss).
+// Driving a single Run with the unsharded loop order and nil ghosts is
+// bit-identical to FuseCompiled — the K=1 anchor of the
+// shard-count-independence property tests.
+
+import (
+	"fmt"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/fusion"
+)
+
+// Run is an open-loop two-layer fusion over one compiled extraction graph:
+// the caller sequences the EM stages instead of FuseCompiled's internal
+// loop. Not safe for concurrent use; one Run per goroutine.
+type Run struct {
+	e *engine
+}
+
+// NewRun builds the stepping engine for one two-layer configuration over a
+// compiled extraction graph (whose source level must match cfg.SiteLevel).
+func NewRun(g *extract.Compiled, cfg Config) (*Run, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if g.SiteLevel() != cfg.SiteLevel {
+		return nil, fmt.Errorf("twolayer: graph compiled with SiteLevel=%v but Config.SiteLevel=%v",
+			g.SiteLevel(), cfg.SiteLevel)
+	}
+	return &Run{e: newEngine(g, cfg)}, nil
+}
+
+// NumSources and NumExtractors report the lengths the partial and broadcast
+// arrays are indexed by.
+func (r *Run) NumSources() int    { return r.e.g.NumSources() }
+func (r *Run) NumExtractors() int { return r.e.g.NumExtractors() }
+
+// SourceKey and ExtractorName name local IDs; coordinators use them to
+// build the cross-shard source and extractor tables.
+func (r *Run) SourceKey(s int32) string     { return r.e.g.SourceKey(s) }
+func (r *Run) ExtractorName(x int32) string { return r.e.g.ExtractorName(x) }
+
+// SetGhostMiss installs the per-source cross-shard miss correction: for
+// each local source, the summed MissLogRatio of the extractors that
+// processed it only in other shards, added once to every local statement's
+// layer-1 log-odds. nil (the default) disables the correction — the K=1 /
+// unsharded path, where adding nothing keeps bits identical. The slice is
+// retained, not copied; the coordinator rewrites it each round.
+func (r *Run) SetGhostMiss(gm []float64) { r.e.ghostMiss = gm }
+
+// SetSourceAccuracy / SetExtractorRates broadcast merged parameters into
+// the engine — warm-start seeds before round 0, merged M-step updates
+// after each round.
+func (r *Run) SetSourceAccuracy(s int32, acc float64) { r.e.srcAcc[s] = acc }
+func (r *Run) SetExtractorRates(x int32, recall, falsePos float64) {
+	r.e.recall[x] = recall
+	r.e.falsePos[x] = falsePos
+}
+
+// InferStatements runs the layer-1 E-step (statement probabilities from
+// extractor agreement, plus the ghost-miss correction if set).
+func (r *Run) InferStatements() { r.e.inferStatements() }
+
+// InferTruth runs the layer-2 E-step (weighted Bayesian truth inference).
+func (r *Run) InferTruth() { r.e.inferTruth() }
+
+// SourcePartials writes each local source's M-step evidence — expected
+// true-claim mass and expected claim mass, summed over the source's local
+// statement span in ascending ID order — into num and den (each of length
+// NumSources). Merged across shards, SourceAccuracyUpdate over the totals
+// (skipping dens below MinEvidence) reproduces the engine's own update.
+func (r *Run) SourcePartials(num, den []float64) {
+	e := r.e
+	for s := 0; s < e.g.NumSources(); s++ {
+		num[s], den[s] = e.sourceStat(int32(s))
+	}
+}
+
+// SourceStatedMass writes, per local source, the sum of its local
+// statements' stated probabilities (ascending statement-ID order) and the
+// statement count. This is the raw material of the coordinator's ghost
+// extractor partials: an extractor that processed a source only in other
+// shards covers all of the source's local statements without hitting any,
+// so it owes [sum, cnt-sum, 0, 0] to its merged M-step totals — mass the
+// local ExtractorPartials cannot see.
+func (r *Run) SourceStatedMass(sums []float64, cnts []int32) {
+	e := r.e
+	for s := 0; s < e.g.NumSources(); s++ {
+		span := e.g.SourceStatements(int32(s))
+		sum := 0.0
+		for _, si := range span {
+			//lint:ignore kflint/floatsum per-source span sum in ascending statement-ID order, mirroring sourceStat — deterministic by construction.
+			sum += e.stated[si]
+		}
+		sums[s] = sum
+		cnts[s] = int32(len(span))
+	}
+}
+
+// ExtractorPartials writes each local extractor's M-step evidence — the
+// [stated, unstated, hitStated, hitUnstated] totals of the fixed-block
+// pairwise reduction — into dst (length NumExtractors). Merged across
+// shards with AddPartials, RecallUpdate/FalsePosUpdate over the totals
+// reproduce the engine's own update.
+func (r *Run) ExtractorPartials(dst [][4]float64) {
+	e := r.e
+	e.extractorTotals()
+	copy(dst, e.extTotals)
+}
+
+// Result assembles the shard's fusion.Result — triples in interned order
+// with the graph's support counts — with Rounds as given (the coordinator's
+// global round count).
+func (r *Run) Result(rounds int) *fusion.Result { return r.e.result(rounds) }
+
+// State snapshots the engine's current parameters (after the final
+// broadcast these are the merged global values restricted to local IDs).
+func (r *Run) State() *State { return r.e.state() }

@@ -240,7 +240,7 @@ func FuseCompiledWarm(g *extract.Compiled, cfg Config, warm *State) (*fusion.Res
 		e.inferStatements()
 		e.inferTruth()
 		rounds++
-		if e.updateParams() < 1e-4 {
+		if e.updateParams() < ConvergeTol {
 			break
 		}
 	}
@@ -300,6 +300,15 @@ type engine struct {
 	stamps [][]int32
 	scores [][]float64
 	deltas []float64
+
+	// ghostMiss is the sharded pipeline's cross-shard correction (nil and
+	// inert outside internal/shard): per local source, the summed
+	// miss-log-ratio of extractors that processed the source only in OTHER
+	// shards. A statement's global layer-1 walk covers every extractor that
+	// processed its source; a shard sees only the local ones, and every
+	// remote extractor is a structural miss here (hits route with the
+	// statement's item), so their terms fold into one per-source constant.
+	ghostMiss []float64
 
 	// M-step extractor-rate reduction state: one [stated, unstated,
 	// hitStated, hitUnstated] partial per fixed block of the graph's
@@ -379,7 +388,7 @@ func (e *engine) inferStatements() {
 	g := e.g
 	for x := range e.recall {
 		e.lrHit[x] = math.Log(e.recall[x]) - math.Log(e.falsePos[x])
-		e.lrMiss[x] = math.Log(1-e.recall[x]) - math.Log(1-e.falsePos[x])
+		e.lrMiss[x] = MissLogRatio(e.recall[x], e.falsePos[x])
 	}
 	prior := math.Log(e.cfg.PriorStated) - math.Log(1-e.cfg.PriorStated)
 	csr.ParallelRange(g.NumStatements(), e.workers, func(w, lo, hi int) {
@@ -388,8 +397,12 @@ func (e *engine) inferStatements() {
 			for _, x := range g.StatementExtractors(int32(si)) {
 				stamp[x] = int32(si)
 			}
+			src := g.StatementSource(int32(si))
 			logOdds := prior
-			for _, x := range g.SourceExtractors(g.StatementSource(int32(si))) {
+			if e.ghostMiss != nil {
+				logOdds += e.ghostMiss[src]
+			}
+			for _, x := range g.SourceExtractors(src) {
 				if stamp[x] == int32(si) {
 					logOdds += e.lrHit[x]
 				} else {
@@ -479,26 +492,17 @@ func (e *engine) inferTruth() {
 // It returns the largest source-accuracy change.
 func (e *engine) updateParams() float64 {
 	g := e.g
-	const anchor = 2.0 // pseudo-claims at the initial accuracy
 	for w := range e.deltas {
 		e.deltas[w] = 0
 	}
 	csr.ParallelRange(g.NumSources(), e.workers, func(w, lo, hi int) {
 		maxDelta := 0.0
 		for s := lo; s < hi; s++ {
-			num, den := 0.0, 0.0
-			for _, si := range g.SourceStatements(int32(s)) {
-				wgt := e.stated[si]
-				num += wgt * e.tripleP[g.StatementTriple(si)]
-				den += wgt
-			}
-			if den < 1e-9 {
+			num, den := e.sourceStat(int32(s))
+			if den < MinEvidence {
 				continue
 			}
-			// Small sources are anchored toward the prior so a source with
-			// one claim does not spiral down with its own claim's
-			// probability (the isolated-conflict drift).
-			v := (num + anchor*e.cfg.InitSourceAccuracy) / (den + anchor)
+			v := SourceAccuracyUpdate(num, den, e.cfg.InitSourceAccuracy)
 			if d := math.Abs(v - e.srcAcc[s]); d > maxDelta {
 				maxDelta = d
 			}
@@ -513,12 +517,44 @@ func (e *engine) updateParams() float64 {
 		}
 	}
 
-	// Extractor recall / false positives against expected statements: a
-	// parallel reduction over the ext→statement CSR. Workers sum whole fixed
-	// blocks (left-to-right within a block, ascending statement order), then
-	// each extractor's block partials fold with a pairwise tree shaped only
-	// by its block count — so every bit of the totals is independent of the
-	// worker count and of which worker summed which block.
+	e.extractorTotals()
+	for x := range e.recall {
+		tot := &e.extTotals[x]
+		if tot[0] > MinEvidence {
+			e.recall[x] = RecallUpdate(tot[2], tot[0])
+		}
+		if tot[1] > MinEvidence {
+			e.falsePos[x] = FalsePosUpdate(tot[3], tot[1])
+		}
+	}
+	return maxDelta
+}
+
+// sourceStat sums one source's expected-stated evidence over its statement
+// span in ascending ID order: num is the expected true-claim mass, den the
+// expected claim mass. The (num, den) pair is also the cross-shard merge
+// unit of internal/shard.
+func (e *engine) sourceStat(s int32) (num, den float64) {
+	g := e.g
+	for _, si := range g.SourceStatements(s) {
+		wgt := e.stated[si]
+		//lint:ignore kflint/floatsum one source's partial over its compiled CSR statement span in ascending ID order — the per-group (num, den) merge unit of internal/shard; addition order is identical across runs.
+		num += wgt * e.tripleP[g.StatementTriple(si)]
+		//lint:ignore kflint/floatsum same fixed statement-span order as num — the pair is folded across shards with csr.Pairwise.
+		den += wgt
+	}
+	return num, den
+}
+
+// extractorTotals fills extTotals with each extractor's [stated, unstated,
+// hitStated, hitUnstated] evidence: a parallel reduction over the
+// ext→statement CSR. Workers sum whole fixed blocks (left-to-right within a
+// block, ascending statement order), then each extractor's block partials
+// fold with a pairwise tree shaped only by its block count — so every bit
+// of the totals is independent of the worker count and of which worker
+// summed which block.
+func (e *engine) extractorTotals() {
+	g := e.g
 	blocks := g.ExtStatementBlocks()
 	csr.ParallelRange(len(blocks), e.blockWorkers, func(_, blo, bhi int) {
 		for bi := blo; bi < bhi; bi++ {
@@ -542,22 +578,57 @@ func (e *engine) updateParams() float64 {
 		for bi < len(blocks) && blocks[bi].Group == int32(x) {
 			bi++
 		}
-		e.extTotals[x] = csr.Pairwise(e.blockSums[lo:bi], add4)
+		e.extTotals[x] = csr.Pairwise(e.blockSums[lo:bi], AddPartials)
 	}
-	for x := range e.recall {
-		tot := &e.extTotals[x]
-		if stated := tot[0]; stated > 1e-9 {
-			e.recall[x] = clampRate(tot[2] / (stated + 1))
-		}
-		if unstated := tot[1]; unstated > 1e-9 {
-			e.falsePos[x] = clampRate(tot[3] / (unstated + 1))
-		}
-	}
-	return maxDelta
 }
 
-// add4 combines two [stated, unstated, hitStated, hitUnstated] partials.
-func add4(a, b [4]float64) [4]float64 {
+// ConvergeTol is the EM loop's convergence threshold on the per-round
+// maximum source-accuracy change; the sharded coordinator tests its merged
+// delta against the same constant.
+const ConvergeTol = 1e-4
+
+// MinEvidence is the floor under which an M-step denominator counts as no
+// evidence: the source (or extractor rate) keeps its current value. Shared
+// with the sharded coordinator so merged updates skip identically.
+const MinEvidence = 1e-9
+
+// sourceAnchor is the M-step's pseudo-claim mass: small sources are
+// anchored toward the prior so a source with one claim does not spiral down
+// with its own claim's probability (the isolated-conflict drift).
+const sourceAnchor = 2.0
+
+// SourceAccuracyUpdate is the M-step source-accuracy formula over merged
+// evidence. Exported so the sharded coordinator applies the exact
+// expression the engine does.
+func SourceAccuracyUpdate(num, den, initAccuracy float64) float64 {
+	return (num + sourceAnchor*initAccuracy) / (den + sourceAnchor)
+}
+
+// RecallUpdate is the M-step recall formula (hit-stated mass over stated
+// mass, Laplace-smoothed and clamped).
+func RecallUpdate(hitStated, stated float64) float64 {
+	return clampRate(hitStated / (stated + 1))
+}
+
+// FalsePosUpdate is the M-step false-positive formula (hit-unstated mass
+// over unstated mass, Laplace-smoothed and clamped).
+func FalsePosUpdate(hitUnstated, unstated float64) float64 {
+	return clampRate(hitUnstated / (unstated + 1))
+}
+
+// MissLogRatio is the layer-1 log-likelihood ratio of an extractor NOT
+// extracting a statement it processed the source for:
+// log(1-recall) - log(1-falsePos). The engine precomputes it per round; the
+// sharded coordinator evaluates the same expression over global rates to
+// build each shard's ghost-miss table.
+func MissLogRatio(recall, falsePos float64) float64 {
+	return math.Log(1-recall) - math.Log(1-falsePos)
+}
+
+// AddPartials combines two [stated, unstated, hitStated, hitUnstated]
+// M-step partials — the fold operator for both the in-graph block reduction
+// and the cross-shard extractor merge.
+func AddPartials(a, b [4]float64) [4]float64 {
 	return [4]float64{a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]}
 }
 

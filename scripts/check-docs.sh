@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# check-docs.sh — resolve every package/symbol reference in the prose docs
+# against the code with `go doc`, so renames cannot silently strand the
+# documentation. CI runs this on every push (docs job; `make docs-check`).
+#
+# A "reference" is any backticked token in README.md or docs/*.md that looks
+# like either a package path (internal/shard, cmd/kfuse, optionally prefixed
+# kfusion/) or a qualified symbol (fusion.Compile, kb.DataItem.Hash). Each
+# must resolve with `go doc`. The gate fails on any dangling reference, and
+# refuses to pass vacuously if extraction finds no references at all.
+set -u
+cd "$(dirname "$0")/.."
+
+files=(README.md docs/*.md)
+refs=$(grep -hoE '`[^` ]+`' "${files[@]}" |
+	tr -d '`' |
+	grep -E '^((kfusion/)?(internal|cmd)/[a-z0-9/]+|[a-z][a-z0-9]*\.[A-Z][A-Za-z0-9_]*(\.[A-Za-z0-9_]+)?)$' |
+	sort -u)
+
+if [ -z "$refs" ]; then
+	echo "check-docs: extracted no references from ${files[*]} — the gate would be a no-op" >&2
+	exit 1
+fi
+
+fail=0
+total=0
+for ref in $refs; do
+	total=$((total + 1))
+	if ! go doc "$ref" >/dev/null 2>&1; then
+		echo "check-docs: dangling reference: $ref" >&2
+		fail=1
+	fi
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "check-docs: FAILED (see dangling references above, $total checked)" >&2
+	exit 1
+fi
+echo "check-docs: $total references resolve"
