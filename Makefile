@@ -54,22 +54,26 @@ bench-smoke:
 # web-scale sharded-fusion record (10M+ claim corpus; takes minutes — the
 # feed is synthesized segment by segment and streamed through K shards).
 bench-json:
-	$(GO) run ./cmd/kfbench -benchjson BENCH_9.json
-	$(GO) run ./cmd/kfbench -serve BENCH_9.json
-	$(GO) run ./cmd/kfbench -sharded BENCH_9.json
+	$(GO) run ./cmd/kfbench -benchjson BENCH_10.json
+	$(GO) run ./cmd/kfbench -serve BENCH_10.json
+	$(GO) run ./cmd/kfbench -sharded BENCH_10.json
 
 # bench-check is the CI perf-regression gate: re-measure the fast/slow
 # benchmark pairs — compiled vs reference engines, compiled-graph reuse vs
 # recompile, and the append-only feed pairs (Append + warm-start re-fuse vs
 # full recompile + cold fuse) — and fail if any pair's claims/s speedup
-# ratio dropped more than 30% below the committed BENCH_9.json baseline
+# ratio dropped more than 30% below the committed BENCH_10.json baseline
 # (ratios cancel machine speed, so the gate is meaningful on any runner).
+# The -prior gate additionally holds the committed baseline to the ISSUE 10
+# bar: FusePopAccu and TwoLayerFuseReuse must keep >= 1.5x claims/s over
+# the committed BENCH_5.json — a deterministic file-vs-file check (both
+# were recorded on the same reference box), so it costs CI nothing.
 # The baseline's serve-latency and sharded-fusion records are gated
 # structurally (absolute numbers are machine-bound), and shard-count
 # independence is re-verified live at bench scale. The fresh measurements
 # land in bench-fresh.json, which CI uploads as a workflow artifact.
 bench-check:
-	$(GO) run ./cmd/kfbench -check BENCH_9.json -checkjson bench-fresh.json
+	$(GO) run ./cmd/kfbench -check BENCH_10.json -prior BENCH_5.json -checkjson bench-fresh.json
 
 # bench-scaling mirrors the CI bench-scaling/scaling-check jobs locally: one
 # kfbench -scaling cell per GOMAXPROCS value, then the speedup gate — on a

@@ -81,6 +81,7 @@ type Compiled struct {
 	extStStart []int32     // len nExtractors+1; span into extSts/extHits
 	extSts     []int32     // statement IDs per extractor, ascending
 	extHits    []bool      // aligned with extSts: extractor extracted it
+	extHitsF   []float64   // extHits as 0/1 floats (derived; see buildExtHitsF)
 	extBlocks  []csr.Block // fixed-size blocks covering the extStStart spans
 
 	// maxItemTriples is the largest candidate count of any single item; it
@@ -278,6 +279,21 @@ func (g *Compiled) buildExtStatements(workers int) {
 		}
 	})
 	g.extBlocks = csr.SpanBlocks(g.extStStart)
+	g.buildExtHitsF()
+}
+
+// buildExtHitsF derives the float mirror of extHits: exactly 0 or 1 per
+// entry, so multiplying an accumulation term by it reproduces the branchy
+// hit test bit-for-bit (x*1 == x, and adding x*0 == +0 leaves a
+// non-negative sum unchanged) while keeping the two-layer M-step block loop
+// branch-free. Derived state, rebuilt on snapshot load like extBlocks.
+func (g *Compiled) buildExtHitsF() {
+	g.extHitsF = make([]float64, len(g.extHits))
+	for i, h := range g.extHits {
+		if h {
+			g.extHitsF[i] = 1
+		}
+	}
 }
 
 // internShardThreshold is the extraction count below which interning runs
@@ -650,6 +666,13 @@ func (g *Compiled) ExtStatementBlocks() []csr.Block { return g.extBlocks }
 // incidence: statement IDs (ascending) and aligned hit flags.
 func (g *Compiled) ExtBlockStatements(b csr.Block) (sts []int32, hits []bool) {
 	return g.extSts[b.Lo:b.Hi], g.extHits[b.Lo:b.Hi]
+}
+
+// ExtBlockStatementsF is ExtBlockStatements with the hit flags as 0/1
+// floats — the branch-free form the two-layer M-step block reduction
+// consumes (multiply by the flag instead of testing it).
+func (g *Compiled) ExtBlockStatementsF(b csr.Block) (sts []int32, hitsF []float64) {
+	return g.extSts[b.Lo:b.Hi], g.extHitsF[b.Lo:b.Hi]
 }
 
 // MaxItemTriples returns the largest candidate-triple count of any item.

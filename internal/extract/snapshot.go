@@ -163,6 +163,7 @@ func DecodeSnapshot(data []byte) (*Compiled, error) {
 	if len(g.extStStart) > 0 {
 		g.extBlocks = csr.SpanBlocks(g.extStStart)
 	}
+	g.buildExtHitsF()
 	// idx stays nil: the first Append rebuilds it from the graph.
 	return g, nil
 }

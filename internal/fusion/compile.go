@@ -72,13 +72,19 @@ type graph struct {
 // byproduct state, not part of the immutable graph: exactly one generation
 // owns it at a time (see Compiled.takeIndex).
 type claimIndex struct {
-	prov map[string]int32
-	ext  map[string]int32
-	tri  map[kb.Triple]int32
-	item map[kb.DataItem]int32
-	// extOfClaim and nExt cover the extractor axis, which the graph itself
-	// only keeps aggregated (tripleExtractors); Append needs the per-claim
-	// assignment to recount the triples a batch touches.
+	// Every ID space interns through an open-addressing table
+	// (interntab.go) over its dense key slice — g.provKeys, extKeys,
+	// g.triples, g.items: per-claim interning is the compile hot loop, and
+	// probing a flat (hash, ID) array beats the generic map's bucket walk.
+	prov internTable[string]
+	ext  internTable[string]
+	tri  internTable[kb.Triple]
+	item internTable[kb.DataItem]
+	// extKeys, extOfClaim and nExt cover the extractor axis, which the
+	// graph itself only keeps aggregated (tripleExtractors); Append needs
+	// the per-claim assignment to recount the triples a batch touches.
+	// nExt == len(extKeys) always.
+	extKeys    []string
 	extOfClaim []int32
 	nExt       int
 }
@@ -230,38 +236,65 @@ func compile(claims []Claim, workers, _ int) (*graph, *claimIndex) {
 	}
 	g := &graph{claims: claims}
 	idx := &claimIndex{
-		prov:       make(map[string]int32, 256),
-		ext:        make(map[string]int32, 32),
-		tri:        make(map[kb.Triple]int32, n),
-		item:       make(map[kb.DataItem]int32, n),
+		// Distinct provenances and triples run up to about half the claim
+		// count in an extraction corpus (items a quarter); undershooting
+		// just costs cheap grow() re-slots, overshooting costs zeroed pages
+		// every compile.
+		prov:       newInternTable[string](n/2, nil),
+		ext:        newInternTable[string](32, nil),
+		tri:        newInternTable(n/2, hashTriple),
+		item:       newInternTable(n/4, hashItem),
 		extOfClaim: make([]int32, n),
 	}
 	g.provOfClaim = make([]int32, n)
 	g.tripleOfClaim = make([]int32, n)
+	// Presize the key slices to the same priors: append-doubling on 64-byte
+	// triples otherwise allocates ~2x the final footprint per compile and
+	// copies it log-many times.
+	g.triples = make([]kb.Triple, 0, n/2+16)
+	g.provKeys = make([]string, 0, n/2+16)
 
 	// ---- Intern provenances, extractors and triples ----
 	if n < internShardThreshold || workers == 1 {
+		// Claim streams arrive grouped by extractor (and largely by
+		// provenance within a group), so a last-seen cache answers most
+		// lookups without touching the hash tables. Triples do not repeat
+		// consecutively — corroborating claims are whole groups apart.
+		lastProv, lastExt := "", ""
+		var lastPid, lastXid int32
 		for i := range claims {
 			c := &claims[i]
-			pid, ok := idx.prov[c.Prov]
-			if !ok {
-				pid = int32(len(g.provKeys))
-				idx.prov[c.Prov] = pid
-				g.provKeys = append(g.provKeys, c.Prov)
+			pid := lastPid
+			if c.Prov != lastProv || i == 0 {
+				ph := idx.prov.hash(c.Prov)
+				pid = idx.prov.id(ph, c.Prov, g.provKeys)
+				if pid < 0 {
+					pid = int32(len(g.provKeys))
+					g.provKeys = append(g.provKeys, c.Prov)
+					idx.prov.insert(ph, pid)
+				}
+				lastProv, lastPid = c.Prov, pid
 			}
 			g.provOfClaim[i] = pid
-			xid, ok := idx.ext[c.Extractor]
-			if !ok {
-				xid = int32(idx.nExt)
-				idx.ext[c.Extractor] = xid
-				idx.nExt++
+			xid := lastXid
+			if c.Extractor != lastExt || i == 0 {
+				xh := idx.ext.hash(c.Extractor)
+				xid = idx.ext.id(xh, c.Extractor, idx.extKeys)
+				if xid < 0 {
+					xid = int32(idx.nExt)
+					idx.extKeys = append(idx.extKeys, c.Extractor)
+					idx.ext.insert(xh, xid)
+					idx.nExt++
+				}
+				lastExt, lastXid = c.Extractor, xid
 			}
 			idx.extOfClaim[i] = xid
-			tid, ok := idx.tri[c.Triple]
-			if !ok {
+			h := idx.tri.hash(c.Triple)
+			tid := idx.tri.id(h, c.Triple, g.triples)
+			if tid < 0 {
 				tid = int32(len(g.triples))
-				idx.tri[c.Triple] = tid
 				g.triples = append(g.triples, c.Triple)
+				idx.tri.insert(h, tid)
 			}
 			g.tripleOfClaim[i] = tid
 		}
@@ -336,6 +369,8 @@ func internClaimsParallel(g *graph, idx *claimIndex, claims []Claim, workers int
 	}
 	var provKeys, extKeys []string
 	var triKeys []kb.Triple
+	var provMap, extMap map[string]int32
+	var triMap map[kb.Triple]int32
 	// The three key spaces merge concurrently; each merge is itself a
 	// parallel pairwise tree, and each reproduces the sequential fold's
 	// global first-occurrence order exactly.
@@ -343,17 +378,23 @@ func internClaimsParallel(g *graph, idx *claimIndex, claims []Claim, workers int
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		provKeys, idx.prov = csr.MergeKeys(provShards, workers)
+		provKeys, provMap = csr.MergeKeys(provShards, workers)
 	}()
 	go func() {
 		defer wg.Done()
-		extKeys, idx.ext = csr.MergeKeys(extShards, workers)
+		extKeys, extMap = csr.MergeKeys(extShards, workers)
 	}()
-	triKeys, idx.tri = csr.MergeKeys(triShards, workers)
+	triKeys, triMap = csr.MergeKeys(triShards, workers)
 	wg.Wait()
 	g.provKeys = provKeys
 	g.triples = triKeys
+	idx.extKeys = extKeys
 	idx.nExt = len(extKeys)
+	// The merge's scratch maps do the shard remap below; the index Append
+	// continues from is the flat intern tables, bulk-loaded in ID order.
+	idx.prov = buildInternTable(g.provKeys, nil)
+	idx.ext = buildInternTable(extKeys, nil)
+	idx.tri = buildInternTable(g.triples, hashTriple)
 
 	// Same (n, workers) split as the intern pass, so chunk w rewrites
 	// exactly the IDs shard w assigned.
@@ -361,15 +402,15 @@ func internClaimsParallel(g *graph, idx *claimIndex, claims []Claim, workers int
 		s := &shards[w]
 		provRemap := make([]int32, len(s.provKeys))
 		for li, key := range s.provKeys {
-			provRemap[li] = idx.prov[key]
+			provRemap[li] = provMap[key]
 		}
 		extRemap := make([]int32, len(s.extKeys))
 		for li, key := range s.extKeys {
-			extRemap[li] = idx.ext[key]
+			extRemap[li] = extMap[key]
 		}
 		triRemap := make([]int32, len(s.triKeys))
 		for li, key := range s.triKeys {
-			triRemap[li] = idx.tri[key]
+			triRemap[li] = triMap[key]
 		}
 		for i := lo; i < hi; i++ {
 			g.provOfClaim[i] = provRemap[g.provOfClaim[i]]
@@ -385,17 +426,24 @@ func internClaimsParallel(g *graph, idx *claimIndex, claims []Claim, workers int
 // available for new items, so offsets derive from a per-item running count
 // seeded from the existing spans.
 func internItems(g *graph, idx *claimIndex, firstTriple int) {
-	candCount := make([]int32, len(g.items), len(g.items)+len(g.triples)-firstTriple)
+	need := len(g.triples) - firstTriple
+	candCount := make([]int32, len(g.items), len(g.items)+need)
 	for i := range candCount {
 		candCount[i] = g.itemCandStart[i+1] - g.itemCandStart[i]
 	}
+	// One exact allocation per slice instead of append-doubling over the
+	// triple walk (worst case every triple starts a new item).
+	g.items = slices.Grow(g.items, need)
+	g.itemOfTriple = slices.Grow(g.itemOfTriple, need)
+	g.localOfTriple = slices.Grow(g.localOfTriple, need)
 	for t := firstTriple; t < len(g.triples); t++ {
 		item := g.triples[t].Item()
-		iid, ok := idx.item[item]
-		if !ok {
+		h := idx.item.hash(item)
+		iid := idx.item.id(h, item, g.items)
+		if iid < 0 {
 			iid = int32(len(g.items))
-			idx.item[item] = iid
 			g.items = append(g.items, item)
+			idx.item.insert(h, iid)
 			candCount = append(candCount, 0)
 		}
 		g.itemOfTriple = append(g.itemOfTriple, iid)
@@ -575,25 +623,29 @@ func (c *Compiled) AppendWorkers(newClaims []Claim, workers int) (*Compiled, err
 	for i := range newClaims {
 		cl := &newClaims[i]
 		ci := nOld + i
-		pid, ok := idx.prov[cl.Prov]
-		if !ok {
+		ph := idx.prov.hash(cl.Prov)
+		pid := idx.prov.id(ph, cl.Prov, g.provKeys)
+		if pid < 0 {
 			pid = int32(len(g.provKeys))
-			idx.prov[cl.Prov] = pid
 			g.provKeys = append(g.provKeys, cl.Prov)
+			idx.prov.insert(ph, pid)
 		}
 		g.provOfClaim[ci] = pid
-		xid, ok := idx.ext[cl.Extractor]
-		if !ok {
+		xh := idx.ext.hash(cl.Extractor)
+		xid := idx.ext.id(xh, cl.Extractor, idx.extKeys)
+		if xid < 0 {
 			xid = int32(idx.nExt)
-			idx.ext[cl.Extractor] = xid
+			idx.extKeys = append(idx.extKeys, cl.Extractor)
+			idx.ext.insert(xh, xid)
 			idx.nExt++
 		}
 		idx.extOfClaim[ci] = xid
-		tid, ok := idx.tri[cl.Triple]
-		if !ok {
+		h := idx.tri.hash(cl.Triple)
+		tid := idx.tri.id(h, cl.Triple, g.triples)
+		if tid < 0 {
 			tid = int32(len(g.triples))
-			idx.tri[cl.Triple] = tid
 			g.triples = append(g.triples, cl.Triple)
+			idx.tri.insert(h, tid)
 		}
 		g.tripleOfClaim[ci] = tid
 	}
@@ -626,26 +678,20 @@ func (c *Compiled) takeIndex() *claimIndex {
 	}
 	g := c.g
 	idx = &claimIndex{
-		prov:       make(map[string]int32, len(g.provKeys)),
-		ext:        make(map[string]int32, 32),
-		tri:        make(map[kb.Triple]int32, len(g.triples)),
-		item:       make(map[kb.DataItem]int32, len(g.items)),
+		prov:       buildInternTable(g.provKeys, nil),
+		ext:        newInternTable[string](32, nil),
+		tri:        buildInternTable(g.triples, hashTriple),
+		item:       buildInternTable(g.items, hashItem),
 		extOfClaim: make([]int32, len(g.claims)),
 	}
-	for p, key := range g.provKeys {
-		idx.prov[key] = int32(p)
-	}
-	for t := range g.triples {
-		idx.tri[g.triples[t]] = int32(t)
-	}
-	for i := range g.items {
-		idx.item[g.items[i]] = int32(i)
-	}
 	for i := range g.claims {
-		xid, ok := idx.ext[g.claims[i].Extractor]
-		if !ok {
+		ext := g.claims[i].Extractor
+		xh := idx.ext.hash(ext)
+		xid := idx.ext.id(xh, ext, idx.extKeys)
+		if xid < 0 {
 			xid = int32(idx.nExt)
-			idx.ext[g.claims[i].Extractor] = xid
+			idx.extKeys = append(idx.extKeys, ext)
+			idx.ext.insert(xh, xid)
 			idx.nExt++
 		}
 		idx.extOfClaim[i] = xid

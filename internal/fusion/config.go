@@ -84,6 +84,14 @@ type Config struct {
 	Workers    int
 	Partitions int
 
+	// FastMath runs the EM transcendentals on the mathx.Fast polynomial
+	// kernels instead of math.Exp/math.Log. Output probabilities and
+	// accuracies stay within mathx.FastTol of the exact engine's (pinned by
+	// the FastMath equivalence suite) and remain bit-identical across worker
+	// and shard counts — the approximation is elementwise and deterministic,
+	// only the per-lane rounding differs from the exact kernels.
+	FastMath bool
+
 	// OnRound, when set, receives the per-triple probabilities after each
 	// round — used by the convergence experiment (Figure 14).
 	OnRound func(round int, probs map[kb.Triple]float64)

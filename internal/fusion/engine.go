@@ -7,6 +7,7 @@ import (
 	"kfusion/internal/csr"
 	"kfusion/internal/kb"
 	"kfusion/internal/mapreduce"
+	"kfusion/internal/mathx"
 	"kfusion/internal/randx"
 )
 
@@ -31,8 +32,9 @@ import (
 
 // engine holds the compiled graph plus the evolving per-round state.
 type engine struct {
-	cfg Config
-	g   *graph
+	cfg  Config
+	g    *graph
+	kern *mathx.Kernels // exact or fast transcendental kernels (Config.FastMath)
 
 	provAcc     []float64 // prov ID -> current accuracy estimate (raw)
 	provDefault []bool    // prov ID -> still at the unevaluated default
@@ -40,6 +42,20 @@ type engine struct {
 
 	claimProb  []float64 // claim ID -> probability of its triple this round
 	claimStamp []int32   // claim ID -> round+1 when last scored
+
+	// logCount[k] = log(k) for every possible per-item support count
+	// (POPACCU only): the popularity term log q(v) = log n(v) - log n then
+	// needs no transcendental in the per-item loop. logCount[0] = -Inf, the
+	// absent-lane convention the softmax kernel expects.
+	logCount []float64
+
+	// Stage II block reduction over giant provenances: nil while every
+	// provenance span fits in one csr.ReduceBlockSize block (the linear walk
+	// is then already the block reduction). Otherwise provBlocks holds the
+	// SpanBlocks cut of provClaimStart and provBlockStart[p] the index of
+	// provenance p's first block.
+	provBlocks     []csr.Block
+	provBlockStart []int32
 
 	workers     int
 	scratches   []scoreScratch
@@ -49,12 +65,13 @@ type engine struct {
 // scoreScratch is one worker's dense per-item scoring state, sized by the
 // largest candidate list.
 type scoreScratch struct {
-	counts []int32   // per candidate: claims supporting it this round
-	aux    []float64 // per candidate: log-popularity / fallback accuracy sum
-	scores []float64 // per candidate: accumulated vote score
-	probs  []float64 // per candidate: resulting probability
-	selCov []int32   // coverage-filtered claim list
-	selAcc []int32   // accuracy-filtered claim list
+	counts []int32      // per candidate: claims supporting it this round
+	aux    []float64    // per candidate: log-popularity / fallback accuracy sum
+	scores []float64    // per candidate: accumulated vote score
+	probs  []float64    // per candidate: resulting probability
+	selCov []int32      // coverage-filtered claim list
+	selAcc []int32      // accuracy-filtered claim list
+	parts  [][2]float64 // per stage-II block of one provenance: {prob sum, count}
 }
 
 // Fuse runs the configured method over the claims and returns per-triple
@@ -198,6 +215,7 @@ func newEngine(g *graph, cfg Config) *engine {
 	e := &engine{
 		cfg:         cfg,
 		g:           g,
+		kern:        mathx.ForConfig(cfg.FastMath),
 		provAcc:     make([]float64, nProvs),
 		provDefault: make([]bool, nProvs),
 		provTerm:    make([]float64, nProvs),
@@ -211,12 +229,52 @@ func newEngine(g *graph, cfg Config) *engine {
 		e.provAcc[p] = cfg.DefaultAccuracy
 		e.provDefault[p] = true
 	}
+	// Giant provenances (spans past one fixed block) re-estimate through the
+	// csr.SpanBlocks/Pairwise block reduction. The cut depends only on span
+	// lengths: whether a provenance block-reduces is a property of the data,
+	// never of Workers, and a single-block fold is the identity, so every
+	// span at or under ReduceBlockSize keeps the historical linear-walk bits.
+	maxBlocks := 0
+	for p := 0; p < nProvs; p++ {
+		if int(g.provClaimStart[p+1])-int(g.provClaimStart[p]) > csr.ReduceBlockSize {
+			e.provBlocks = csr.SpanBlocks(g.provClaimStart)
+			e.provBlockStart = make([]int32, nProvs+1)
+			for b := range e.provBlocks {
+				e.provBlockStart[e.provBlocks[b].Group+1] = int32(b + 1)
+			}
+			for q := 1; q <= nProvs; q++ {
+				if e.provBlockStart[q] < e.provBlockStart[q-1] {
+					e.provBlockStart[q] = e.provBlockStart[q-1] // empty span
+				}
+			}
+			for q := 0; q < nProvs; q++ {
+				if n := int(e.provBlockStart[q+1] - e.provBlockStart[q]); n > maxBlocks {
+					maxBlocks = n
+				}
+			}
+			break
+		}
+	}
+	if cfg.Method == PopAccu {
+		maxSpan := 0
+		for i := 0; i+1 < len(g.itemClaimStart); i++ {
+			if n := int(g.itemClaimStart[i+1] - g.itemClaimStart[i]); n > maxSpan {
+				maxSpan = n
+			}
+		}
+		e.logCount = make([]float64, maxSpan+1)
+		for k := range e.logCount {
+			e.logCount[k] = float64(k)
+		}
+		e.kern.LogSlice(e.logCount, e.logCount)
+	}
 	for w := range e.scratches {
 		e.scratches[w] = scoreScratch{
 			counts: make([]int32, g.maxCandidates),
 			aux:    make([]float64, g.maxCandidates),
 			scores: make([]float64, g.maxCandidates),
 			probs:  make([]float64, g.maxCandidates),
+			parts:  make([][2]float64, maxBlocks),
 		}
 	}
 	return e
@@ -344,10 +402,7 @@ func (e *engine) stageI(round int) {
 			nf = float64(e.cfg.NFalse)
 		}
 		ParallelRange(len(e.provAcc), pw, func(_, lo, hi int) {
-			for p := lo; p < hi; p++ {
-				a := clampAcc(e.provAcc[p])
-				e.provTerm[p] = math.Log(nf * a / (1 - a))
-			}
+			e.kern.LogOddsSlice(e.provTerm[lo:hi], e.provAcc[lo:hi], nf, accClampLo, accClampHi)
 		})
 	}
 	e.parallelRange(len(e.g.items), func(w, lo, hi int) {
@@ -458,20 +513,27 @@ func (e *engine) scoreItem(sc *scoreScratch, item int32, round int) {
 		var logq []float64
 		nPresent := 0
 		for l := 0; l < nCand; l++ {
-			scores[l] = 0
 			if counts[l] > 0 {
+				scores[l] = 0
 				nPresent++
+			} else {
+				// Absent candidates carry -Inf so the full-width softmax
+				// kernel gives them exp(-Inf) = 0 mass without a presence
+				// branch in its lanes.
+				scores[l] = math.Inf(-1)
 			}
 		}
 		if e.cfg.Method == PopAccu {
 			// q(v) = n(v)/n — the observed popularity that replaces ACCU's
 			// uniform false-value distribution and discounts popular
-			// (possibly copied) false values.
+			// (possibly copied) false values. Support counts are small
+			// integers, so log q comes from the engine's log-count table —
+			// no transcendental per lane. Absent lanes get
+			// logCount[0] = -Inf and are never read.
 			logq = sc.aux[:nCand]
+			logN := e.logCount[n]
 			for l := 0; l < nCand; l++ {
-				if counts[l] > 0 {
-					logq[l] = math.Log(float64(counts[l]) / float64(n))
-				}
+				logq[l] = e.logCount[counts[l]] - logN
 			}
 		}
 		hook := e.cfg.ClaimAccuracy
@@ -483,8 +545,10 @@ func (e *engine) scoreItem(sc *scoreScratch, item int32, round int) {
 			} else {
 				a := clampAcc(hook(g.claims[c], e.provAcc[g.provOfClaim[c]]))
 				if e.cfg.Method == Accu {
+					//lint:ignore kflint/scalarmath the hook returns a per-claim accuracy, so the log really is per claim; the hookless path (the default and every preset) batches it per provenance via LogOddsSlice.
 					term = math.Log(float64(e.cfg.NFalse) * a / (1 - a))
 				} else {
+					//lint:ignore kflint/scalarmath same per-claim hook accuracy as the ACCU arm — there is no per-provenance table to batch when the hook rewrites it per claim.
 					term = math.Log(a / (1 - a))
 				}
 			}
@@ -496,7 +560,10 @@ func (e *engine) scoreItem(sc *scoreScratch, item int32, round int) {
 		}
 		// Softmax over the present candidates plus the unknown-value mass:
 		// ACCU reserves the N - |V| unobserved false values, POPACCU one
-		// unit — the mechanism behind Figure 9's calibration valleys.
+		// unit — the mechanism behind Figure 9's calibration valleys. The
+		// kernel's implicit extra candidate at score 0 is exactly the
+		// unknown-value mass, and its single-exp pass is bit-identical to
+		// the historical two-exp max-subtraction form.
 		unknown := 1.0
 		if e.cfg.Method == Accu {
 			unknown = float64(e.cfg.NFalse - nPresent)
@@ -504,24 +571,7 @@ func (e *engine) scoreItem(sc *scoreScratch, item int32, round int) {
 				unknown = 0
 			}
 		}
-		m := 0.0 // the implicit unknown-value score is 0
-		for l := 0; l < nCand; l++ {
-			if counts[l] > 0 && scores[l] > m {
-				m = scores[l]
-			}
-		}
-		denom := unknown * math.Exp(-m)
-		for l := 0; l < nCand; l++ {
-			if counts[l] > 0 {
-				//lint:ignore kflint/floatsum per-item softmax over at most nCand candidates in fixed local-index order; nCand is bounded by the item's value count, far below a block.
-				denom += math.Exp(scores[l] - m)
-			}
-		}
-		for l := 0; l < nCand; l++ {
-			if counts[l] > 0 {
-				probs[l] = math.Exp(scores[l]-m) / denom
-			}
-		}
+		e.kern.SoftmaxInto(probs, scores, unknown)
 	}
 
 	for _, c := range scored {
@@ -540,9 +590,10 @@ func (e *engine) stageII(round int) float64 {
 		e.workerDelta[w] = 0
 	}
 	e.parallelRange(len(g.provKeys), func(w, lo, hi int) {
+		sc := &e.scratches[w]
 		maxDelta := 0.0
 		for p := lo; p < hi; p++ {
-			sum, cnt := e.provStat(int32(p), stamp)
+			sum, cnt := e.provStat(sc, int32(p), stamp)
 			if cnt == 0 {
 				continue // never scored: keeps the default accuracy
 			}
@@ -638,8 +689,41 @@ func (e *engine) sampleClaims(item kb.DataItem, claims []int32) []int32 {
 // sum/cnt. The (sum, cnt) pair is also the cross-shard merge unit of
 // internal/shard — partials from shards holding slices of one provenance
 // add before the final division.
-func (e *engine) provStat(p, stamp int32) (float64, int32) {
+//
+// Spans past csr.ReduceBlockSize block-reduce: each fixed block sums
+// left-to-right into a {sum, count} partial and the partials fold with the
+// csr.Pairwise tree, so a giant provenance's re-estimate is a pure function
+// of its span length — same bits for any Workers — with pairwise instead of
+// linear error growth. Spans within one block (the common case, and the
+// whole graph when provBlocks is nil) keep the historical linear walk, which
+// a single-block fold is identical to.
+func (e *engine) provStat(sc *scoreScratch, p, stamp int32) (float64, int32) {
 	g := e.g
+	if e.provBlocks != nil {
+		if b0, b1 := e.provBlockStart[p], e.provBlockStart[p+1]; b1-b0 > 1 {
+			parts := sc.parts[:b1-b0]
+			for i, b := range e.provBlocks[b0:b1] {
+				sum := 0.0
+				cnt := 0.0
+				for _, c := range g.provClaims[b.Lo:b.Hi] {
+					if e.claimStamp[c] == stamp {
+						//lint:ignore kflint/floatsum one fixed csr.SpanBlocks block of this provenance's claim span, summed left-to-right — the block partial the Pairwise fold below combines.
+						sum += e.claimProb[c]
+						cnt++
+					}
+				}
+				parts[i] = [2]float64{sum, cnt}
+			}
+			folded := csr.Pairwise(parts, func(a, b [2]float64) [2]float64 {
+				return [2]float64{a[0] + b[0], a[1] + b[1]}
+			})
+			sum, cnt := folded[0], int32(folded[1])
+			if int(cnt) > e.cfg.SampleL {
+				return e.sampleProbsSum(p, stamp)
+			}
+			return sum, cnt
+		}
+	}
 	sum := 0.0
 	cnt := int32(0)
 	for _, c := range g.provClaims[g.provClaimStart[p]:g.provClaimStart[p+1]] {
@@ -683,13 +767,17 @@ func claimIndexes(n int) []int32 {
 	return out
 }
 
+// accClampLo/Hi bound every provenance accuracy before it enters a log-odds
+// term; the same bounds feed mathx.LogOddsSlice so the batched table and the
+// scalar hook path clamp identically.
+const accClampLo, accClampHi = 0.005, 0.995
+
 func clampAcc(a float64) float64 {
-	const lo, hi = 0.005, 0.995
-	if a < lo {
-		return lo
+	if a < accClampLo {
+		return accClampLo
 	}
-	if a > hi {
-		return hi
+	if a > accClampHi {
+		return accClampHi
 	}
 	return a
 }

@@ -1,0 +1,126 @@
+package fusion
+
+// The FastMath equivalence suite: Config.FastMath swaps the exact
+// math.Exp/math.Log kernels for the mathx.Fast polynomial set, and the
+// contract (documented on Config.FastMath and mathx.FastTol) is twofold —
+// outputs stay within mathx.FastTol of the exact engine's on every method
+// family, and the fast path inherits the exact path's determinism: results
+// are bit-identical for any Workers value. CI runs these tests under -race
+// in a dedicated fastmath job so the approximation path cannot rot untested.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"kfusion/internal/mathx"
+)
+
+// assertWithinFastTol is assertEquivalent with mathx.FastTol in place of
+// equivTol: everything discrete (triple set, support counts, prediction
+// flags, rounds) must match the exact engine bit-for-bit; probabilities and
+// accuracies may drift by the documented fast-kernel tolerance.
+func assertWithinFastTol(t *testing.T, name string, got, want *Result) {
+	t.Helper()
+	if got.Rounds != want.Rounds {
+		t.Errorf("%s: Rounds = %d, want %d", name, got.Rounds, want.Rounds)
+	}
+	if got.Unpredicted != want.Unpredicted {
+		t.Errorf("%s: Unpredicted = %d, want %d", name, got.Unpredicted, want.Unpredicted)
+	}
+	if len(got.Triples) != len(want.Triples) {
+		t.Fatalf("%s: %d triples, want %d", name, len(got.Triples), len(want.Triples))
+	}
+	wantBy := want.ByTriple()
+	for _, g := range got.Triples {
+		w, ok := wantBy[g.Triple]
+		if !ok {
+			t.Fatalf("%s: unexpected triple %v", name, g.Triple)
+		}
+		if g.Predicted != w.Predicted || g.Provenances != w.Provenances ||
+			g.ItemProvenances != w.ItemProvenances || g.Extractors != w.Extractors {
+			t.Errorf("%s: %v support mismatch: %+v vs %+v", name, g.Triple, g, w)
+		}
+		if g.Predicted && math.Abs(g.Probability-w.Probability) > mathx.FastTol {
+			t.Errorf("%s: %v probability %v, want %v (Δ=%g beyond FastTol)", name, g.Triple,
+				g.Probability, w.Probability, g.Probability-w.Probability)
+		}
+	}
+	if len(got.ProvAccuracy) != len(want.ProvAccuracy) {
+		t.Fatalf("%s: %d provenances, want %d", name, len(got.ProvAccuracy), len(want.ProvAccuracy))
+	}
+	for p, a := range got.ProvAccuracy {
+		wa, ok := want.ProvAccuracy[p]
+		if !ok {
+			t.Fatalf("%s: unexpected provenance %q", name, p)
+		}
+		if math.Abs(a-wa) > mathx.FastTol {
+			t.Errorf("%s: ProvAccuracy[%q] = %v, want %v beyond FastTol", name, p, a, wa)
+		}
+	}
+}
+
+// TestFastMathMatchesExactWithinFastTol pins the approximation bound at the
+// engine level: every method family and §4.3 refinement, run with the fast
+// kernels, lands within mathx.FastTol of the same run on the exact kernels.
+// The per-call polynomial error (~5e-11 relative) amplifies through the EM
+// rounds' sums and re-normalizations, so this is the iterated bound the
+// per-call property tests in internal/mathx cannot give.
+func TestFastMathMatchesExactWithinFastTol(t *testing.T) {
+	for _, size := range []int{60, 400} {
+		claims := randomClaims(int64(size)*31+1, size)
+		for name, cfg := range equivalenceConfigs() {
+			want, err := Fuse(claims, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast := cfg
+			fast.FastMath = true
+			got, err := Fuse(claims, fast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertWithinFastTol(t, fmt.Sprintf("%s/n=%d", name, size), got, want)
+		}
+	}
+}
+
+// TestFastMathWorkerIndependent: the fast kernels are pure elementwise
+// functions evaluated inside the same fixed-block reductions as the exact
+// path, so FastMath output must stay bit-identical across Workers — the
+// same determinism contract the exact engine carries.
+func TestFastMathWorkerIndependent(t *testing.T) {
+	claims := randomClaims(424242, 300)
+	for name, cfg := range equivalenceConfigs() {
+		cfg.FastMath = true
+		base := cfg
+		base.Workers = 1
+		want, err := Fuse(claims, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBy := want.ByTriple()
+		for _, workers := range []int{3, 8} {
+			c := cfg
+			c.Workers = workers
+			got, err := Fuse(claims, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Triples) != len(want.Triples) {
+				t.Fatalf("%s/workers=%d: result size changed", name, workers)
+			}
+			for _, f := range got.Triples {
+				if wantBy[f.Triple] != f {
+					t.Fatalf("%s/workers=%d: %v differs: %+v vs %+v",
+						name, workers, f.Triple, f, wantBy[f.Triple])
+				}
+			}
+			for p, a := range got.ProvAccuracy {
+				if want.ProvAccuracy[p] != a {
+					t.Fatalf("%s/workers=%d: ProvAccuracy[%q] differs", name, workers, p)
+				}
+			}
+		}
+	}
+}

@@ -271,6 +271,7 @@ func (e *refEngine) itemProbabilities(idxs []int32) map[kb.Triple]float64 {
 					continue
 				}
 				a := e.claimAccuracy(i)
+				//lint:ignore kflint/scalarmath reference spec: the inline scalar log is the golden expression the compiled engine's batched LogOddsSlice pass is measured against.
 				s += math.Log(float64(e.cfg.NFalse) * a / (1 - a))
 			}
 			scores[vi] = s
@@ -299,6 +300,7 @@ func (e *refEngine) itemProbabilities(idxs []int32) map[kb.Triple]float64 {
 					continue
 				}
 				a := e.claimAccuracy(i)
+				//lint:ignore kflint/scalarmath reference spec: the scalar POPACCU vote term is the golden expression the compiled engine's table-driven form is measured against.
 				s += math.Log(a / ((1 - a) * q))
 			}
 			scores[vi] = s
@@ -467,9 +469,10 @@ func softmaxSlice(probs, scores []float64, unknownMass float64) {
 	denom := unknownMass * math.Exp(-m)
 	for _, s := range scores {
 		//lint:ignore kflint/floatsum per-item softmax over one data item's candidate values — a handful of terms in fixed candidate order, not a corpus-scale reduction.
-		denom += math.Exp(s - m)
+		denom += math.Exp(s - m) //lint:ignore kflint/scalarmath reference spec: the two-pass scalar softmax is the golden form mathx.SoftmaxInto is pinned bit-identical to.
 	}
 	for i, s := range scores {
+		//lint:ignore kflint/scalarmath reference spec: same golden two-pass softmax as the denominator above.
 		probs[i] = math.Exp(s-m) / denom
 	}
 }

@@ -83,9 +83,10 @@ func (r *Run) StageI(round int) {
 func (r *Run) ProvPartials(round int, sums []float64, cnts []int32) {
 	e := r.e
 	stamp := int32(round + 1)
-	e.parallelRange(len(e.g.provKeys), func(_, lo, hi int) {
+	e.parallelRange(len(e.g.provKeys), func(w, lo, hi int) {
+		sc := &e.scratches[w]
 		for p := lo; p < hi; p++ {
-			sums[p], cnts[p] = e.provStat(int32(p), stamp)
+			sums[p], cnts[p] = e.provStat(sc, int32(p), stamp)
 		}
 	})
 }

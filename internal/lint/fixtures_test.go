@@ -121,6 +121,11 @@ func TestFloatSumFixtures(t *testing.T) {
 	checkFixture(t, FloatSum, "floatsum", "permitted.go")
 }
 
+func TestScalarMathFixtures(t *testing.T) {
+	checkFixture(t, ScalarMath, "scalarmath", "flagged.go")
+	checkFixture(t, ScalarMath, "scalarmath", "permitted.go")
+}
+
 func TestTypedErrFixtures(t *testing.T) {
 	checkFixture(t, TypedErr, "typederr", "flagged.go")
 	checkFixture(t, TypedErr, "typederr", "permitted.go")
@@ -149,6 +154,9 @@ func TestGating(t *testing.T) {
 		{MapIter, "kfusion/internal/web", false},
 		{FloatSum, "kfusion/internal/csr", true},
 		{FloatSum, "kfusion/internal/eval", false},
+		{ScalarMath, "kfusion/internal/twolayer", true},
+		{ScalarMath, "kfusion/internal/multitruth", true},
+		{ScalarMath, "kfusion/internal/mathx", false},
 		{TypedErr, "kfusion/cmd/kfuse", true},
 		{AtomicWrite, "kfusion/internal/genstore", true},
 		{AtomicWrite, "kfusion/internal/kfio", false},

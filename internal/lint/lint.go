@@ -1,8 +1,9 @@
 // Package lint is kfusion's in-tree static-analysis suite: a small family
 // of analyzers that machine-check the contracts the rest of the codebase
 // rides on — deterministic iteration in the compiled engines (mapiter),
-// fixed-shape float reductions (floatsum), wrap-safe sentinel-error
-// handling (typederr), and atomic durable writes (atomicwrite). The
+// fixed-shape float reductions (floatsum), batched transcendentals in the
+// EM hot loops (scalarmath), wrap-safe sentinel-error handling (typederr),
+// and atomic durable writes (atomicwrite). The
 // analyzers run on every build via `make lint` / `cmd/kflint` and inside
 // `go test ./...` through the self-test, so a contract violation fails the
 // tree the same way a broken unit test does.
@@ -84,7 +85,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapIter, FloatSum, TypedErr, AtomicWrite}
+	return []*Analyzer{MapIter, FloatSum, ScalarMath, TypedErr, AtomicWrite}
 }
 
 // Applies reports whether a is gated onto the package with import path

@@ -1,0 +1,44 @@
+// Package fixture holds per-element transcendental shapes the scalarmath
+// analyzer must flag: math.Exp/math.Log evaluated one call at a time inside
+// a loop — the scalar form a batched mathx kernel pass replaces.
+package fixture
+
+import "math"
+
+// perElementLog is the classic per-round table built scalar: one math.Log
+// pair per element instead of one LogRatioSlice pass.
+func perElementLog(dst, recall, falsePos []float64) {
+	for i := range dst {
+		// Both calls on the line below are flagged independently.
+		// want@+1 `scalar math.Log inside a loop`
+		dst[i] = math.Log(recall[i]) - math.Log(falsePos[i]) // want `scalar math.Log inside a loop`
+	}
+}
+
+// perElementExp is the scalar softmax tail: an exp per lane per iteration.
+func perElementExp(scores []float64, m float64) float64 {
+	denom := 0.0
+	for _, s := range scores {
+		denom += math.Exp(s - m) // want `scalar math.Exp inside a loop`
+	}
+	return denom
+}
+
+// inCallback models the parallel-chunk shape: the loop lives inside a
+// worker callback, which still evaluates the transcendental per element.
+func inCallback(xs []float64, run func(func(lo, hi int))) {
+	run(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[i] = math.Exp(xs[i]) // want `scalar math.Exp inside a loop`
+		}
+	})
+}
+
+// inCondition is flagged too: a loop condition re-evaluates per iteration.
+func inCondition(x float64) int {
+	n := 0
+	for i := 0; float64(i) < math.Log(x); i++ { // want `scalar math.Log inside a loop`
+		n++
+	}
+	return n
+}

@@ -1,0 +1,52 @@
+// Package fixture holds transcendental shapes the scalarmath analyzer must
+// NOT flag: one-time evaluations outside any loop, per-iteration positions
+// that are not math.Exp/math.Log, and suppressed reference-spec spots.
+package fixture
+
+import "math"
+
+// oncePerRound is the engines' legitimate scalar use: a prior or constant
+// computed once before the loops start.
+func oncePerRound(prior float64, dst []float64) {
+	logPrior := math.Log(prior) - math.Log(1-prior)
+	for i := range dst {
+		dst[i] = logPrior
+	}
+}
+
+// loopInit is evaluated once, not per iteration.
+func loopInit(x float64) float64 {
+	s := 0.0
+	for i := int(math.Log(x)); i > 0; i-- {
+		s++
+	}
+	return s
+}
+
+// rangeOperand is evaluated once to produce the ranged value.
+func rangeOperand(xs []float64) float64 {
+	s := 0.0
+	for range xs[:int(math.Log(float64(len(xs)+2)))] {
+		s++
+	}
+	return s
+}
+
+// otherMath stays unflagged: the gate is exactly the two EM hot-loop
+// transcendentals, not every math call.
+func otherMath(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s = math.Max(s, math.Abs(x))
+	}
+	return s
+}
+
+// suppressed is the reference-engine shape: the scalar evaluation IS the
+// golden spec, and says so.
+func suppressed(xs []float64) {
+	for i := range xs {
+		//lint:ignore kflint/scalarmath fixture reference spec: the inline scalar evaluation is the golden expression the batched engines are compared against.
+		xs[i] = math.Exp(xs[i])
+	}
+}

@@ -1,0 +1,209 @@
+package mathx
+
+import "math"
+
+// The Fast kernel set: polynomial exp and log with a measured, documented
+// maximum relative error, for engines running with Config.FastMath. The
+// approximations use the classical argument reductions —
+//
+//	exp(x) = 2^k · exp(r),  k = round(x·log2 e),  r = x − k·ln 2, |r| ≤ ln2/2
+//	log(x) = k·ln 2 + log(m),  x = 2^k·m,  m ∈ [√2/2, √2)
+//
+// — with the reduced interval evaluated by a short Horner polynomial
+// (degree-9 Taylor for exp(r); the atanh series in s = (m−1)/(m+1) for
+// log(m)). Every lane is a pure function of its input: no lookup tables, no
+// state, so fast-kernel results are as worker-count- and shard-count-
+// independent as the exact ones.
+//
+// Special values follow math.Exp / math.Log: NaN propagates, exp(±Inf) is
+// +Inf/0, inputs past the overflow/underflow cutoffs saturate to +Inf/0,
+// log of 0 / negative / +Inf is -Inf / NaN / +Inf, and subnormal inputs to
+// log are normalized before exponent extraction. The edge behavior and the
+// error bounds below are pinned by the property tests in fast_test.go.
+
+// FastExpMaxRelErr bounds |fastExp(x)/exp(x) − 1| over the full finite
+// domain that does not overflow or underflow ([-745, 709]); the dominant
+// term is the degree-9 Taylor truncation at |r| = ln2/2 (≈7·10⁻¹²) plus a
+// few ulp of Horner rounding. The property tests sweep the engines'
+// operating domain (log-odds sums, probabilities, likelihood ratios) and a
+// dense grid of the full domain against this bound.
+const FastExpMaxRelErr = 5e-11
+
+// FastLogMaxRelErr bounds the relative error of fastLog over positive
+// normal inputs (and |fastLog(x) − log(x)| ≤ FastLogMaxRelErr·|log x| with
+// |log x| ≥ ln(√2)/2 away from 1; near 1 the series is exact to the same
+// relative order in its leading term, so the bound holds everywhere).
+const FastLogMaxRelErr = 5e-12
+
+// FastTol is the documented engine-level equivalence tolerance for the fast
+// path: a FastMath run's triple probabilities and provenance/source
+// accuracies (all in [0,1]) stay within this absolute bound of the exact
+// engine's. The kernels themselves are 4–5 orders of magnitude tighter
+// (FastExpMaxRelErr, FastLogMaxRelErr); the headroom absorbs the EM loop
+// compounding per-term error over rounds of log-odds sums and parameter
+// re-estimation. Pinned by the FastMath equivalence suites in the fusion,
+// twolayer and multitruth packages, next to the exact path's RefTol policy.
+const FastTol = 1e-6
+
+const (
+	expOverflow  = 709.782712893384   // above: exp overflows float64
+	expUnderflow = -745.1332191019412 // below: exp underflows to 0
+	log2e        = 1.44269504088896340736
+	ln2Hi        = 6.93147180369123816490e-01
+	ln2Lo        = 1.90821492927058770002e-10
+)
+
+// fastExp is the scalar fast exponential. Branches handle only special
+// values and the subnormal-result tail; the common path is branch-free
+// reduction + Horner + exponent scaling.
+func fastExp(x float64) float64 {
+	if x != x { // NaN
+		return x
+	}
+	if x > expOverflow {
+		return math.Inf(1)
+	}
+	if x < expUnderflow {
+		return 0
+	}
+	// r = x - k*ln2 via the hi/lo split keeps the reduction error below an
+	// ulp of r; |r| <= ln2/2 ≈ 0.3466.
+	k := math.Floor(x*log2e + 0.5)
+	r := (x - k*ln2Hi) - k*ln2Lo
+	// Degree-9 Taylor of exp(r), Horner form.
+	p := 1.0 + r*(1.0+r*(0.5+r*(1.0/6+r*(1.0/24+r*(1.0/120+r*(1.0/720+
+		r*(1.0/5040+r*(1.0/40320+r*(1.0/362880)))))))))
+	ik := int(k)
+	if ik < -1021 || ik > 1023 {
+		// Subnormal result (or the very top of the range): take the exact
+		// but slower scaling path.
+		return math.Ldexp(p, ik)
+	}
+	// 2^k as a float64 by constructing the exponent field directly.
+	return p * math.Float64frombits(uint64(1023+ik)<<52)
+}
+
+// fastLog is the scalar fast logarithm.
+func fastLog(x float64) float64 {
+	if x != x || math.IsInf(x, 1) { // NaN, +Inf
+		return x
+	}
+	if x < 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return math.Inf(-1)
+	}
+	bits := math.Float64bits(x)
+	exp := int(bits >> 52 & 0x7ff)
+	k := 0
+	if exp == 0 {
+		// Subnormal: renormalize so the mantissa extraction below sees a
+		// normal number.
+		x *= 1 << 52
+		bits = math.Float64bits(x)
+		exp = int(bits >> 52 & 0x7ff)
+		k = -52
+	}
+	k += exp - 1023
+	m := math.Float64frombits(bits&0x000fffffffffffff | 0x3ff0000000000000) // [1, 2)
+	if m > math.Sqrt2 {
+		m *= 0.5
+		k++
+	}
+	// m in [√2/2, √2]: log(m) = 2·atanh(s), s = (m-1)/(m+1), |s| ≤ 0.1716.
+	s := (m - 1) / (m + 1)
+	z := s * s
+	series := s * (2.0 + z*(2.0/3+z*(2.0/5+z*(2.0/7+z*(2.0/9+z*(2.0/11+z*(2.0/13)))))))
+	return float64(k)*ln2Hi + (series + float64(k)*ln2Lo)
+}
+
+// FastExpSlice writes dst[i] = fastExp(x[i]).
+func FastExpSlice(dst, x []float64) {
+	dst = dst[:len(x)]
+	for i, v := range x {
+		dst[i] = fastExp(v)
+	}
+}
+
+// FastLogSlice writes dst[i] = fastLog(x[i]).
+func FastLogSlice(dst, x []float64) {
+	dst = dst[:len(x)]
+	for i, v := range x {
+		dst[i] = fastLog(v)
+	}
+}
+
+// FastLogOddsSlice is LogOddsSlice on the fast log.
+func FastLogOddsSlice(dst, acc []float64, nf, lo, hi float64) {
+	dst = dst[:len(acc)]
+	for i, a := range acc {
+		if a < lo {
+			a = lo
+		} else if a > hi {
+			a = hi
+		}
+		dst[i] = fastLog(nf * a / (1 - a))
+	}
+}
+
+// FastLogRatioSlice is LogRatioSlice on the fast log.
+func FastLogRatioSlice(dst, num, den []float64) {
+	dst = dst[:len(num)]
+	den = den[:len(num)]
+	for i, v := range num {
+		dst[i] = fastLog(v) - fastLog(den[i])
+	}
+}
+
+// FastSigmoid is Sigmoid on the fast exponential.
+func FastSigmoid(x float64) float64 {
+	if x >= 0 {
+		z := fastExp(-x)
+		return 1 / (1 + z)
+	}
+	z := fastExp(x)
+	return z / (1 + z)
+}
+
+// FastSigmoidSlice writes dst[i] = FastSigmoid(x[i]).
+func FastSigmoidSlice(dst, x []float64) {
+	dst = dst[:len(x)]
+	for i, v := range x {
+		dst[i] = FastSigmoid(v)
+	}
+}
+
+// FastSoftmaxInto is SoftmaxInto on the fast exponential: same fixed
+// summation order, same -Inf absent-lane convention.
+func FastSoftmaxInto(dst, scores []float64, extraMass float64) {
+	dst = dst[:len(scores)]
+	if len(scores) == 1 {
+		// Mirror of SoftmaxInto's single-candidate shortcut: one fastExp
+		// instead of two, bit-identical to the general path below because
+		// fastExp(±0) = 1 exactly.
+		if s := scores[0]; s > 0 {
+			dst[0] = 1 / (extraMass*fastExp(-s) + 1)
+		} else {
+			v := fastExp(s)
+			dst[0] = v / (extraMass + v)
+		}
+		return
+	}
+	m := 0.0
+	for _, s := range scores {
+		if s > m {
+			m = s
+		}
+	}
+	denom := extraMass * fastExp(-m)
+	for i, s := range scores {
+		v := fastExp(s - m)
+		dst[i] = v
+		//lint:ignore kflint/floatsum one candidate list's softmax denominator in fixed slice order — the per-group partial every caller owns whole; identical order across runs.
+		denom += v
+	}
+	for i := range dst {
+		dst[i] /= denom
+	}
+}

@@ -1,0 +1,98 @@
+package multitruth
+
+// The FastMath equivalence suite for the latent truth model: Config.FastMath
+// moves the per-round hit/miss log-ratio tables and the per-claim sigmoids
+// onto the mathx.Fast polynomial kernels. Same contract as the fusion and
+// twolayer suites — within mathx.FastTol of the exact engine, bit-identical
+// across Workers — exercised by CI's fastmath job under -race.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"kfusion/internal/fusion"
+	"kfusion/internal/mathx"
+)
+
+// randomLTMClaims builds a collision-heavy claim set: few subjects and
+// values over many provenances, so items carry several candidate truths and
+// the sensitivity/specificity EM actually moves.
+func randomLTMClaims(seed int64, n int) []fusion.Claim {
+	rng := rand.New(rand.NewSource(seed))
+	var claims []fusion.Claim
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		c := cl(
+			fmt.Sprintf("s%d", rng.Intn(12)),
+			fmt.Sprintf("/p/%d", rng.Intn(3)),
+			fmt.Sprintf("v%d", rng.Intn(5)),
+			fmt.Sprintf("prov%d", rng.Intn(9)),
+		)
+		k := c.Prov + "|" + c.Triple.Encode()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		claims = append(claims, c)
+	}
+	return claims
+}
+
+// TestFastMathMatchesExactWithinFastTol pins the iterated fast-kernel bound
+// for LTM: per-call polynomial error compounds through Rounds of log-odds
+// sums and sigmoid squashes, and the final independent per-triple
+// probabilities must stay within mathx.FastTol of the exact engine's.
+func TestFastMathMatchesExactWithinFastTol(t *testing.T) {
+	for _, size := range []int{80, 600} {
+		claims := randomLTMClaims(int64(size)*13+5, size)
+		cfg := DefaultConfig()
+		want := MustFuse(claims, cfg)
+		fast := cfg
+		fast.FastMath = true
+		got := MustFuse(claims, fast)
+		if len(got.Triples) != len(want.Triples) {
+			t.Fatalf("n=%d: %d triples, want %d", size, len(got.Triples), len(want.Triples))
+		}
+		wantBy := want.ByTriple()
+		for _, g := range got.Triples {
+			w, ok := wantBy[g.Triple]
+			if !ok {
+				t.Fatalf("n=%d: unexpected triple %v", size, g.Triple)
+			}
+			if g.Provenances != w.Provenances || g.Extractors != w.Extractors {
+				t.Errorf("n=%d: %v support mismatch: %+v vs %+v", size, g.Triple, g, w)
+			}
+			if math.Abs(g.Probability-w.Probability) > mathx.FastTol {
+				t.Errorf("n=%d: %v probability %v, want %v (Δ=%g beyond FastTol)",
+					size, g.Triple, g.Probability, w.Probability, g.Probability-w.Probability)
+			}
+		}
+	}
+}
+
+// TestFastMathWorkerIndependent: FastMath results must be bit-identical for
+// any Workers value — the fast kernels run inside the same fixed
+// claim-index-order accumulations as the exact path.
+func TestFastMathWorkerIndependent(t *testing.T) {
+	claims := randomLTMClaims(99, 600)
+	cfg := DefaultConfig()
+	cfg.FastMath = true
+	cfg.Workers = 1
+	want := MustFuse(claims, cfg)
+	wantBy := want.ByTriple()
+	for _, workers := range []int{2, 7} {
+		c := cfg
+		c.Workers = workers
+		got := MustFuse(claims, c)
+		if len(got.Triples) != len(want.Triples) {
+			t.Fatalf("workers=%d: result size changed", workers)
+		}
+		for _, f := range got.Triples {
+			if wantBy[f.Triple] != f {
+				t.Fatalf("workers=%d: %v differs: %+v vs %+v", workers, f.Triple, f, wantBy[f.Triple])
+			}
+		}
+	}
+}

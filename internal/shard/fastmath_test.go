@@ -1,0 +1,106 @@
+package shard
+
+// FastMath across shard counts: the coordinators thread Config.FastMath
+// through to every shard's engine, and the sharded determinism contract
+// must survive the kernel swap — K=1 stays bit-for-bit the unsharded fast
+// engine, any K is bit-identical across Workers, and K>1 lands within
+// mathx.FastTol of K=1 (the shard merge re-groups the same sums it
+// re-groups on the exact path; FastTol is the documented engine-level
+// bound for the fast kernels). Part of CI's fastmath job.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/fusion"
+	"kfusion/internal/mathx"
+	"kfusion/internal/twolayer"
+)
+
+// requireWithinFastTol is requireCloseToReference with mathx.FastTol in
+// place of RefTol on the float outputs.
+func requireWithinFastTol(t *testing.T, tag string, want, got *fusion.Result) {
+	t.Helper()
+	if got.Rounds != want.Rounds || got.Unpredicted != want.Unpredicted || len(got.Triples) != len(want.Triples) {
+		t.Fatalf("%s: shape differs: rounds %d/%d unpredicted %d/%d triples %d/%d",
+			tag, got.Rounds, want.Rounds, got.Unpredicted, want.Unpredicted, len(got.Triples), len(want.Triples))
+	}
+	ws, gs := sortedTriples(want), sortedTriples(got)
+	for i := range ws {
+		w, g := ws[i], gs[i]
+		if w.Triple != g.Triple || w.Predicted != g.Predicted ||
+			w.Provenances != g.Provenances || w.ItemProvenances != g.ItemProvenances || w.Extractors != g.Extractors {
+			t.Fatalf("%s: integer fields differ at %d:\nwant %+v\ngot  %+v", tag, i, w, g)
+		}
+		if math.Abs(w.Probability-g.Probability) > mathx.FastTol {
+			t.Fatalf("%s: %s probability %v vs %v beyond FastTol", tag, w.Triple.Encode(), g.Probability, w.Probability)
+		}
+	}
+	for k, w := range want.ProvAccuracy {
+		g, ok := got.ProvAccuracy[k]
+		if !ok || math.Abs(w-g) > mathx.FastTol {
+			t.Fatalf("%s: prov %q accuracy %v, want %v within FastTol", tag, k, g, w)
+		}
+	}
+}
+
+// TestFusionFastMathShardSweep: single-layer fusion under FastMath — the
+// K=1 anchor is bit-identical to the unsharded fast pipeline, K in {2,4}
+// stays within FastTol of K=1, and Workers never perturbs a bit at fixed K.
+func TestFusionFastMathShardSweep(t *testing.T) {
+	xs := testExtractions(rand.New(rand.NewSource(47)), 4000)
+	cfg := fusion.PopAccuConfig()
+	cfg.FastMath = true
+
+	want := unshardedFuse(t, xs, cfg)
+	got := shardedFuse(t, xs, 1, cfg)
+	requireBitIdentical(t, "fusion/fastmath/K=1", want, got)
+
+	for _, k := range []int{2, 4} {
+		requireWithinFastTol(t, fmt.Sprintf("fusion/fastmath/K=%d", k),
+			got, shardedFuse(t, xs, k, cfg))
+	}
+
+	fixedK := shardedFuse(t, xs, 3, cfg)
+	for _, workers := range []int{2, 7} {
+		c := cfg
+		c.Workers = workers
+		requireBitIdentical(t, fmt.Sprintf("fusion/fastmath/workers=%d", workers),
+			fixedK, shardedFuse(t, xs, 3, c))
+	}
+}
+
+// TestTwoLayerFastMathShardSweep: the same sweep for the two-layer model,
+// whose merge crosses shards twice per round plus the ghost-miss
+// correction — the strongest exercise of the fast kernels' shard contract.
+func TestTwoLayerFastMathShardSweep(t *testing.T) {
+	xs := testExtractions(rand.New(rand.NewSource(48)), 4000)
+	cfg := twoLayerConfig()
+	cfg.FastMath = true
+
+	g := extract.Compile(xs, cfg.SiteLevel)
+	want, wantState, err := twolayer.FuseCompiledWarm(g, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got := shardedTwoLayer(t, xs, 1, cfg)
+	requireBitIdentical(t, "twolayer/fastmath/K=1", want, got.res)
+	requireSameState(t, "fastmath/K=1", wantState, got.state)
+
+	for _, k := range []int{2, 4} {
+		_, gotK := shardedTwoLayer(t, xs, k, cfg)
+		requireWithinFastTol(t, fmt.Sprintf("twolayer/fastmath/K=%d", k), got.res, gotK.res)
+	}
+
+	_, fixedK := shardedTwoLayer(t, xs, 3, cfg)
+	for _, workers := range []int{2, 7} {
+		c := cfg
+		c.Workers = workers
+		_, gotW := shardedTwoLayer(t, xs, 3, c)
+		requireBitIdentical(t, fmt.Sprintf("twolayer/fastmath/workers=%d", workers), fixedK.res, gotW.res)
+		requireSameState(t, fmt.Sprintf("fastmath/workers=%d", workers), fixedK.state, gotW.state)
+	}
+}

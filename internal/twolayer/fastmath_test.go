@@ -1,0 +1,107 @@
+package twolayer
+
+// The FastMath equivalence suite for the two-layer engine: Config.FastMath
+// swaps the per-round likelihood-ratio tables, sigmoids and softmax onto the
+// mathx.Fast polynomial kernels. The contract mirrors the exact path's
+// RefTol policy one tolerance class up — float outputs within mathx.FastTol
+// of the exact engine, discrete outputs identical, and bit-identical results
+// across worker counts. CI's fastmath job runs this suite under -race.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"kfusion/internal/extract"
+	"kfusion/internal/fusion"
+	"kfusion/internal/mathx"
+)
+
+// requireWithinFastTol is requireClose with mathx.FastTol in place of
+// RefTol: integer outputs exact, float outputs within the documented
+// fast-kernel engine tolerance.
+func requireWithinFastTol(t *testing.T, label string, got, want *fusion.Result) {
+	t.Helper()
+	if got.Rounds != want.Rounds {
+		t.Fatalf("%s: Rounds = %d, want %d", label, got.Rounds, want.Rounds)
+	}
+	if len(got.Triples) != len(want.Triples) {
+		t.Fatalf("%s: %d triples, want %d", label, len(got.Triples), len(want.Triples))
+	}
+	for i := range got.Triples {
+		g, w := got.Triples[i], want.Triples[i]
+		if g.Triple != w.Triple || g.Predicted != w.Predicted ||
+			g.Provenances != w.Provenances || g.ItemProvenances != w.ItemProvenances ||
+			g.Extractors != w.Extractors {
+			t.Fatalf("%s: triple %d integer fields differ:\n got %+v\nwant %+v", label, i, g, w)
+		}
+		if math.Abs(g.Probability-w.Probability) > mathx.FastTol {
+			t.Fatalf("%s: triple %d probability %v, want %v (Δ=%g beyond FastTol)",
+				label, i, g.Probability, w.Probability, g.Probability-w.Probability)
+		}
+	}
+	if len(got.ProvAccuracy) != len(want.ProvAccuracy) {
+		t.Fatalf("%s: %d sources, want %d", label, len(got.ProvAccuracy), len(want.ProvAccuracy))
+	}
+	for src, a := range got.ProvAccuracy {
+		wa, ok := want.ProvAccuracy[src]
+		if !ok {
+			t.Fatalf("%s: unexpected source %q", label, src)
+		}
+		if math.Abs(a-wa) > mathx.FastTol {
+			t.Fatalf("%s: ProvAccuracy[%q] = %v, want %v beyond FastTol", label, src, a, wa)
+		}
+	}
+}
+
+// TestFastMathMatchesExactWithinFastTol pins the iterated approximation
+// bound: the fast kernels' per-call error compounds through both EM layers
+// (extractor log-ratios into statement sigmoids into the per-item softmax,
+// round after round), and the engine-level drift must still stay within
+// mathx.FastTol on both site levels and across input scales, including the
+// wide regime where the layer-1 hoist and single-hit cache carry the load.
+func TestFastMathMatchesExactWithinFastTol(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []extract.Extraction
+	}{
+		{"dense", randomExtractions(rand.New(rand.NewSource(17)), 1500)},
+		{"wide", randomExtractionsWide(rand.New(rand.NewSource(31)), 20000)},
+	}
+	for _, tc := range cases {
+		for _, siteLevel := range []bool{false, true} {
+			cfg := DefaultConfig()
+			cfg.SiteLevel = siteLevel
+			g := extract.Compile(tc.xs, siteLevel)
+			want := MustFuseCompiled(g, cfg)
+			fast := cfg
+			fast.FastMath = true
+			got := MustFuseCompiled(g, fast)
+			requireWithinFastTol(t, fmt.Sprintf("%s/siteLevel=%v", tc.name, siteLevel), got, want)
+		}
+	}
+}
+
+// TestFastMathForcedWorkerDeterminism: with FastMath on, the forced-worker
+// sweep from TestForcedWorkerDeterminism must still hold bit-for-bit — the
+// fast kernels are pure per-lane functions inside the same fixed reduction
+// trees, so Workers cannot perturb a single result bit.
+func TestFastMathForcedWorkerDeterminism(t *testing.T) {
+	xs := randomExtractionsWide(rand.New(rand.NewSource(31)), 20000)
+	for _, siteLevel := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.SiteLevel = siteLevel
+		cfg.FastMath = true
+		cfg.Workers = 1
+		base := extract.CompileWorkers(xs, siteLevel, 1)
+		want := MustFuseCompiled(base, cfg)
+		for _, workers := range []int{2, 3, 7, 8} {
+			g := extract.CompileWorkers(xs, siteLevel, workers)
+			c := cfg
+			c.Workers = workers
+			requireBitIdentical(t, fmt.Sprintf("fastmath siteLevel=%v workers=%d", siteLevel, workers),
+				MustFuseCompiled(g, c), want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"kfusion/internal/fusion"
 	"kfusion/internal/kb"
 	"kfusion/internal/mapreduce"
+	"kfusion/internal/mathx"
 )
 
 // FuseReference is the original map-keyed two-layer engine, retained as the
@@ -105,13 +106,13 @@ func FuseReference(xs []extract.Extraction, cfg Config) (*fusion.Result, error) 
 					p := extPar[e]
 					if claimed[e] {
 						//lint:ignore kflint/floatsum extsOnSource holds each source's extractors in the sorted order PR 3 established; the per-statement log-odds sum therefore adds identical terms in identical order every run.
-						logOdds += math.Log(p.recall) - math.Log(p.falsePos)
+						logOdds += math.Log(p.recall) - math.Log(p.falsePos) //lint:ignore kflint/scalarmath reference spec: the inline scalar ratio is the golden expression the compiled engine's LogRatioSlice tables are measured against.
 					} else {
 						//lint:ignore kflint/floatsum same fixed extsOnSource order as the branch above — the absent-extractor terms accumulate deterministically too.
-						logOdds += math.Log(1-p.recall) - math.Log(1-p.falsePos)
+						logOdds += math.Log(1-p.recall) - math.Log(1-p.falsePos) //lint:ignore kflint/scalarmath reference spec: same golden miss-ratio expression as the hit branch.
 					}
 				}
-				emit(si, sigmoid(logOdds))
+				emit(si, mathx.Sigmoid(logOdds))
 			},
 			Reduce: func(si int, vs []float64, emit func(struct{})) {
 				stated[si] = vs[0]
@@ -154,6 +155,7 @@ func FuseReference(xs []extract.Extraction, cfg Config) (*fusion.Result, error) 
 							w = 1
 						}
 						a := clampAcc(srcAcc[sts[si].source])
+						//lint:ignore kflint/scalarmath reference spec: the scalar source log-weight is the golden expression the compiled engine's LogOddsSlice table is measured against.
 						s += w * math.Log(float64(cfg.NFalse)*a/(1-a))
 					}
 					scores[vi] = s
@@ -171,9 +173,10 @@ func FuseReference(xs []extract.Extraction, cfg Config) (*fusion.Result, error) 
 				denom := unknown * math.Exp(-m)
 				for _, s := range scores {
 					//lint:ignore kflint/floatsum per-item softmax over one data item's candidate triples, in the item's fixed triple order — a handful of terms, not a corpus reduction.
-					denom += math.Exp(s - m)
+					denom += math.Exp(s - m) //lint:ignore kflint/scalarmath reference spec: the two-pass scalar softmax is the golden form mathx.SoftmaxInto is pinned bit-identical to.
 				}
 				for vi, ti := range tis {
+					//lint:ignore kflint/scalarmath reference spec: same golden two-pass softmax as the denominator above.
 					emit(ti, math.Exp(scores[vi]-m)/denom)
 				}
 			},

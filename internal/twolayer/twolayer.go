@@ -50,16 +50,19 @@
 //
 // # Reference-tolerance policy
 //
-// The fixed-block re-grouping legitimately changes the low-order bits of the
-// per-extractor sums relative to the reference engine's single left-to-right
-// walk in global statement order (pairwise summation is, if anything, more
-// accurate). Compiled-vs-reference equivalence therefore relaxes from
-// bit-equality to a documented <= 1e-9 absolute tolerance (RefTol,
-// CloseToReference) on the M-step-affected outputs — triple probabilities
-// and source accuracies, all in [0,1], where an absolute bound is at least
-// as strict as a relative one; everything integer — triple order, support
-// counts, round counts — remains exact. Compiled-vs-compiled equality
-// across worker counts remains bitwise.
+// Two engine optimizations legitimately change the low-order bits of float
+// sums relative to the reference engine: the M-step extractor-rate pass
+// re-groups the reference's single left-to-right walk into fixed blocks
+// folded pairwise (if anything, more accurate), and the layer-1 E-step
+// hoists each source's miss terms into a per-source base, so a statement's
+// log-odds becomes base plus per-hit corrections instead of one interleaved
+// walk over the source's whole extractor span. Compiled-vs-reference
+// equivalence therefore relaxes from bit-equality to a documented <= 1e-9
+// absolute tolerance (RefTol, CloseToReference) on the float outputs —
+// triple probabilities and source accuracies, all in [0,1], where an
+// absolute bound is at least as strict as a relative one; everything integer
+// — triple order, support counts, round counts — remains exact.
+// Compiled-vs-compiled equality across worker counts remains bitwise.
 package twolayer
 
 import (
@@ -70,6 +73,7 @@ import (
 	"kfusion/internal/csr"
 	"kfusion/internal/extract"
 	"kfusion/internal/fusion"
+	"kfusion/internal/mathx"
 )
 
 // RefTol is the documented compiled-vs-reference tolerance (see the
@@ -114,6 +118,12 @@ type Config struct {
 	// Workers bounds the parallel EM stage loops (0 = GOMAXPROCS). Results
 	// never depend on it.
 	Workers int
+	// FastMath runs the per-round transcendental tables and sigmoids on the
+	// mathx.Fast polynomial kernels instead of math.Exp/math.Log. Outputs
+	// stay within mathx.FastTol of the exact engine's (pinned by the
+	// FastMath equivalence suite) and remain bit-identical across worker and
+	// shard counts — the approximation is elementwise and deterministic.
+	FastMath bool
 }
 
 // DefaultConfig returns the configuration used in the ablation experiments.
@@ -271,35 +281,61 @@ func MustFuseCompiled(g *extract.Compiled, cfg Config) *fusion.Result {
 // slice is indexed by an interned ID; the EM rounds allocate nothing.
 //
 // Closeness to FuseReference is an invariant pinned by the golden
-// equivalence tests: every floating-point accumulation below runs in the
-// same order and grouping as the reference loops — statement sums walk a
-// source's extractors in first-extraction order, per-source and per-triple
-// sums walk statements in ascending ID order, and the per-round extractor
-// likelihood ratios and source log-weights are precomputed from the exact
-// expressions the reference evaluates inline — except the M-step
-// extractor-rate pass, whose fixed-block pairwise re-grouping is documented
-// in the package comment (<= 1e-9 tolerance vs the reference; bit-identical
-// across Workers).
+// equivalence tests: per-source and per-triple sums walk statements in
+// ascending ID order, and the per-round extractor likelihood ratios and
+// source log-weights are batched mathx kernel passes over the exact
+// expressions the reference evaluates inline. Two documented re-groupings
+// separate the engines within RefTol while staying bit-identical across
+// Workers (see the package comment): the M-step extractor-rate pass's
+// fixed-block pairwise reduction, and the layer-1 hoist that assembles each
+// statement's log-odds as a per-source miss base plus per-hit corrections
+// instead of the reference's straight extractor-span walk.
 type engine struct {
 	g       *extract.Compiled
 	cfg     Config
 	workers int
+	kern    *mathx.Kernels        // transcendental kernel set (Exact or Fast)
+	sig     func(float64) float64 // scalar sigmoid matching kern
 
 	stated  []float64 // statement ID -> P(source states triple)
 	tripleP []float64 // triple ID -> P(triple true)
 	srcAcc  []float64 // source ID -> accuracy
 
-	recall   []float64 // extractor ID -> recall
-	falsePos []float64 // extractor ID -> hallucination rate
-	lrHit    []float64 // per round: log(recall) - log(falsePos)
-	lrMiss   []float64 // per round: log(1-recall) - log(1-falsePos)
-	srcLogW  []float64 // per round: log(NFalse * a / (1-a)), a clamped
+	// stWeight stages the layer-2 corroboration vote per statement:
+	// clamp((stated-0.5)/0.45) * srcLogW[source], written by inferStatements
+	// in the same pass that writes stated (the source index is already in
+	// hand there). An uninformed statement stages exactly +0.0, which the
+	// per-triple sums absorb bit-identically to the historical skip (no
+	// term or partial sum in a span can be -0.0), so inferTruth's scoring
+	// loop is a branch-free run over each triple's statement span.
+	stWeight []float64
 
-	// Per-worker scratch: extractor-membership stamps for the layer-1 loop
-	// and candidate score buffers for the layer-2 softmax.
-	stamps [][]int32
+	recall    []float64 // extractor ID -> recall
+	falsePos  []float64 // extractor ID -> hallucination rate
+	lrHit     []float64 // per round: log(recall) - log(falsePos)
+	lrMiss    []float64 // per round: log(1-recall) - log(1-falsePos)
+	lrAdj     []float64 // per round: lrHit - lrMiss (hit correction over the miss base)
+	oneMinusR []float64 // staging for the batched lrMiss kernel pass
+	oneMinusF []float64
+	srcBase   []float64 // per round: prior + ghost + summed lrMiss of the source's extractors
+	srcLogW   []float64 // per round: log(NFalse * a / (1-a)), a clamped
+
+	// Per-worker scratch: candidate score buffers for the layer-2 softmax.
 	scores [][]float64
 	deltas []float64
+
+	// Single-hit sigmoid cache, per worker: most statements are hit by
+	// exactly one extractor and distinct (source, extractor) pairs are an
+	// order of magnitude fewer, so the layer-1 loop caches
+	// sigmoid(srcBase + lrAdj) per pair per round in dense
+	// [source*nExt + ext] value/round-stamp arrays. nil (cache disabled, the
+	// same expression computed inline) when the pair space exceeds
+	// pairCacheMaxCells. The cached value is a pure function of the round's
+	// tables — independent of which statements a worker sees — so the cache
+	// never changes a bit for any Workers value.
+	pairP     [][]float64
+	pairStamp [][]int32
+	roundSeq  int32
 
 	// ghostMiss is the sharded pipeline's cross-shard correction (nil and
 	// inert outside internal/shard): per local source, the summed
@@ -321,7 +357,19 @@ type engine struct {
 	blockSums    [][4]float64
 	extTotals    [][4]float64 // extractor ID -> folded block partials
 	blockWorkers int
+
+	// baseWorkers bounds the per-source miss-base pass: 1 when the
+	// source→extractor incidence is below the shared elementwise threshold,
+	// e.workers otherwise — a pure function of the graph, like blockWorkers.
+	baseWorkers int
 }
+
+// pairCacheMaxCells caps the single-hit sigmoid cache's per-worker pair
+// space (source count × extractor count). Above it the cache would cost more
+// zeroed memory than the sigmoids it saves; the layer-1 loop then computes
+// the identical expression inline, so the gate — a pure function of the
+// graph — cannot affect results.
+const pairCacheMaxCells = 1 << 18
 
 func newEngine(g *extract.Compiled, cfg Config) *engine {
 	workers := cfg.Workers
@@ -333,24 +381,36 @@ func newEngine(g *extract.Compiled, cfg Config) *engine {
 		g:       g,
 		cfg:     cfg,
 		workers: workers,
+		kern:    mathx.ForConfig(cfg.FastMath),
+		sig:     mathx.Sigmoid,
 
-		stated:  make([]float64, g.NumStatements()),
-		tripleP: make([]float64, g.NumTriples()),
-		srcAcc:  make([]float64, g.NumSources()),
+		stated:   make([]float64, g.NumStatements()),
+		stWeight: make([]float64, g.NumStatements()),
+		tripleP:  make([]float64, g.NumTriples()),
+		srcAcc:   make([]float64, g.NumSources()),
 
-		recall:   make([]float64, nExt),
-		falsePos: make([]float64, nExt),
-		lrHit:    make([]float64, nExt),
-		lrMiss:   make([]float64, nExt),
-		srcLogW:  make([]float64, g.NumSources()),
+		recall:    make([]float64, nExt),
+		falsePos:  make([]float64, nExt),
+		lrHit:     make([]float64, nExt),
+		lrMiss:    make([]float64, nExt),
+		lrAdj:     make([]float64, nExt),
+		oneMinusR: make([]float64, nExt),
+		oneMinusF: make([]float64, nExt),
+		srcBase:   make([]float64, g.NumSources()),
+		srcLogW:   make([]float64, g.NumSources()),
 
-		stamps: make([][]int32, workers),
-		scores: make([][]float64, workers),
-		deltas: make([]float64, workers),
+		scores:    make([][]float64, workers),
+		deltas:    make([]float64, workers),
+		pairP:     make([][]float64, workers),
+		pairStamp: make([][]int32, workers),
 
 		blockSums:    make([][4]float64, len(g.ExtStatementBlocks())),
 		extTotals:    make([][4]float64, nExt),
 		blockWorkers: 1,
+		baseWorkers:  1,
+	}
+	if cfg.FastMath {
+		e.sig = mathx.FastSigmoid
 	}
 	incidence := 0
 	for _, b := range g.ExtStatementBlocks() {
@@ -358,6 +418,13 @@ func newEngine(g *extract.Compiled, cfg Config) *engine {
 	}
 	if incidence >= elementwiseParallelThreshold {
 		e.blockWorkers = workers
+	}
+	srcExtIncidence := 0
+	for s := 0; s < g.NumSources(); s++ {
+		srcExtIncidence += len(g.SourceExtractors(int32(s)))
+	}
+	if srcExtIncidence >= elementwiseParallelThreshold {
+		e.baseWorkers = workers
 	}
 	for i := range e.tripleP {
 		e.tripleP[i] = 0.5
@@ -369,47 +436,108 @@ func newEngine(g *extract.Compiled, cfg Config) *engine {
 		e.recall[i] = cfg.InitRecall
 		e.falsePos[i] = cfg.InitFalsePos
 	}
+	cells := g.NumSources() * nExt
 	for w := 0; w < workers; w++ {
-		e.stamps[w] = make([]int32, nExt)
-		for i := range e.stamps[w] {
-			e.stamps[w][i] = -1
-		}
 		e.scores[w] = make([]float64, g.MaxItemTriples())
+		if cells > 0 && cells <= pairCacheMaxCells {
+			e.pairP[w] = make([]float64, cells)
+			e.pairStamp[w] = make([]int32, cells)
+		}
 	}
 	return e
 }
 
 // inferStatements is the layer-1 E-step: statement probabilities from
-// extractor agreement, in parallel over statements. Each statement's log-odds
-// walks its source's extractor span in first-extraction order — the same
-// order the reference engine iterates — adding the precomputed
-// claimed/unclaimed likelihood ratio per extractor.
+// extractor agreement, in parallel over statements. The per-round extractor
+// likelihood-ratio tables come from batched kernel passes over staging
+// buffers, and each statement's log-odds is assembled hoisted: a per-source
+// base — prior, ghost correction and the summed miss ratio of every
+// extractor that processed the source — plus one hit-minus-miss correction
+// per extractor that actually extracted the statement. That shrinks the
+// walk from the source's whole extractor span to the statement's hit list
+// (a handful of terms); the re-grouping is covered by the package comment's
+// reference-tolerance policy. Statements hit by exactly one extractor — the
+// bulk of an extraction corpus — share the per-(source, extractor) sigmoid
+// cache.
 func (e *engine) inferStatements() {
 	g := e.g
+	e.roundSeq++
+	seq := e.roundSeq
+	// The layer-2 source log-weight table is staged here too: srcAcc is
+	// final for the round before layer 1 starts, and having srcLogW ready
+	// lets the statement loop below stage each statement's corroboration
+	// vote (stWeight) the moment its probability is computed, while the
+	// source index is still in hand — inferTruth then never re-streams the
+	// statement table.
+	nFalse := float64(e.cfg.NFalse)
+	lw := e.workers
+	if len(e.srcAcc) < elementwiseParallelThreshold {
+		lw = 1
+	}
+	csr.ParallelRange(len(e.srcAcc), lw, func(_, lo, hi int) {
+		e.kern.LogOddsSlice(e.srcLogW[lo:hi], e.srcAcc[lo:hi], nFalse, accClampLo, accClampHi)
+	})
+	e.kern.LogRatioSlice(e.lrHit, e.recall, e.falsePos)
 	for x := range e.recall {
-		e.lrHit[x] = math.Log(e.recall[x]) - math.Log(e.falsePos[x])
-		e.lrMiss[x] = MissLogRatio(e.recall[x], e.falsePos[x])
+		e.oneMinusR[x] = 1 - e.recall[x]
+		e.oneMinusF[x] = 1 - e.falsePos[x]
+	}
+	e.kern.LogRatioSlice(e.lrMiss, e.oneMinusR, e.oneMinusF)
+	for x := range e.lrAdj {
+		e.lrAdj[x] = e.lrHit[x] - e.lrMiss[x]
 	}
 	prior := math.Log(e.cfg.PriorStated) - math.Log(1-e.cfg.PriorStated)
-	csr.ParallelRange(g.NumStatements(), e.workers, func(w, lo, hi int) {
-		stamp := e.stamps[w]
-		for si := lo; si < hi; si++ {
-			for _, x := range g.StatementExtractors(int32(si)) {
-				stamp[x] = int32(si)
-			}
-			src := g.StatementSource(int32(si))
-			logOdds := prior
+	csr.ParallelRange(g.NumSources(), e.baseWorkers, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			b := prior
 			if e.ghostMiss != nil {
-				logOdds += e.ghostMiss[src]
+				b += e.ghostMiss[s]
 			}
-			for _, x := range g.SourceExtractors(src) {
-				if stamp[x] == int32(si) {
-					logOdds += e.lrHit[x]
-				} else {
-					logOdds += e.lrMiss[x]
+			for _, x := range g.SourceExtractors(int32(s)) {
+				b += e.lrMiss[x]
+			}
+			e.srcBase[s] = b
+		}
+	})
+	nExt := int32(len(e.recall))
+	csr.ParallelRange(g.NumStatements(), e.workers, func(w, lo, hi int) {
+		pairP, pairStamp := e.pairP[w], e.pairStamp[w]
+		for si := lo; si < hi; si++ {
+			src := g.StatementSource(int32(si))
+			hits := g.StatementExtractors(int32(si))
+			var pv float64
+			if len(hits) == 1 && pairStamp != nil {
+				k := src*nExt + hits[0]
+				if pairStamp[k] != seq {
+					pairP[k] = e.sig(e.srcBase[src] + e.lrAdj[hits[0]])
+					pairStamp[k] = seq
 				}
+				pv = pairP[k]
+			} else {
+				logOdds := e.srcBase[src]
+				for _, x := range hits {
+					logOdds += e.lrAdj[x]
+				}
+				pv = e.sig(logOdds)
 			}
-			e.stated[si] = sigmoid(logOdds)
+			e.stated[si] = pv
+			// Corroboration gate, staged for layer 2: an uninformed
+			// statement (stated ≈ 0.5) contributes nothing, a confident
+			// one (stated >= 0.95) votes with full source weight. This is
+			// the sublinear source counting that stops one extractor's
+			// repeated mistake from out-voting genuinely corroborated
+			// statements (Figure 7's drops, §5.1). A gated-out vote stages
+			// +0.0, bit-identical to the historical skip (see the stWeight
+			// field comment).
+			wgt := (pv - 0.5) / 0.45
+			if wgt <= 0 {
+				e.stWeight[si] = 0
+				continue
+			}
+			if wgt > 1 {
+				wgt = 1
+			}
+			e.stWeight[si] = wgt * e.srcLogW[src]
 		}
 	})
 }
@@ -422,21 +550,13 @@ const elementwiseParallelThreshold = csr.ElementwiseThreshold
 
 // inferTruth is the layer-2 E-step: weighted Bayesian truth inference, in
 // parallel over data items (each item owns its candidates' tripleP entries).
-// The per-round source log-weight table is itself computed in parallel —
-// elementwise, so exact for any worker count.
+// The round's source log-weights and corroboration votes were staged by
+// inferStatements (srcLogW, stWeight), so each triple's score is a pure
+// add loop over its statement span followed by one softmax kernel call per
+// item.
 func (e *engine) inferTruth() {
 	g := e.g
 	nFalse := float64(e.cfg.NFalse)
-	lw := e.workers
-	if len(e.srcAcc) < elementwiseParallelThreshold {
-		lw = 1
-	}
-	csr.ParallelRange(len(e.srcAcc), lw, func(_, lo, hi int) {
-		for s := lo; s < hi; s++ {
-			a := clampAcc(e.srcAcc[s])
-			e.srcLogW[s] = math.Log(nFalse * a / (1 - a))
-		}
-	})
 	csr.ParallelRange(g.NumItems(), e.workers, func(w, lo, hi int) {
 		buf := e.scores[w]
 		for it := lo; it < hi; it++ {
@@ -445,21 +565,8 @@ func (e *engine) inferTruth() {
 			for vi, ti := range tis {
 				s := 0.0
 				for _, si := range g.TripleStatements(ti) {
-					// Corroboration gate: an uninformed statement
-					// (stated ≈ 0.5) contributes nothing, a confident
-					// one (stated >= 0.95) votes with full weight.
-					// This is the sublinear source counting that stops
-					// one extractor's repeated mistake from out-voting
-					// genuinely corroborated statements (Figure 7's
-					// drops, §5.1).
-					wgt := (e.stated[si] - 0.5) / 0.45
-					if wgt <= 0 {
-						continue
-					}
-					if wgt > 1 {
-						wgt = 1
-					}
-					s += wgt * e.srcLogW[g.StatementSource(si)]
+					//lint:ignore kflint/floatsum one triple's staged corroboration votes in statement-span order — the per-group partial the item's owner folds whole; identical order across runs.
+					s += e.stWeight[si]
 				}
 				scores[vi] = s
 			}
@@ -467,18 +574,9 @@ func (e *engine) inferTruth() {
 			if unknown < 0 {
 				unknown = 0
 			}
-			m := 0.0
-			for _, s := range scores {
-				if s > m {
-					m = s
-				}
-			}
-			denom := unknown * math.Exp(-m)
-			for _, s := range scores {
-				denom += math.Exp(s - m)
-			}
+			e.kern.SoftmaxInto(scores, scores, unknown)
 			for vi, ti := range tis {
-				e.tripleP[ti] = math.Exp(scores[vi]-m) / denom
+				e.tripleP[ti] = scores[vi]
 			}
 		}
 	})
@@ -558,16 +656,19 @@ func (e *engine) extractorTotals() {
 	blocks := g.ExtStatementBlocks()
 	csr.ParallelRange(len(blocks), e.blockWorkers, func(_, blo, bhi int) {
 		for bi := blo; bi < bhi; bi++ {
-			sts, hits := g.ExtBlockStatements(blocks[bi])
+			// The 0/1 float hit flags keep this loop — the hottest
+			// fixed-block walk in the engine — branch-free without touching
+			// a bit of the totals: f*sv is sv or +0, and adding +0 to a
+			// non-negative partial is the identity.
+			sts, hitsF := g.ExtBlockStatementsF(blocks[bi])
 			var s, u, hs, hu float64
 			for k, si := range sts {
 				sv := e.stated[si]
+				f := hitsF[k]
 				s += sv
 				u += 1 - sv
-				if hits[k] {
-					hs += sv
-					hu += 1 - sv
-				}
+				hs += f * sv
+				hu += f * (1 - sv)
 			}
 			e.blockSums[bi] = [4]float64{s, u, hs, hu}
 		}
@@ -618,11 +719,13 @@ func FalsePosUpdate(hitUnstated, unstated float64) float64 {
 
 // MissLogRatio is the layer-1 log-likelihood ratio of an extractor NOT
 // extracting a statement it processed the source for:
-// log(1-recall) - log(1-falsePos). The engine precomputes it per round; the
-// sharded coordinator evaluates the same expression over global rates to
-// build each shard's ghost-miss table.
+// log(1-recall) - log(1-falsePos). The engine precomputes it per round
+// (batched, via the kernel LogRatioSlice pass); the sharded coordinator
+// evaluates the same expression over global rates to build each shard's
+// ghost-miss table. The implementation lives in mathx alongside the batched
+// kernels; this re-export keeps the coordinator's call site stable.
 func MissLogRatio(recall, falsePos float64) float64 {
-	return math.Log(1-recall) - math.Log(1-falsePos)
+	return mathx.MissLogRatio(recall, falsePos)
 }
 
 // AddPartials combines two [stated, unstated, hitStated, hitUnstated]
@@ -659,22 +762,17 @@ func (e *engine) result(rounds int) *fusion.Result {
 	return res
 }
 
-func sigmoid(x float64) float64 {
-	if x >= 0 {
-		z := math.Exp(-x)
-		return 1 / (1 + z)
-	}
-	z := math.Exp(x)
-	return z / (1 + z)
-}
+// accClampLo/Hi bound every source accuracy before it enters the layer-2
+// log-odds — both the engine's kernel LogOddsSlice pass and the reference
+// engine's inline clampAcc use the same constants.
+const accClampLo, accClampHi = 0.005, 0.995
 
 func clampAcc(a float64) float64 {
-	const lo, hi = 0.005, 0.995
-	if a < lo {
-		return lo
+	if a < accClampLo {
+		return accClampLo
 	}
-	if a > hi {
-		return hi
+	if a > accClampHi {
+		return accClampHi
 	}
 	return a
 }
